@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks over the counted hardware walker: one
+//! benchmark per degree of nesting (the Table II ladder), so the simulator's
+//! walk costs scale with the paper's reference counts.
+
+use agile_core::types::{
+    AccessKind, Asid, GuestFrame, HostFrame, Level, PageSize, Pte, PteFlags, VmId,
+};
+use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
+use agile_tlb::{NestedTlb, PageWalkCaches, PwcConfig};
+use agile_walk::{AgileCr3, WalkHw, WalkStats};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+struct Fixture {
+    mem: PhysMem,
+    gmap: GuestMemMap,
+    gpt: RadixTable,
+    hpt: RadixTable,
+    spt: RadixTable,
+    gva: u64,
+}
+
+fn fixture() -> Fixture {
+    let mut mem = PhysMem::new();
+    let mut gmap = GuestMemMap::new();
+    let mut host = HostSpace;
+    let gpt = RadixTable::new(&mut mem, &mut gmap);
+    let hpt = RadixTable::new(&mut mem, &mut host);
+    let spt = RadixTable::new(&mut mem, &mut host);
+    let gva = 0x7fab_cdef_0000u64;
+    let data = gmap.alloc_data(&mut mem);
+    gpt.map(&mut mem, &mut gmap, gva, data.raw(), PageSize::Size4K, PteFlags::WRITABLE)
+        .unwrap();
+    let pairs: Vec<_> = gmap.frames().collect();
+    for (g, h) in pairs {
+        hpt.map(&mut mem, &mut host, g.base().raw(), h.raw(), PageSize::Size4K, PteFlags::WRITABLE)
+            .unwrap();
+    }
+    let backing = gmap.backing(data).unwrap();
+    spt.map(&mut mem, &mut host, gva, backing.raw(), PageSize::Size4K, PteFlags::WRITABLE)
+        .unwrap();
+    Fixture {
+        mem,
+        gmap,
+        gpt,
+        hpt,
+        spt,
+        gva,
+    }
+}
+
+fn set_switch(fx: &mut Fixture, level: Level) {
+    fx.spt
+        .zap_subtree(&mut fx.mem, &mut HostSpace, fx.gva, level);
+    let child = fx
+        .gpt
+        .table_frame(&fx.mem, &fx.gmap, fx.gva, level.child().unwrap())
+        .unwrap();
+    let target = fx.gmap.resolve(child);
+    fx.spt
+        .set_entry(
+            &mut fx.mem,
+            &HostSpace,
+            fx.gva,
+            level,
+            Pte::new(target.raw(), PteFlags::PRESENT | PteFlags::SWITCHING),
+        )
+        .unwrap();
+}
+
+fn bench_walk_degrees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_degrees");
+    let cfg = PwcConfig::disabled();
+    let asid = Asid::new(1);
+    let gva = agile_core::types::GuestVirtAddr::new(0x7fab_cdef_0000);
+
+    let cases: Vec<(&str, Option<Level>, bool)> = vec![
+        ("shadow_4refs", None, false),
+        ("switch_l2_8refs", Some(Level::L2), false),
+        ("switch_l3_12refs", Some(Level::L3), false),
+        ("switch_l4_16refs", Some(Level::L4), false),
+        ("nested_24refs", None, true),
+    ];
+    for (name, switch, full_nested) in cases {
+        let mut fx = fixture();
+        if let Some(level) = switch {
+            set_switch(&mut fx, level);
+        }
+        let gptr = GuestFrame::new(fx.gpt.root_raw());
+        let hptr = HostFrame::new(fx.hpt.root_raw());
+        let sptr = HostFrame::new(fx.spt.root_raw());
+        let cr3 = if full_nested {
+            AgileCr3::FullNested
+        } else {
+            AgileCr3::Shadow { spt_root: sptr }
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut stats = WalkStats::default();
+                let mut pwc = PageWalkCaches::new(&cfg);
+                let mut ntlb = NestedTlb::new(&cfg);
+                let mut hw = WalkHw {
+                    mem: &mut fx.mem,
+                    pwc: &mut pwc,
+                    ntlb: &mut ntlb,
+                    vm: VmId::new(0),
+                    stats: &mut stats,
+                };
+                black_box(
+                    hw.agile_walk(asid, gva, cr3, gptr, hptr, AccessKind::Read)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pwc(c: &mut Criterion) {
+    // The page-walk-cache ablation at micro scale: warm walk with and
+    // without translation caches.
+    let mut group = c.benchmark_group("pwc");
+    let asid = Asid::new(1);
+    let gva = agile_core::types::GuestVirtAddr::new(0x7fab_cdef_0000);
+    for (name, cfg) in [("on", PwcConfig::default()), ("off", PwcConfig::disabled())] {
+        let mut fx = fixture();
+        let sptr = HostFrame::new(fx.spt.root_raw());
+        let mut stats = WalkStats::default();
+        let mut pwc = PageWalkCaches::new(&cfg);
+        let mut ntlb = NestedTlb::new(&cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut hw = WalkHw {
+                    mem: &mut fx.mem,
+                    pwc: &mut pwc,
+                    ntlb: &mut ntlb,
+                    vm: VmId::new(0),
+                    stats: &mut stats,
+                };
+                black_box(hw.shadow_walk(asid, gva, sptr, AccessKind::Read).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_walk_degrees, bench_pwc
+}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Ablation: the Section IV hardware optimizations.
+fn main() {
+    let accesses = agile_bench::accesses_from_args(200_000);
+    println!("{}", agile_core::experiments::ablate_hw(accesses));
+}

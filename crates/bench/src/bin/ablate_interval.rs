@@ -1,0 +1,5 @@
+//! Ablation (extension): sensitivity to the policy interval length.
+fn main() {
+    let accesses = agile_bench::accesses_from_args(400_000);
+    println!("{}", agile_core::experiments::ablate_interval(accesses));
+}

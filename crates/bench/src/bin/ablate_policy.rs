@@ -1,0 +1,5 @@
+//! Ablation: nested=>shadow policy choice (Section III-C).
+fn main() {
+    let accesses = agile_bench::accesses_from_args(200_000);
+    println!("{}", agile_core::experiments::ablate_policy(accesses));
+}

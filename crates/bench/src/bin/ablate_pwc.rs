@@ -1,0 +1,5 @@
+//! Ablation: page walk caches (Section III-A).
+fn main() {
+    let accesses = agile_bench::accesses_from_args(200_000);
+    println!("{}", agile_core::experiments::ablate_pwc(accesses));
+}

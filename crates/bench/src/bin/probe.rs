@@ -1,0 +1,20 @@
+fn main() {
+    use agile_core::*;
+    let spec = WorkloadSpec {
+        name: "probe".into(),
+        footprint: 16 << 20,
+        pattern: Pattern::Uniform,
+        write_fraction: 0.3,
+        accesses: 50_000,
+        accesses_per_tick: 5_000,
+        churn: ChurnSpec { ctx_switch_every: Some(200), processes: 4, ..ChurnSpec::none() },
+        prefault: true,
+        prefault_writes: true,
+        seed: 0xAB1,
+    };
+    let opts = AgileOptions { hw_ad_bits: true, ..AgileOptions::without_hw_opts() };
+    let mut m = Machine::new(SystemConfig::new(Technique::Agile(opts)));
+    let stats = m.run_spec(&spec);
+    println!("adwalks={} shadowfrac={:.3} misses={}", stats.ad_walks,
+        stats.kinds.fraction(WalkKind::FullShadow), stats.tlb.misses);
+}

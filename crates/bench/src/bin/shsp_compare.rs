@@ -1,0 +1,6 @@
+//! Regenerates the Section VII-C SHSP comparison.
+fn main() {
+    let accesses = agile_bench::accesses_from_args(300_000);
+    let (text, _) = agile_core::experiments::shsp_compare(accesses);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table I (technique trade-off matrix).
+fn main() {
+    let accesses = agile_bench::accesses_from_args(60_000);
+    println!("{}", agile_core::experiments::table1(accesses));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table II (memory references per degree of nesting).
+fn main() {
+    let (text, _) = agile_core::experiments::table2();
+    println!("{text}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table VI (TLB misses per agile mode, no PWCs).
+fn main() {
+    let accesses = agile_bench::accesses_from_args(1_000_000);
+    let (text, _) = agile_core::experiments::table6(accesses, None);
+    println!("{text}");
+}

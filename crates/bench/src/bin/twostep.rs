@@ -1,0 +1,7 @@
+//! Reproduces the paper's Section VI two-step trace-and-model methodology
+//! and cross-validates the projection against direct agile simulation.
+fn main() {
+    let accesses = agile_bench::accesses_from_args(400_000);
+    let (text, _) = agile_core::experiments::twostep(accesses, None);
+    println!("{text}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Section VI VMtrap-cost microbenchmark table.
+fn main() {
+    let accesses = agile_bench::accesses_from_args(40_000);
+    let (text, _) = agile_core::experiments::vmtrap_costs(accesses);
+    println!("{text}");
+}

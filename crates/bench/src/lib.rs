@@ -1,0 +1,258 @@
+//! Benchmark harness for the agile-paging reproduction.
+//!
+//! Binaries (one per paper table/figure — see `DESIGN.md`): `table1`,
+//! `table2`, `fig5`, `table6`, `vmtrap_costs`, `shsp_compare`, `twostep`,
+//! `ablate_hw`, `ablate_policy`, `ablate_pwc`, `ablate_interval`. Each
+//! accepts `--accesses N` (run length) and `--quick` (small preset).
+//! The `simulate` binary runs a fully custom workload/configuration from
+//! command-line flags (see [`SimArgs`]).
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+
+use agile_core::{
+    AgileOptions, ChurnSpec, Pattern, ShspOptions, SystemConfig, Technique, WorkloadSpec,
+};
+
+/// Parses `--accesses N` / `--quick` from the process arguments, with a
+/// default for the full run.
+#[must_use]
+pub fn accesses_from_args(default_full: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        return (default_full / 10).max(1_000);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--accesses") {
+        if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            return v;
+        }
+    }
+    default_full
+}
+
+/// Parsed arguments for the `simulate` binary: a custom workload and
+/// system configuration assembled from flags.
+#[derive(Debug, Clone)]
+pub struct SimArgs {
+    /// System configuration (technique, page size, caches, cost knobs).
+    pub config: SystemConfig,
+    /// The workload to run.
+    pub spec: WorkloadSpec,
+    /// Accesses excluded from measurement at the start.
+    pub warmup: u64,
+}
+
+impl SimArgs {
+    /// Usage text for the `simulate` binary.
+    pub const USAGE: &'static str = "\
+simulate — run a custom workload on the agile-paging simulator
+
+  --technique T      native|nested|shadow|agile|shsp   (default agile)
+  --pattern P        uniform | zipf:THETA | seq:STRIDE | chase |
+                     hotspot:FRAC,PROB                 (default uniform)
+  --footprint-mb N   footprint in MiB                  (default 64)
+  --accesses N       data accesses                     (default 200000)
+  --writes F         store fraction 0..1               (default 0.3)
+  --remap-every N    remap churn period (accesses)
+  --remap-pages N    pages per remap event             (default 16)
+  --cow-every N      copy-on-write churn period
+  --cow-pages N      pages per COW event               (default 8)
+  --zone F           churn zone fraction               (default 0.1)
+  --procs N          processes (round-robin)           (default 1)
+  --ctx-every N      context-switch period
+  --thp              transparent 2 MiB pages
+  --no-pwc           disable page walk caches + nested TLB
+  --no-prefault      skip the population sweep
+  --warmup N         warm-up accesses excluded         (default accesses/4)
+  --seed N           RNG seed                          (default 1)
+";
+
+    /// Parses an argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag or value.
+    pub fn parse(args: &[String]) -> Result<SimArgs, String> {
+        let mut technique = Technique::Agile(AgileOptions::default());
+        let mut pattern = Pattern::Uniform;
+        let mut footprint_mb: u64 = 64;
+        let mut accesses: u64 = 200_000;
+        let mut writes: f64 = 0.3;
+        let mut churn = ChurnSpec {
+            churn_zone: 0.1,
+            ..ChurnSpec::none()
+        };
+        let mut remap_pages = 16;
+        let mut cow_pages = 8;
+        let mut thp = false;
+        let mut pwc = true;
+        let mut prefault = true;
+        let mut warmup: Option<u64> = None;
+        let mut seed: u64 = 1;
+
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || -> Result<&String, String> {
+                it.next().ok_or(format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--technique" => {
+                    technique = match value()?.as_str() {
+                        "native" => Technique::Native,
+                        "nested" => Technique::Nested,
+                        "shadow" => Technique::Shadow,
+                        "agile" => Technique::Agile(AgileOptions::default()),
+                        "shsp" => Technique::Shsp(ShspOptions::default()),
+                        other => return Err(format!("unknown technique {other}")),
+                    }
+                }
+                "--pattern" => {
+                    let v = value()?.clone();
+                    pattern = parse_pattern(&v)?;
+                }
+                "--footprint-mb" => footprint_mb = parse_num(flag, value()?)?,
+                "--accesses" => accesses = parse_num(flag, value()?)?,
+                "--writes" => writes = parse_float(flag, value()?)?,
+                "--remap-every" => churn.remap_every = Some(parse_num(flag, value()?)?),
+                "--remap-pages" => remap_pages = parse_num(flag, value()?)?,
+                "--cow-every" => churn.cow_every = Some(parse_num(flag, value()?)?),
+                "--cow-pages" => cow_pages = parse_num(flag, value()?)?,
+                "--zone" => churn.churn_zone = parse_float(flag, value()?)?,
+                "--procs" => churn.processes = parse_num(flag, value()?)? as usize,
+                "--ctx-every" => churn.ctx_switch_every = Some(parse_num(flag, value()?)?),
+                "--thp" => thp = true,
+                "--no-pwc" => pwc = false,
+                "--no-prefault" => prefault = false,
+                "--warmup" => warmup = Some(parse_num(flag, value()?)?),
+                "--seed" => seed = parse_num(flag, value()?)?,
+                "--help" | "-h" => return Err(Self::USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}\n\n{}", Self::USAGE)),
+            }
+        }
+        churn.remap_pages = remap_pages;
+        churn.cow_pages = cow_pages;
+
+        let mut config = SystemConfig::new(technique);
+        if thp {
+            config = config.with_thp();
+        }
+        if !pwc {
+            config = config.without_pwc();
+        }
+        let spec = WorkloadSpec {
+            name: "custom".into(),
+            footprint: footprint_mb << 20,
+            pattern,
+            write_fraction: writes,
+            accesses,
+            accesses_per_tick: (accesses / 10).max(1),
+            churn,
+            prefault,
+            prefault_writes: true,
+            seed,
+        };
+        Ok(SimArgs {
+            config,
+            spec,
+            warmup: warmup.unwrap_or(accesses / 4),
+        })
+    }
+}
+
+fn parse_num(flag: &str, v: &str) -> Result<u64, String> {
+    v.parse().map_err(|e| format!("{flag}: bad number {v}: {e}"))
+}
+
+fn parse_float(flag: &str, v: &str) -> Result<f64, String> {
+    v.parse().map_err(|e| format!("{flag}: bad number {v}: {e}"))
+}
+
+fn parse_pattern(v: &str) -> Result<Pattern, String> {
+    let (kind, rest) = v.split_once(':').unwrap_or((v, ""));
+    match kind {
+        "uniform" => Ok(Pattern::Uniform),
+        "chase" => Ok(Pattern::PointerChase),
+        "zipf" => Ok(Pattern::Zipf {
+            theta: parse_float("--pattern zipf", rest)?,
+        }),
+        "seq" => Ok(Pattern::Sequential {
+            stride_pages: parse_num("--pattern seq", rest)?,
+        }),
+        "hotspot" => {
+            let (f, p) = rest
+                .split_once(',')
+                .ok_or("hotspot needs FRAC,PROB".to_string())?;
+            Ok(Pattern::Hotspot {
+                hot_fraction: parse_float("--pattern hotspot", f)?,
+                hot_probability: parse_float("--pattern hotspot", p)?,
+            })
+        }
+        other => Err(format!("unknown pattern {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &str) -> Result<SimArgs, String> {
+        SimArgs::parse(&words.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = parse("").unwrap();
+        assert_eq!(a.spec.accesses, 200_000);
+        assert_eq!(a.warmup, 50_000);
+        assert!(matches!(a.config.technique, Technique::Agile(_)));
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let a = parse(
+            "--technique shadow --pattern zipf:0.9 --footprint-mb 32 --accesses 1000 \
+             --writes 0.5 --remap-every 100 --remap-pages 4 --cow-every 200 --cow-pages 2 \
+             --zone 0.2 --procs 3 --ctx-every 50 --thp --no-pwc --no-prefault \
+             --warmup 250 --seed 9",
+        )
+        .unwrap();
+        assert!(matches!(a.config.technique, Technique::Shadow));
+        assert!(matches!(a.spec.pattern, Pattern::Zipf { .. }));
+        assert_eq!(a.spec.footprint, 32 << 20);
+        assert_eq!(a.spec.churn.remap_every, Some(100));
+        assert_eq!(a.spec.churn.remap_pages, 4);
+        assert_eq!(a.spec.churn.processes, 3);
+        assert!(a.config.thp);
+        assert!(!a.config.pwc.enabled);
+        assert!(!a.spec.prefault);
+        assert_eq!(a.warmup, 250);
+        assert_eq!(a.spec.seed, 9);
+    }
+
+    #[test]
+    fn pattern_variants_parse() {
+        assert!(matches!(parse_pattern("uniform"), Ok(Pattern::Uniform)));
+        assert!(matches!(parse_pattern("chase"), Ok(Pattern::PointerChase)));
+        assert!(matches!(
+            parse_pattern("seq:7"),
+            Ok(Pattern::Sequential { stride_pages: 7 })
+        ));
+        assert!(matches!(
+            parse_pattern("hotspot:0.1,0.9"),
+            Ok(Pattern::Hotspot { .. })
+        ));
+        assert!(parse_pattern("zipf").is_err());
+        assert!(parse_pattern("nope").is_err());
+    }
+
+    #[test]
+    fn bad_flags_report_errors() {
+        assert!(parse("--bogus").is_err());
+        assert!(parse("--accesses").is_err());
+        assert!(parse("--accesses xyz").is_err());
+        assert!(parse("--technique hyper").is_err());
+        let help = parse("--help").unwrap_err();
+        assert!(help.contains("simulate"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Whole-system configuration.
+
+use agile_tlb::{PwcConfig, TlbConfig};
+use agile_vmm::{Technique, VmmConfig};
+
+/// Configuration of one simulated system run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Memory-virtualization technique.
+    pub technique: Technique,
+    /// TLB hierarchy geometry (defaults to Table III).
+    pub tlb: TlbConfig,
+    /// Page-walk-cache / nested-TLB geometry (disable for Table VI runs).
+    pub pwc: PwcConfig,
+    /// Transparent huge pages in the guest OS (the paper's "2M"
+    /// configurations; both translation stages then use 2 MiB pages).
+    pub thp: bool,
+    /// Cycles charged per guest/shadow page-walk memory reference that
+    /// misses the walk caches (a DRAM/L2-blend; every experiment prints
+    /// it).
+    pub walk_ref_cycles: u64,
+    /// Cycles charged per *host* (EPT) page-table reference. Host-table
+    /// entries exhibit extreme temporal locality across walks and sit in
+    /// the data caches (Bhargava et al.), so they are much cheaper than
+    /// guest/shadow references; this is what makes a 24-reference nested
+    /// walk ~2× a native walk rather than 6× on real hardware.
+    pub host_ref_cycles: u64,
+    /// Cycles of non-translation work represented by one `Access` event
+    /// (the performance model's `E_ideal` per access).
+    pub base_cycles_per_access: u64,
+    /// VMtrap cost model override (defaults per technique).
+    pub vmm: VmmConfig,
+}
+
+impl SystemConfig {
+    /// Defaults for `technique`: Table III TLBs, walk caches on, 4 KiB
+    /// pages.
+    #[must_use]
+    pub fn new(technique: Technique) -> Self {
+        SystemConfig {
+            technique,
+            tlb: TlbConfig::default(),
+            pwc: PwcConfig::default(),
+            thp: false,
+            walk_ref_cycles: 40,
+            host_ref_cycles: 10,
+            base_cycles_per_access: 125,
+            vmm: VmmConfig::new(technique),
+        }
+    }
+
+    /// Same configuration with transparent huge pages on (the "2M" bars).
+    #[must_use]
+    pub fn with_thp(mut self) -> Self {
+        self.thp = true;
+        self
+    }
+
+    /// Same configuration with all walk caches disabled (Table VI's
+    /// "assuming no page walk caches").
+    #[must_use]
+    pub fn without_pwc(mut self) -> Self {
+        self.pwc = PwcConfig::disabled();
+        self
+    }
+
+    /// Label like "4K:S" / "2M:A" used in Figure 5 column headers.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}:{}",
+            if self.thp { "2M" } else { "4K" },
+            self.technique.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure_5() {
+        assert_eq!(SystemConfig::new(Technique::Native).label(), "4K:B");
+        assert_eq!(SystemConfig::new(Technique::Shadow).with_thp().label(), "2M:S");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::new(Technique::Nested).with_thp().without_pwc();
+        assert!(c.thp);
+        assert!(!c.pwc.enabled);
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment runners: one per paper table/figure plus the ablations
+//! called out in `DESIGN.md`.
+//!
+//! Every runner is deterministic, prints the configuration knobs it used,
+//! and returns structured results alongside a rendered text table so tests
+//! can assert the paper's *shape* claims (who wins, by roughly what factor,
+//! where the crossovers fall).
+
+pub mod ablate;
+pub mod fig5;
+pub mod shsp;
+pub mod table1;
+pub mod table2;
+pub mod table6;
+pub mod twostep;
+pub mod vmtraps;
+
+pub use ablate::{ablate_hw, ablate_interval, ablate_policy, ablate_pwc};
+pub use fig5::{fig5, Fig5Row};
+pub use shsp::{shsp_compare, ShspRow};
+pub use table1::table1;
+pub use table2::{table2, Table2Row};
+pub use table6::{table6, Table6Row};
+pub use twostep::{twostep, TwoStepRow};
+pub use vmtraps::{vmtrap_costs, VmtrapRow};

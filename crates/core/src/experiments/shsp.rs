@@ -1,0 +1,110 @@
+//! Section VII-C: agile paging versus SHSP (selective hardware/software
+//! paging), on a workload with alternating phases.
+//!
+//! SHSP switches an entire process temporally; agile paging is temporal
+//! *and spatial*. A workload whose page-table churn is confined to part of
+//! the address space shows the difference: SHSP must either eat nested-walk
+//! latency everywhere or pay wholesale shadow rebuilds, while agile paging
+//! nests only the churning subtree.
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use crate::report::{pct, Table};
+use crate::stats::RunStats;
+use agile_vmm::{AgileOptions, ShspOptions, Technique};
+use agile_workloads::{ChurnSpec, Pattern, WorkloadSpec};
+
+/// One technique's result on the phase workload.
+#[derive(Debug, Clone)]
+pub struct ShspRow {
+    /// Technique label.
+    pub technique: String,
+    /// Total overhead fraction.
+    pub total_overhead: f64,
+    /// Full stats.
+    pub stats: RunStats,
+}
+
+/// The phase workload: a large mostly-static footprint with a small
+/// churning slice.
+#[must_use]
+pub fn phase_spec(accesses: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "phase-mix".into(),
+        footprint: 64 << 20,
+        pattern: Pattern::Hotspot {
+            hot_fraction: 0.3,
+            hot_probability: 0.6,
+        },
+        write_fraction: 0.4,
+        accesses,
+        accesses_per_tick: (accesses / 8).max(1),
+        churn: ChurnSpec {
+            remap_every: Some((accesses / 64).max(1)),
+            remap_pages: 32,
+            ..ChurnSpec::none()
+        },
+        prefault: false,
+        prefault_writes: true,
+        seed: 0x5457,
+    }
+}
+
+/// Runs the comparison.
+#[must_use]
+pub fn shsp_compare(accesses: u64) -> (String, Vec<ShspRow>) {
+    let techniques = [
+        ("Nested", Technique::Nested),
+        ("Shadow", Technique::Shadow),
+        ("SHSP", Technique::Shsp(ShspOptions::default())),
+        ("Agile", Technique::Agile(AgileOptions::default())),
+    ];
+    let mut rows = Vec::new();
+    for (name, t) in techniques {
+        let stats =
+            Machine::new(SystemConfig::new(t)).run_spec_measured(&phase_spec(accesses), accesses / 4);
+        rows.push(ShspRow {
+            technique: name.to_string(),
+            total_overhead: stats.overheads().total(),
+            stats,
+        });
+    }
+    (render(&rows, accesses), rows)
+}
+
+fn render(rows: &[ShspRow], accesses: u64) -> String {
+    let mut table = Table::new(vec![
+        "technique".into(),
+        "page-walk".into(),
+        "vmtrap".into(),
+        "total".into(),
+        "avg refs/miss".into(),
+    ]);
+    for r in rows {
+        let o = r.stats.overheads();
+        table.row(vec![
+            r.technique.clone(),
+            pct(o.page_walk),
+            pct(o.vmm),
+            pct(r.total_overhead),
+            format!("{:.2}", r.stats.avg_refs_per_miss()),
+        ]);
+    }
+    format!(
+        "SHSP comparison (Section VII-C): phase-mix workload, {accesses} accesses\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_techniques_report() {
+        let (text, rows) = shsp_compare(6_000);
+        assert_eq!(rows.len(), 4);
+        assert!(text.contains("SHSP"));
+        assert!(text.contains("Agile"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Top-level simulator for the agile-paging reproduction.
+//!
+//! [`Machine`] wires the substrates together — simulated physical memory,
+//! the guest OS, the VMM, the TLB hierarchy, the page walk caches, and the
+//! hardware walker — and executes workload event streams under any of the
+//! five techniques (base native, nested, shadow, agile, SHSP). [`RunStats`]
+//! collects what the paper's evaluation measures; the [`experiments`]
+//! module regenerates every table and figure (see `DESIGN.md` for the
+//! index).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use agile_core::{Machine, SystemConfig};
+//! use agile_vmm::Technique;
+//! use agile_workloads::{ChurnSpec, Pattern, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec {
+//!     name: "hello".into(),
+//!     footprint: 16 << 20,
+//!     pattern: Pattern::Uniform,
+//!     write_fraction: 0.3,
+//!     accesses: 10_000,
+//!     accesses_per_tick: 5_000,
+//!     churn: ChurnSpec::none(),
+//!     prefault: false,
+//!     prefault_writes: true,
+//!     seed: 1,
+//! };
+//! let mut machine = Machine::new(SystemConfig::new(Technique::Shadow));
+//! let stats = machine.run_spec(&spec);
+//! assert_eq!(stats.accesses, 10_000);
+//! assert!(stats.tlb.misses > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+mod machine;
+mod report;
+mod stats;
+
+pub use config::SystemConfig;
+pub use machine::Machine;
+pub use report::Table;
+pub use stats::{KindCounts, Overheads, RunStats};
+
+pub use agile_guest::{GuestOs, OsStats, SegFault};
+pub use agile_tlb::{PwcConfig, TlbConfig};
+pub use agile_types as types;
+pub use agile_vmm::{
+    AgileOptions, NestedToShadowPolicy, ShspOptions, Technique, VmmConfig, VmtrapCosts,
+    VmtrapKind, VmtrapStats,
+};
+pub use agile_walk::{WalkKind, WalkStats};
+pub use agile_workloads::{
+    micro_benches, profile, ChurnSpec, Event, MicroBench, Pattern, Profile, Workload, WorkloadSpec,
+};

@@ -1,0 +1,544 @@
+//! The machine: one VM (guest OS + VMM) on simulated translation hardware.
+
+use crate::config::SystemConfig;
+use crate::stats::{KindCounts, RunStats};
+use agile_guest::{GuestOs, SegFault};
+use agile_mem::PhysMem;
+use agile_tlb::{NestedTlb, PageWalkCaches, TlbEntry, TlbHierarchy};
+use agile_types::{AccessKind, Asid, Fault, GuestVirtAddr, ProcessId, PteFlags};
+use agile_vmm::{FaultOutcome, HwRoots, Technique, Vmm};
+use agile_walk::{WalkHw, WalkKind, WalkOk, WalkStats};
+use agile_workloads::{Event, Workload, WorkloadSpec};
+
+/// A complete simulated system: guest OS, VMM, and translation hardware,
+/// executing workload event streams and accumulating [`RunStats`].
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SystemConfig,
+    mem: PhysMem,
+    vmm: Vmm,
+    os: GuestOs,
+    tlb: TlbHierarchy,
+    pwc: PageWalkCaches,
+    ntlb: NestedTlb,
+    walk_stats: WalkStats,
+    kinds: KindCounts,
+    walk_cycles: u64,
+    ad_walks: u64,
+    accesses: u64,
+    procs: Vec<ProcessId>,
+    misses_at_last_tick: u64,
+    baseline: Baseline,
+    trace: Option<agile_trace::TraceLog>,
+}
+
+/// Snapshot taken at the start of the measurement window (everything before
+/// it — warm-up — is excluded from reported statistics, the standard
+/// simulator methodology for approximating the paper's run-to-completion
+/// measurements).
+#[derive(Debug, Default, Clone)]
+struct Baseline {
+    accesses: u64,
+    walk_cycles: u64,
+    ad_walks: u64,
+    tlb: agile_tlb::TlbStats,
+    walks: WalkStats,
+    kinds: KindCounts,
+    traps: agile_vmm::VmtrapStats,
+    os: agile_guest::OsStats,
+    vmm: agile_vmm::VmmCounters,
+}
+
+impl Machine {
+    /// Builds a machine with one initial guest process.
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        let mut mem = PhysMem::new();
+        let mut vmm = Vmm::new(&mut mem, cfg.vmm);
+        let mut os = GuestOs::new(cfg.thp);
+        let first = os.spawn(&mut mem, &mut vmm);
+        Machine {
+            cfg,
+            mem,
+            vmm,
+            os,
+            tlb: TlbHierarchy::new(&cfg.tlb),
+            pwc: PageWalkCaches::new(&cfg.pwc),
+            ntlb: NestedTlb::new(&cfg.pwc),
+            walk_stats: WalkStats::default(),
+            kinds: KindCounts::default(),
+            walk_cycles: 0,
+            ad_walks: 0,
+            accesses: 0,
+            procs: vec![first],
+            misses_at_last_tick: 0,
+            baseline: Baseline::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables the paper's §VI tracing: guest page-table updates (step 1,
+    /// from the instrumented VMM) and TLB misses (step 2, BadgerTrap-style)
+    /// are recorded with interval boundaries. Drain with
+    /// [`Machine::take_trace`].
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(agile_trace::TraceLog::new());
+        self.vmm.enable_write_trace();
+    }
+
+    /// Drains the recorded trace.
+    pub fn take_trace(&mut self) -> agile_trace::TraceLog {
+        self.trace.take().unwrap_or_default()
+    }
+
+    fn drain_write_trace(&mut self) {
+        if self.trace.is_none() {
+            return;
+        }
+        let writes = self.vmm.take_write_trace();
+        let trace = self.trace.as_mut().expect("tracing enabled");
+        for (pid, gva, level) in writes {
+            trace.push(agile_trace::TraceEvent::GptWrite { pid, gva, level });
+        }
+    }
+
+    /// Starts the measurement window: statistics reported by
+    /// [`Machine::stats`] will exclude everything before this point
+    /// (warm-up exclusion). Hardware structures stay warm.
+    pub fn begin_measurement(&mut self) {
+        self.baseline = Baseline {
+            accesses: self.accesses,
+            walk_cycles: self.walk_cycles,
+            ad_walks: self.ad_walks,
+            tlb: self.tlb.stats(),
+            walks: self.walk_stats,
+            kinds: self.kinds,
+            traps: self.vmm.trap_stats(),
+            os: self.os.stats(),
+            vmm: self.vmm.counters(),
+        };
+    }
+
+    /// The configuration this machine runs.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        self.cfg_ref()
+    }
+
+    fn cfg_ref(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The VMM (for inspection in tests and experiments).
+    #[must_use]
+    pub fn vmm(&self) -> &Vmm {
+        &self.vmm
+    }
+
+    /// The guest OS (for inspection).
+    #[must_use]
+    pub fn os(&self) -> &GuestOs {
+        &self.os
+    }
+
+    /// Mutable access to the guest OS, for driving it directly (examples
+    /// and tests; workload runs go through [`Machine::run_spec`]).
+    pub fn os_mut(&mut self) -> &mut GuestOs {
+        &mut self.os
+    }
+
+    /// The guest leaf entry translating `va` in the current process, for
+    /// inspection in examples and tests.
+    #[must_use]
+    pub fn guest_mapping(&self, va: u64) -> Option<(agile_types::Pte, agile_types::Level)> {
+        let pid = self.vmm.current_process()?;
+        self.vmm.gpt_lookup(&self.mem, pid, va)
+    }
+
+    /// Current process (the machine always has one).
+    #[must_use]
+    pub fn current_pid(&self) -> ProcessId {
+        self.vmm.current_process().expect("machine has a process")
+    }
+
+    fn ensure_proc(&mut self, index: usize) -> ProcessId {
+        while self.procs.len() <= index {
+            let pid = self.os.spawn(&mut self.mem, &mut self.vmm);
+            self.procs.push(pid);
+        }
+        self.procs[index]
+    }
+
+    fn drain_flushes(&mut self) {
+        for req in self.vmm.take_pending_flushes() {
+            match req {
+                agile_vmm::FlushRequest::Asid(asid) => {
+                    self.tlb.flush_asid(asid);
+                    self.pwc.flush_asid(asid);
+                }
+                agile_vmm::FlushRequest::NtlbFrame(gframe) => {
+                    self.ntlb.invalidate(self.vmm.vm(), gframe);
+                }
+                agile_vmm::FlushRequest::Range { asid, start, len } => {
+                    self.pwc.invalidate_range(asid, start, len);
+                    // Invalidate the covered TLB pages (ranges are one
+                    // subtree span; cap the per-page loop at the 2 MiB
+                    // granularity and fall back to an ASID flush above it).
+                    if len <= (2 << 20) {
+                        let mut va = start;
+                        while va < start + len {
+                            self.tlb.invalidate_page(asid, GuestVirtAddr::new(va));
+                            va += 0x1000;
+                        }
+                    } else {
+                        self.tlb.flush_asid(asid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one data access at `va` by the current process, modeling
+    /// the full TLB → walk → fault-handling path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegFault`] if the access violates the guest's VMAs.
+    pub fn touch(&mut self, va: u64, write: bool) -> Result<(), SegFault> {
+        self.accesses += 1;
+        let pid = self.current_pid();
+        let asid = Asid::from(pid);
+        let access = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let gva = GuestVirtAddr::new(va);
+        if self.tlb.lookup(asid, gva, access).is_some() {
+            return Ok(());
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(agile_trace::TraceEvent::TlbMiss {
+                pid,
+                gva: va,
+                write,
+            });
+        }
+        for _ in 0..64 {
+            match self.walk_once(pid, gva, access) {
+                Ok(ok) => {
+                    self.kinds.record(ok.kind, ok.refs);
+                    self.walk_cycles += self.walk_cost(ok.refs, ok.host_refs);
+                    self.tlb.fill_for(
+                        asid,
+                        gva,
+                        TlbEntry::new(ok.frame, ok.size, ok.writable).with_dirty(write),
+                        access,
+                    );
+                    self.maybe_hw_ad_walk(pid, gva, access, ok.kind);
+                    if matches!(self.cfg.technique, Technique::Native) {
+                        // Natively the walked table IS the OS's table;
+                        // mirror the hardware A/D updates into the guest
+                        // view the OS reads (e.g. for its clock algorithm).
+                        self.vmm.set_guest_ad_bits(&mut self.mem, pid, va, write);
+                    }
+                    return Ok(());
+                }
+                Err(fault @ Fault::GuestPageFault { .. }) => {
+                    self.handle_guest_fault(pid, va, fault, access)?;
+                }
+                Err(fault) => match self.vmm.handle_fault(&mut self.mem, pid, fault) {
+                    FaultOutcome::Fixed => self.drain_flushes(),
+                    FaultOutcome::ReflectToGuest(f) => {
+                        self.handle_guest_fault(pid, va, f, access)?;
+                    }
+                },
+            }
+        }
+        panic!("access to {va:#x} did not converge — simulator bug");
+    }
+
+    fn handle_guest_fault(
+        &mut self,
+        pid: ProcessId,
+        va: u64,
+        _fault: Fault,
+        access: AccessKind,
+    ) -> Result<(), SegFault> {
+        self.os
+            .handle_page_fault(&mut self.mem, &mut self.vmm, pid, va, access)?;
+        self.drain_flushes();
+        self.tlb.invalidate_page(Asid::from(pid), GuestVirtAddr::new(va));
+        Ok(())
+    }
+
+    fn walk_once(
+        &mut self,
+        pid: ProcessId,
+        gva: GuestVirtAddr,
+        access: AccessKind,
+    ) -> Result<WalkOk, Fault> {
+        let roots = self.vmm.hw_roots(pid);
+        let asid = Asid::from(pid);
+        let mut hw = WalkHw {
+            mem: &mut self.mem,
+            pwc: &mut self.pwc,
+            ntlb: &mut self.ntlb,
+            vm: self.vmm.vm(),
+            stats: &mut self.walk_stats,
+        };
+        match roots {
+            HwRoots::Native { root } => hw.native_walk(asid, gva, root, access),
+            HwRoots::Nested { gptr, hptr } => hw.nested_walk(asid, gva, gptr, hptr, access),
+            HwRoots::Shadow { sptr } => hw.shadow_walk(asid, gva, sptr, access),
+            HwRoots::Agile { cr3, gptr, hptr } => {
+                hw.agile_walk(asid, gva, cr3, gptr, hptr, access)
+            }
+        }
+    }
+
+    /// Hardware optimization 1 (paper Section IV): after a shadow-mode
+    /// walk, hardware updates guest A/D bits itself with an extra nested
+    /// walk instead of trapping to the VMM. The extra walk is counted.
+    fn maybe_hw_ad_walk(
+        &mut self,
+        pid: ProcessId,
+        gva: GuestVirtAddr,
+        access: AccessKind,
+        kind: WalkKind,
+    ) {
+        let Technique::Agile(opts) = self.cfg.technique else {
+            return;
+        };
+        if !opts.hw_ad_bits || kind != WalkKind::FullShadow {
+            return;
+        }
+        let Some((gpte, _)) = self.vmm.gpt_lookup(&self.mem, pid, gva.raw()) else {
+            return;
+        };
+        let mut want = PteFlags::ACCESSED;
+        if access.is_write() {
+            want |= PteFlags::DIRTY;
+        }
+        if gpte.flags().contains(want) {
+            return;
+        }
+        // The A/D write requires a full nested walk (up to 24 accesses),
+        // still far cheaper than a VMtrap. nested_walk sets the bits. The
+        // walk may itself take EPT violations for guest-table pages the
+        // host table has not mapped yet; those are handled like any other.
+        for _ in 0..8 {
+            let roots = self.vmm.hw_roots(pid);
+            let HwRoots::Agile { gptr, hptr, .. } = roots else {
+                return;
+            };
+            let mut hw = WalkHw {
+                mem: &mut self.mem,
+                pwc: &mut self.pwc,
+                ntlb: &mut self.ntlb,
+                vm: self.vmm.vm(),
+                stats: &mut self.walk_stats,
+            };
+            match hw.nested_walk(Asid::from(pid), gva, gptr, hptr, access) {
+                Ok(ok) => {
+                    self.walk_cycles += self.walk_cost(ok.refs, ok.host_refs);
+                    self.ad_walks += 1;
+                    return;
+                }
+                Err(fault @ Fault::HostPageFault { .. }) => {
+                    if self.vmm.handle_fault(&mut self.mem, pid, fault)
+                        != FaultOutcome::Fixed
+                    {
+                        return;
+                    }
+                    self.drain_flushes();
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn walk_cost(&self, refs: u32, host_refs: u32) -> u64 {
+        let other = u64::from(refs - host_refs);
+        other * self.cfg.walk_ref_cycles + u64::from(host_refs) * self.cfg.host_ref_cycles
+    }
+
+    /// Applies one workload event.
+    pub fn run_event(&mut self, event: Event) {
+        let pid = self.current_pid();
+        match event {
+            Event::Access { va, write } => {
+                self.touch(va, write)
+                    .expect("workload accesses stay inside its VMAs");
+            }
+            Event::Mmap {
+                start,
+                len,
+                writable,
+            } => {
+                self.os.mmap(pid, start, len, writable);
+            }
+            Event::Munmap { start, len } => {
+                self.os.munmap(&mut self.mem, &mut self.vmm, pid, start, len);
+                self.drain_flushes();
+                self.tlb.flush_asid(Asid::from(pid));
+            }
+            Event::MarkCow { start, len } => {
+                self.os
+                    .mark_region_cow(&mut self.mem, &mut self.vmm, pid, start, len);
+                self.drain_flushes();
+                self.tlb.flush_asid(Asid::from(pid));
+            }
+            Event::ClockScan { start, len } => {
+                self.os
+                    .clock_scan(&mut self.mem, &mut self.vmm, pid, start, len);
+                self.drain_flushes();
+                self.tlb.flush_asid(Asid::from(pid));
+            }
+            Event::ContextSwitch { to } => {
+                let target = self.ensure_proc(to);
+                self.os.context_switch(&mut self.mem, &mut self.vmm, target);
+                self.drain_flushes();
+            }
+            Event::Tick => {
+                let misses = self.tlb.stats().misses - self.misses_at_last_tick;
+                self.misses_at_last_tick = self.tlb.stats().misses;
+                self.vmm.interval_tick(&mut self.mem, misses);
+                self.drain_flushes();
+                self.drain_write_trace();
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.push(agile_trace::TraceEvent::IntervalEnd);
+                }
+            }
+        }
+    }
+
+    /// Runs a full workload from its spec and returns the statistics.
+    pub fn run_spec(&mut self, spec: &WorkloadSpec) -> RunStats {
+        self.run_spec_measured(spec, 0)
+    }
+
+    /// Runs a workload, excluding the first `warmup_accesses` data accesses
+    /// from the reported statistics (warm-up exclusion: the paper runs
+    /// workloads to completion over minutes, so one-time demand-fault and
+    /// table-construction costs are negligible there; in short simulations
+    /// they are not, unless excluded).
+    pub fn run_spec_measured(&mut self, spec: &WorkloadSpec, warmup_accesses: u64) -> RunStats {
+        let mut armed = warmup_accesses > 0;
+        for event in Workload::new(spec.clone()) {
+            self.run_event(event);
+            if armed && self.accesses >= warmup_accesses {
+                self.begin_measurement();
+                armed = false;
+            }
+        }
+        self.drain_write_trace();
+        self.stats(&spec.name)
+    }
+
+    /// Snapshots the statistics collected since the measurement window
+    /// began (or since construction, if [`Machine::begin_measurement`] was
+    /// never called).
+    #[must_use]
+    pub fn stats(&self, name: &str) -> RunStats {
+        let b = &self.baseline;
+        let accesses = self.accesses - b.accesses;
+        RunStats {
+            name: name.to_string(),
+            config_label: self.cfg.label(),
+            accesses,
+            tlb: self.tlb.stats().since(&b.tlb),
+            walks: self.walk_stats.since(&b.walks),
+            kinds: self.kinds.since(&b.kinds),
+            walk_cycles: self.walk_cycles - b.walk_cycles,
+            ad_walks: self.ad_walks - b.ad_walks,
+            traps: self.vmm.trap_stats().since(&b.traps),
+            os: self.os.stats().since(&b.os),
+            vmm: self.vmm.counters().since(&b.vmm),
+            ideal_cycles: accesses * self.cfg.base_cycles_per_access,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agile_vmm::AgileOptions;
+
+    fn small_spec(accesses: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "unit".into(),
+            footprint: 8 << 20,
+            pattern: agile_workloads::Pattern::Uniform,
+            write_fraction: 0.3,
+            accesses,
+            accesses_per_tick: accesses / 2,
+            churn: agile_workloads::ChurnSpec::none(),
+            prefault: false,
+            prefault_writes: true,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn all_techniques_run_the_same_workload() {
+        for technique in [
+            Technique::Native,
+            Technique::Nested,
+            Technique::Shadow,
+            Technique::Agile(AgileOptions::default()),
+            Technique::Shsp(agile_vmm::ShspOptions::default()),
+        ] {
+            let mut m = Machine::new(SystemConfig::new(technique));
+            let stats = m.run_spec(&small_spec(2_000));
+            assert_eq!(stats.accesses, 2_000, "{technique:?}");
+            assert!(stats.tlb.misses > 0, "{technique:?}");
+            assert!(stats.kinds.total() > 0, "{technique:?}");
+        }
+    }
+
+    #[test]
+    fn nested_walks_more_than_shadow() {
+        let run = |t| {
+            Machine::new(SystemConfig::new(t).without_pwc())
+                .run_spec(&small_spec(4_000))
+                .avg_refs_per_miss()
+        };
+        let nested = run(Technique::Nested);
+        let shadow = run(Technique::Shadow);
+        assert!(nested > 20.0, "nested avg refs = {nested}");
+        assert!(shadow <= 4.5, "shadow avg refs = {shadow}");
+    }
+
+    #[test]
+    fn touch_outside_vma_is_segfault() {
+        let mut m = Machine::new(SystemConfig::new(Technique::Nested));
+        assert!(m.touch(0xdead_0000, false).is_err());
+    }
+
+    #[test]
+    fn stats_capture_ideal_cycles() {
+        let mut m = Machine::new(SystemConfig::new(Technique::Native));
+        let stats = m.run_spec(&small_spec(1_000));
+        assert_eq!(
+            stats.ideal_cycles,
+            1_000 * m.config().base_cycles_per_access
+        );
+        assert!(stats.overheads().vmm == 0.0);
+        assert!(stats.overheads().page_walk > 0.0);
+    }
+
+    #[test]
+    fn thp_reduces_tlb_misses() {
+        let base = Machine::new(SystemConfig::new(Technique::Native))
+            .run_spec(&small_spec(4_000));
+        let thp = Machine::new(SystemConfig::new(Technique::Native).with_thp())
+            .run_spec(&small_spec(4_000));
+        assert!(
+            thp.tlb.misses < base.tlb.misses / 2,
+            "2M pages must cut misses: {} vs {}",
+            thp.tlb.misses,
+            base.tlb.misses
+        );
+    }
+}

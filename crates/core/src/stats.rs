@@ -1,0 +1,216 @@
+//! Run statistics and the paper's performance model (Table IV).
+
+use agile_guest::OsStats;
+use agile_tlb::TlbStats;
+use agile_vmm::{VmmCounters, VmtrapStats};
+use agile_walk::{WalkKind, WalkStats};
+
+/// Completed-walk histogram by [`WalkKind`] — the classification behind
+/// Table VI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    counts: [u64; 7],
+    refs: [u64; 7],
+}
+
+impl KindCounts {
+    fn index(kind: WalkKind) -> usize {
+        match kind {
+            WalkKind::Native => 0,
+            WalkKind::FullShadow => 1,
+            WalkKind::Switched { nested_levels } => 1 + nested_levels.clamp(1, 4) as usize,
+            WalkKind::FullNested => 6,
+        }
+    }
+
+    /// Table VI column order: Shadow, L4, L3, L2, L1, Nested.
+    pub const TABLE6_ORDER: [WalkKind; 6] = [
+        WalkKind::FullShadow,
+        WalkKind::Switched { nested_levels: 1 },
+        WalkKind::Switched { nested_levels: 2 },
+        WalkKind::Switched { nested_levels: 3 },
+        WalkKind::Switched { nested_levels: 4 },
+        WalkKind::FullNested,
+    ];
+
+    /// Counters accumulated since the `earlier` snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &KindCounts) -> KindCounts {
+        let mut out = *self;
+        for i in 0..out.counts.len() {
+            out.counts[i] -= earlier.counts[i];
+            out.refs[i] -= earlier.refs[i];
+        }
+        out
+    }
+
+    /// Records one completed walk of `kind` performing `refs` references.
+    pub fn record(&mut self, kind: WalkKind, refs: u32) {
+        let i = Self::index(kind);
+        self.counts[i] += 1;
+        self.refs[i] += u64::from(refs);
+    }
+
+    /// Number of completed walks of `kind`.
+    #[must_use]
+    pub fn count(&self, kind: WalkKind) -> u64 {
+        self.counts[Self::index(kind)]
+    }
+
+    /// All completed walks.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of walks served as `kind` (0 when no walks ran).
+    #[must_use]
+    pub fn fraction(&self, kind: WalkKind) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(kind) as f64 / total as f64
+        }
+    }
+
+    /// Mean memory references per walk across every kind.
+    #[must_use]
+    pub fn avg_refs(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.refs.iter().sum::<u64>() as f64 / total as f64
+        }
+    }
+}
+
+/// The execution-time overhead split the paper's Figure 5 plots, computed
+/// with the Table IV linear model: overheads are normalized to the ideal
+/// execution time (`E_ideal` = work cycles with free translation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overheads {
+    /// Page-walk overhead as a fraction of ideal time (bottom bar
+    /// segments).
+    pub page_walk: f64,
+    /// VMM-intervention overhead as a fraction of ideal time (top dashed
+    /// segments).
+    pub vmm: f64,
+}
+
+impl Overheads {
+    /// Combined overhead.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.page_walk + self.vmm
+    }
+}
+
+/// Everything measured during one workload run under one configuration.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Workload name.
+    pub name: String,
+    /// Configuration label ("4K:A" etc.).
+    pub config_label: String,
+    /// Data accesses executed.
+    pub accesses: u64,
+    /// TLB hierarchy counters.
+    pub tlb: TlbStats,
+    /// Hardware walker counters (includes faulted walks).
+    pub walks: WalkStats,
+    /// Completed-walk classification (Table VI).
+    pub kinds: KindCounts,
+    /// Cycles spent in page walks (references × per-reference cost),
+    /// including the A/D-maintenance walks of hardware optimization 1.
+    pub walk_cycles: u64,
+    /// Extra hardware A/D-update walks performed (HW optimization 1).
+    pub ad_walks: u64,
+    /// VMtrap counters and cycles.
+    pub traps: VmtrapStats,
+    /// Guest OS counters.
+    pub os: OsStats,
+    /// VMM event counters.
+    pub vmm: VmmCounters,
+    /// Ideal cycles (accesses × base cycles per access).
+    pub ideal_cycles: u64,
+}
+
+impl RunStats {
+    /// The Table IV overhead split.
+    #[must_use]
+    pub fn overheads(&self) -> Overheads {
+        let ideal = self.ideal_cycles.max(1) as f64;
+        Overheads {
+            page_walk: self.walk_cycles as f64 / ideal,
+            vmm: self.traps.total_cycles() as f64 / ideal,
+        }
+    }
+
+    /// Average memory references per completed TLB-miss walk (the paper's
+    /// "memory accesses on TLB miss").
+    #[must_use]
+    pub fn avg_refs_per_miss(&self) -> f64 {
+        self.kinds.avg_refs()
+    }
+
+    /// TLB misses per thousand accesses.
+    #[must_use]
+    pub fn mpka(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.tlb.misses as f64 * 1000.0 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_counts_classify_and_average() {
+        let mut k = KindCounts::default();
+        k.record(WalkKind::FullShadow, 4);
+        k.record(WalkKind::FullShadow, 4);
+        k.record(WalkKind::Switched { nested_levels: 1 }, 8);
+        k.record(WalkKind::FullNested, 24);
+        assert_eq!(k.total(), 4);
+        assert_eq!(k.count(WalkKind::FullShadow), 2);
+        assert!((k.fraction(WalkKind::FullShadow) - 0.5).abs() < 1e-9);
+        assert!((k.avg_refs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overheads_normalize_to_ideal() {
+        let stats = RunStats {
+            name: "t".into(),
+            config_label: "4K:S".into(),
+            accesses: 1000,
+            tlb: TlbStats::default(),
+            walks: WalkStats::default(),
+            kinds: KindCounts::default(),
+            walk_cycles: 500,
+            ad_walks: 0,
+            traps: VmtrapStats::default(),
+            os: OsStats::default(),
+            vmm: VmmCounters::default(),
+            ideal_cycles: 1000,
+        };
+        let o = stats.overheads();
+        assert!((o.page_walk - 0.5).abs() < 1e-9);
+        assert_eq!(o.vmm, 0.0);
+        assert!((o.total() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table6_order_is_paper_order() {
+        let labels: Vec<_> = KindCounts::TABLE6_ORDER
+            .iter()
+            .map(|k| k.table6_label())
+            .collect();
+        assert_eq!(labels, vec!["Shadow", "L4", "L3", "L2", "L1", "Nested"]);
+    }
+}

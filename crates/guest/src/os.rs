@@ -1,0 +1,632 @@
+//! The guest OS: processes, demand paging, COW, reclamation.
+
+use crate::vma::{Vma, VmaBacking};
+use agile_mem::PhysMem;
+use agile_types::{AccessKind, GuestFrame, Level, PageSize, ProcessId, PteFlags};
+use agile_vmm::Vmm;
+use std::collections::{BTreeMap, HashMap};
+
+/// A guest-visible segmentation violation: access outside any VMA or a
+/// write to a read-only VMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegFault {
+    /// Faulting address.
+    pub va: u64,
+}
+
+impl std::fmt::Display for SegFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "segmentation fault at {:#x}", self.va)
+    }
+}
+
+impl std::error::Error for SegFault {}
+
+/// Guest-OS event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OsStats {
+    /// Demand-paging faults serviced.
+    pub minor_faults: u64,
+    /// Copy-on-write breaks (private copy made on write).
+    pub cow_breaks: u64,
+    /// Pages mapped (any size, counted as mappings).
+    pub pages_mapped: u64,
+    /// Huge-page mappings among those.
+    pub huge_mappings: u64,
+    /// Pages unmapped.
+    pub pages_unmapped: u64,
+    /// Clock-scan passes run.
+    pub clock_scans: u64,
+    /// Pages reclaimed by the clock algorithm.
+    pub pages_reclaimed: u64,
+    /// Pages marked copy-on-write.
+    pub cow_marked: u64,
+}
+
+impl OsStats {
+    /// Counters accumulated since the `earlier` snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &OsStats) -> OsStats {
+        OsStats {
+            minor_faults: self.minor_faults - earlier.minor_faults,
+            cow_breaks: self.cow_breaks - earlier.cow_breaks,
+            pages_mapped: self.pages_mapped - earlier.pages_mapped,
+            huge_mappings: self.huge_mappings - earlier.huge_mappings,
+            pages_unmapped: self.pages_unmapped - earlier.pages_unmapped,
+            clock_scans: self.clock_scans - earlier.clock_scans,
+            pages_reclaimed: self.pages_reclaimed - earlier.pages_reclaimed,
+            cow_marked: self.cow_marked - earlier.cow_marked,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProcInfo {
+    vmas: BTreeMap<u64, Vma>,
+}
+
+impl ProcInfo {
+    fn vma_at(&self, va: u64) -> Option<&Vma> {
+        self.vmas
+            .range(..=va)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(va))
+    }
+}
+
+/// The guest operating system for one VM.
+///
+/// Page-table effects of every operation go through the VMM mediation API,
+/// which is where technique-dependent costs (VMtraps) accrue.
+#[derive(Debug)]
+pub struct GuestOs {
+    procs: HashMap<ProcessId, ProcInfo>,
+    next_pid: u32,
+    thp: bool,
+    stats: OsStats,
+    shared_cow_frame: Option<GuestFrame>,
+    free_frames: Vec<GuestFrame>,
+}
+
+impl GuestOs {
+    /// Creates the OS. `thp` enables transparent huge pages: anonymous
+    /// faults in large, aligned VMAs are served with 2 MiB mappings
+    /// (matching the paper's methodology of using the same page size at
+    /// both translation stages).
+    #[must_use]
+    pub fn new(thp: bool) -> Self {
+        GuestOs {
+            procs: HashMap::new(),
+            next_pid: 1,
+            thp,
+            stats: OsStats::default(),
+            shared_cow_frame: None,
+            free_frames: Vec::new(),
+        }
+    }
+
+    /// Allocates a guest data frame, preferring the guest's free list (real
+    /// guests recycle physical memory, so the host-table mapping usually
+    /// already exists and no EPT-violation exit follows).
+    fn alloc_frame(&mut self, mem: &mut PhysMem, vmm: &mut Vmm) -> GuestFrame {
+        self.free_frames
+            .pop()
+            .unwrap_or_else(|| vmm.alloc_guest_frame(mem))
+    }
+
+    /// Returns a 4 KiB frame to the guest's free list (huge-run frames and
+    /// the shared COW source are not recycled).
+    fn release_frame(&mut self, frame: GuestFrame) {
+        if Some(frame) != self.shared_cow_frame {
+            self.free_frames.push(frame);
+        }
+    }
+
+    /// Whether transparent huge pages are on.
+    #[must_use]
+    pub fn thp_enabled(&self) -> bool {
+        self.thp
+    }
+
+    /// OS event counters.
+    #[must_use]
+    pub fn stats(&self) -> OsStats {
+        self.stats
+    }
+
+    /// Creates a new process (and its paging state in the VMM).
+    pub fn spawn(&mut self, mem: &mut PhysMem, vmm: &mut Vmm) -> ProcessId {
+        let pid = ProcessId::new(self.next_pid);
+        self.next_pid += 1;
+        vmm.create_process(mem, pid);
+        self.procs.insert(pid, ProcInfo::default());
+        pid
+    }
+
+    /// All process ids.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.procs.keys().copied()
+    }
+
+    fn proc_mut(&mut self, pid: ProcessId) -> &mut ProcInfo {
+        self.procs.get_mut(&pid).expect("unknown process")
+    }
+
+    /// Registers an anonymous VMA; pages are allocated on first touch.
+    pub fn mmap(&mut self, pid: ProcessId, start: u64, len: u64, writable: bool) {
+        let max_page = if self.thp {
+            PageSize::Size2M
+        } else {
+            PageSize::Size4K
+        };
+        self.insert_vma(pid, start, len, writable, VmaBacking::Anon, max_page);
+    }
+
+    /// Registers an anonymous VMA whose demand faults may use pages up to
+    /// `max_page` — the explicit-request path for 1 GiB pages (paper §V:
+    /// Linux does not use them transparently, applications ask).
+    pub fn mmap_sized(
+        &mut self,
+        pid: ProcessId,
+        start: u64,
+        len: u64,
+        writable: bool,
+        max_page: PageSize,
+    ) {
+        self.insert_vma(pid, start, len, writable, VmaBacking::Anon, max_page);
+    }
+
+    /// Registers a copy-on-write VMA: first touches map a shared read-only
+    /// page; the first write to each page allocates a private copy.
+    pub fn mmap_cow(&mut self, pid: ProcessId, start: u64, len: u64) {
+        self.insert_vma(pid, start, len, true, VmaBacking::Cow, PageSize::Size4K);
+    }
+
+    fn insert_vma(
+        &mut self,
+        pid: ProcessId,
+        start: u64,
+        len: u64,
+        writable: bool,
+        backing: VmaBacking,
+        max_page: PageSize,
+    ) {
+        assert_eq!(start % PageSize::Size4K.bytes(), 0, "unaligned mmap");
+        let len = len.div_ceil(PageSize::Size4K.bytes()) * PageSize::Size4K.bytes();
+        self.proc_mut(pid).vmas.insert(
+            start,
+            Vma {
+                start,
+                len,
+                writable,
+                backing,
+                max_page,
+            },
+        );
+    }
+
+    /// Unmaps `[start, start+len)`, splitting any VMAs that partially
+    /// overlap (like a real `munmap`), then issues one guest TLB flush
+    /// (batched shootdown). Huge pages intersecting the range are unmapped
+    /// whole.
+    pub fn munmap(&mut self, mem: &mut PhysMem, vmm: &mut Vmm, pid: ProcessId, start: u64, len: u64) {
+        let end = start + len;
+        // Split/remove overlapping VMAs.
+        let overlapping: Vec<Vma> = self
+            .proc_mut(pid)
+            .vmas
+            .values()
+            .filter(|v| v.start < end && v.end() > start)
+            .copied()
+            .collect();
+        let proc = self.proc_mut(pid);
+        for vma in &overlapping {
+            proc.vmas.remove(&vma.start);
+            if vma.start < start {
+                let mut left = *vma;
+                left.len = start - vma.start;
+                proc.vmas.insert(left.start, left);
+            }
+            if vma.end() > end {
+                let mut right = *vma;
+                right.start = end;
+                right.len = vma.end() - end;
+                proc.vmas.insert(right.start, right);
+            }
+        }
+        // Drop the page-table mappings in the range. A huge page partially
+        // covered by the range is split in place, like a kernel splitting a
+        // THP: the surviving base pages are re-mapped 4 KiB-wise onto their
+        // existing frames (page-table writes, but no refaults).
+        let mut va = start;
+        while va < end {
+            match vmm.gpt_lookup(mem, pid, va) {
+                Some((pte, level)) => {
+                    let size = pte.leaf_size(level).expect("leaf");
+                    let base = va & !size.offset_mask();
+                    vmm.gpt_unmap(mem, pid, base, size);
+                    self.stats.pages_unmapped += 1;
+                    if size == PageSize::Size4K {
+                        self.release_frame(GuestFrame::new(pte.frame_raw()));
+                    }
+                    if size == PageSize::Size2M {
+                        let frame = GuestFrame::new(pte.frame_raw());
+                        let writable = pte.is_writable();
+                        for i in 0..size.base_pages() {
+                            let page_va = base + i * PageSize::Size4K.bytes();
+                            if page_va >= start && page_va < end {
+                                continue; // inside the hole
+                            }
+                            let flags = if writable {
+                                PteFlags::WRITABLE
+                            } else {
+                                PteFlags::empty()
+                            };
+                            vmm.gpt_map(
+                                mem,
+                                pid,
+                                page_va,
+                                frame.add(i),
+                                PageSize::Size4K,
+                                flags,
+                            );
+                        }
+                    }
+                    va = base + size.bytes();
+                }
+                None => va += PageSize::Size4K.bytes(),
+            }
+        }
+        if !overlapping.is_empty() {
+            vmm.guest_tlb_flush(mem, pid);
+        }
+    }
+
+    fn shared_frame(&mut self, mem: &mut PhysMem, vmm: &mut Vmm) -> GuestFrame {
+        if let Some(f) = self.shared_cow_frame {
+            return f;
+        }
+        let f = vmm.alloc_guest_frame(mem);
+        self.shared_cow_frame = Some(f);
+        f
+    }
+
+    /// Services a guest page fault at `gva` (demand allocation or COW
+    /// break).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegFault`] when the address lies outside every VMA or the
+    /// access violates the VMA's protection.
+    pub fn handle_page_fault(
+        &mut self,
+        mem: &mut PhysMem,
+        vmm: &mut Vmm,
+        pid: ProcessId,
+        gva: u64,
+        access: AccessKind,
+    ) -> Result<(), SegFault> {
+        let vma = *self
+            .procs
+            .get(&pid)
+            .and_then(|p| p.vma_at(gva))
+            .ok_or(SegFault { va: gva })?;
+        if access.is_write() && !vma.writable {
+            return Err(SegFault { va: gva });
+        }
+        match vmm.gpt_lookup(mem, pid, gva) {
+            None => {
+                // Demand allocation: the largest permitted page that fits.
+                self.stats.minor_faults += 1;
+                let mut huge_size = None;
+                for size in [PageSize::Size1G, PageSize::Size2M] {
+                    if size <= vma.max_page
+                        && vma.backing == VmaBacking::Anon
+                        && vma.supports_huge(gva, size)
+                    {
+                        huge_size = Some(size);
+                        break;
+                    }
+                }
+                if let Some(size) = huge_size {
+                    let g = vmm.alloc_guest_frame_huge(mem, size);
+                    let base = gva & !size.offset_mask();
+                    let flags = if vma.writable {
+                        PteFlags::WRITABLE
+                    } else {
+                        PteFlags::empty()
+                    };
+                    vmm.gpt_map(mem, pid, base, g, size, flags);
+                    self.stats.pages_mapped += 1;
+                    self.stats.huge_mappings += 1;
+                    return Ok(());
+                }
+                let base = gva & !PageSize::Size4K.offset_mask();
+                match vma.backing {
+                    VmaBacking::Anon => {
+                        let g = self.alloc_frame(mem, vmm);
+                        let flags = if vma.writable {
+                            PteFlags::WRITABLE
+                        } else {
+                            PteFlags::empty()
+                        };
+                        vmm.gpt_map(mem, pid, base, g, PageSize::Size4K, flags);
+                    }
+                    VmaBacking::Cow => {
+                        let shared = self.shared_frame(mem, vmm);
+                        vmm.gpt_map(mem, pid, base, shared, PageSize::Size4K, PteFlags::empty());
+                        if access.is_write() {
+                            // Fall through to the COW break below.
+                            return self.handle_page_fault(mem, vmm, pid, gva, access);
+                        }
+                    }
+                }
+                self.stats.pages_mapped += 1;
+                Ok(())
+            }
+            Some((pte, level)) => {
+                if access.is_write() && !pte.is_writable() && vma.writable {
+                    // COW break: private copy + writable remap + shootdown.
+                    self.stats.cow_breaks += 1;
+                    let fresh = self.alloc_frame(mem, vmm);
+                    vmm.gpt_update(mem, pid, gva, level, |p| {
+                        agile_types::Pte::new(fresh.raw(), p.flags().union(PteFlags::WRITABLE))
+                    });
+                    vmm.guest_invlpg(mem, pid, gva);
+                    Ok(())
+                } else {
+                    // Spurious fault (e.g. raced with VMM fixup): nothing to
+                    // do.
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Marks every mapped 4 KiB page in `[start, start+len)` copy-on-write
+    /// (content-based page sharing / fork). Per the paper, each page costs
+    /// a guest page-table write plus a TLB shootdown.
+    pub fn mark_region_cow(
+        &mut self,
+        mem: &mut PhysMem,
+        vmm: &mut Vmm,
+        pid: ProcessId,
+        start: u64,
+        len: u64,
+    ) {
+        let mut va = start;
+        while va < start + len {
+            if let Some((pte, level)) = vmm.gpt_lookup(mem, pid, va) {
+                if level == Level::L1 && pte.is_writable() {
+                    vmm.gpt_update(mem, pid, va, level, |p| p.without_flags(PteFlags::WRITABLE));
+                    vmm.guest_invlpg(mem, pid, va);
+                    self.stats.cow_marked += 1;
+                }
+                va += pte.leaf_size(level).expect("leaf").bytes();
+            } else {
+                va += PageSize::Size4K.bytes();
+            }
+        }
+        if let Some(p) = self.procs.get_mut(&pid) {
+            if let Some(v) = p.vmas.values_mut().find(|v| v.contains(start)) {
+                v.backing = VmaBacking::Cow;
+            }
+        }
+    }
+
+    /// One clock-algorithm reclamation pass over `[start, start+len)`:
+    /// referenced pages get their accessed bit cleared (a guest page-table
+    /// write); unreferenced pages are reclaimed (unmap + flush). Returns
+    /// the number of pages reclaimed.
+    pub fn clock_scan(
+        &mut self,
+        mem: &mut PhysMem,
+        vmm: &mut Vmm,
+        pid: ProcessId,
+        start: u64,
+        len: u64,
+    ) -> u64 {
+        self.stats.clock_scans += 1;
+        let mut reclaimed = 0;
+        let mut va = start;
+        while va < start + len {
+            match vmm.gpt_lookup(mem, pid, va) {
+                Some((pte, level)) => {
+                    let size = pte.leaf_size(level).expect("leaf");
+                    if pte.flags().contains(PteFlags::ACCESSED) {
+                        vmm.gpt_update(mem, pid, va, level, |p| {
+                            p.without_flags(PteFlags::ACCESSED)
+                        });
+                    } else {
+                        vmm.gpt_unmap(mem, pid, va, size);
+                        if size == PageSize::Size4K {
+                            self.release_frame(GuestFrame::new(pte.frame_raw()));
+                        }
+                        self.stats.pages_unmapped += 1;
+                        reclaimed += 1;
+                    }
+                    va += size.bytes();
+                }
+                None => va += PageSize::Size4K.bytes(),
+            }
+        }
+        if reclaimed > 0 {
+            vmm.guest_tlb_flush(mem, pid);
+        }
+        self.stats.pages_reclaimed += reclaimed;
+        reclaimed
+    }
+
+    /// Schedules `to`: the guest writes its page-table pointer register,
+    /// which the VMM may intercept depending on technique.
+    pub fn context_switch(&mut self, mem: &mut PhysMem, vmm: &mut Vmm, to: ProcessId) {
+        assert!(self.procs.contains_key(&to), "unknown process");
+        vmm.guest_context_switch(mem, to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agile_vmm::{Technique, VmmConfig, VmtrapKind};
+
+    fn rig(technique: Technique, thp: bool) -> (PhysMem, Vmm, GuestOs, ProcessId) {
+        let mut mem = PhysMem::new();
+        let mut vmm = Vmm::new(&mut mem, VmmConfig::new(technique));
+        let mut os = GuestOs::new(thp);
+        let pid = os.spawn(&mut mem, &mut vmm);
+        (mem, vmm, os, pid)
+    }
+
+    const BASE: u64 = 0x4000_0000;
+
+    #[test]
+    fn demand_fault_maps_4k() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Nested, false);
+        os.mmap(pid, BASE, 1 << 20, true);
+        os.handle_page_fault(&mut mem, &mut vmm, pid, BASE + 0x3123, AccessKind::Read)
+            .unwrap();
+        let (pte, level) = vmm.gpt_lookup(&mem, pid, BASE + 0x3123).unwrap();
+        assert_eq!(level, Level::L1);
+        assert!(!pte.is_huge());
+        assert_eq!(os.stats().minor_faults, 1);
+    }
+
+    #[test]
+    fn thp_faults_map_2m() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Nested, true);
+        os.mmap(pid, BASE, 8 << 20, true);
+        os.handle_page_fault(&mut mem, &mut vmm, pid, BASE + 0x12_3456, AccessKind::Read)
+            .unwrap();
+        let (pte, level) = vmm.gpt_lookup(&mem, pid, BASE).unwrap();
+        assert_eq!(level, Level::L2);
+        assert!(pte.is_huge());
+        assert_eq!(os.stats().huge_mappings, 1);
+    }
+
+    #[test]
+    fn out_of_vma_is_segfault() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Nested, false);
+        os.mmap(pid, BASE, 1 << 20, true);
+        let err = os
+            .handle_page_fault(&mut mem, &mut vmm, pid, 0x10, AccessKind::Read)
+            .unwrap_err();
+        assert_eq!(err.va, 0x10);
+    }
+
+    #[test]
+    fn write_to_readonly_vma_is_segfault() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Nested, false);
+        os.mmap(pid, BASE, 1 << 20, false);
+        assert!(os
+            .handle_page_fault(&mut mem, &mut vmm, pid, BASE, AccessKind::Write)
+            .is_err());
+        assert!(os
+            .handle_page_fault(&mut mem, &mut vmm, pid, BASE, AccessKind::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn cow_break_allocates_private_copy() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Nested, false);
+        os.mmap_cow(pid, BASE, 1 << 20);
+        os.handle_page_fault(&mut mem, &mut vmm, pid, BASE, AccessKind::Read)
+            .unwrap();
+        let (shared_pte, _) = vmm.gpt_lookup(&mem, pid, BASE).unwrap();
+        assert!(!shared_pte.is_writable());
+        // Another page of the same region shares the frame.
+        os.handle_page_fault(&mut mem, &mut vmm, pid, BASE + 0x1000, AccessKind::Read)
+            .unwrap();
+        let (other_pte, _) = vmm.gpt_lookup(&mem, pid, BASE + 0x1000).unwrap();
+        assert_eq!(shared_pte.frame_raw(), other_pte.frame_raw());
+        // Write breaks COW.
+        os.handle_page_fault(&mut mem, &mut vmm, pid, BASE, AccessKind::Write)
+            .unwrap();
+        let (broken, _) = vmm.gpt_lookup(&mem, pid, BASE).unwrap();
+        assert!(broken.is_writable());
+        assert_ne!(broken.frame_raw(), shared_pte.frame_raw());
+        assert_eq!(os.stats().cow_breaks, 1);
+    }
+
+    #[test]
+    fn cow_write_first_touch_breaks_immediately() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Nested, false);
+        os.mmap_cow(pid, BASE, 1 << 20);
+        os.handle_page_fault(&mut mem, &mut vmm, pid, BASE, AccessKind::Write)
+            .unwrap();
+        let (pte, _) = vmm.gpt_lookup(&mem, pid, BASE).unwrap();
+        assert!(pte.is_writable());
+        assert_eq!(os.stats().cow_breaks, 1);
+    }
+
+    #[test]
+    fn mark_region_cow_costs_traps_under_shadow() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Shadow, false);
+        os.mmap(pid, BASE, 64 << 10, true);
+        // Touch 4 pages (dirty them so they are writable + shadowed).
+        for i in 0..4u64 {
+            os.handle_page_fault(&mut mem, &mut vmm, pid, BASE + i * 0x1000, AccessKind::Write)
+                .unwrap();
+        }
+        // Shadow the region by building shadow state: simulate hardware use.
+        // (Shadow leaves are built lazily; marking COW still costs guest
+        // page-table writes + flushes, which trap under shadow paging.)
+        let flush_before = vmm.trap_stats().count(VmtrapKind::TlbFlush);
+        os.mark_region_cow(&mut mem, &mut vmm, pid, BASE, 64 << 10);
+        assert_eq!(os.stats().cow_marked, 4);
+        assert_eq!(vmm.trap_stats().count(VmtrapKind::TlbFlush), flush_before + 4);
+    }
+
+    #[test]
+    fn clock_scan_clears_then_reclaims() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Nested, false);
+        os.mmap(pid, BASE, 16 << 10, true);
+        for i in 0..4u64 {
+            os.handle_page_fault(&mut mem, &mut vmm, pid, BASE + i * 0x1000, AccessKind::Read)
+                .unwrap();
+        }
+        // Mark two pages accessed.
+        for i in 0..2u64 {
+            vmm.gpt_update(&mut mem, pid, BASE + i * 0x1000, Level::L1, |p| {
+                p.with_flags(PteFlags::ACCESSED)
+            });
+        }
+        // Pass 1: accessed pages survive (bits cleared), idle pages go.
+        let reclaimed = os.clock_scan(&mut mem, &mut vmm, pid, BASE, 16 << 10);
+        assert_eq!(reclaimed, 2);
+        assert!(vmm.gpt_lookup(&mem, pid, BASE).is_some());
+        assert!(vmm.gpt_lookup(&mem, pid, BASE + 0x3000).is_none());
+        // Pass 2: nothing was re-referenced, the rest go too.
+        let reclaimed = os.clock_scan(&mut mem, &mut vmm, pid, BASE, 16 << 10);
+        assert_eq!(reclaimed, 2);
+        assert_eq!(os.stats().pages_reclaimed, 4);
+    }
+
+    #[test]
+    fn munmap_removes_mappings_and_vma() {
+        let (mut mem, mut vmm, mut os, pid) = rig(Technique::Nested, false);
+        os.mmap(pid, BASE, 16 << 10, true);
+        for i in 0..4u64 {
+            os.handle_page_fault(&mut mem, &mut vmm, pid, BASE + i * 0x1000, AccessKind::Read)
+                .unwrap();
+        }
+        os.munmap(&mut mem, &mut vmm, pid, BASE, 16 << 10);
+        assert!(vmm.gpt_lookup(&mem, pid, BASE).is_none());
+        assert_eq!(os.stats().pages_unmapped, 4);
+        // The VMA is gone: new touches segfault.
+        assert!(os
+            .handle_page_fault(&mut mem, &mut vmm, pid, BASE, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn spawn_and_switch_processes() {
+        let (mut mem, mut vmm, mut os, pid1) = rig(Technique::Shadow, false);
+        let pid2 = os.spawn(&mut mem, &mut vmm);
+        assert_ne!(pid1, pid2);
+        os.context_switch(&mut mem, &mut vmm, pid2);
+        assert_eq!(vmm.current_process(), Some(pid2));
+        assert_eq!(vmm.trap_stats().count(VmtrapKind::ContextSwitch), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! The VM's guest-physical address space and its host backing.
+
+use crate::{PhysMem, TableSpace};
+use agile_types::{GuestFrame, HostFrame, PageSize};
+use std::collections::HashMap;
+
+/// One virtual machine's guest-physical memory: a guest frame allocator plus
+/// the gPA⇒hPA *backing* assignment.
+///
+/// This is the machine-memory truth the VMM consults when it fills host page
+/// table (EPT) entries on demand; the host page table is the *architectural*
+/// reflection of this map, built lazily by VMexits.
+///
+/// Guest page-table pages are guest frames whose backing is a host *table*
+/// page, so the hardware walker can read guest PTEs once it has translated
+/// the gPA (this is exactly the 2D-walk structure of nested paging).
+///
+/// # Example
+///
+/// ```
+/// use agile_mem::{GuestMemMap, PhysMem};
+///
+/// let mut mem = PhysMem::new();
+/// let mut gmap = GuestMemMap::new();
+/// let gframe = gmap.alloc_data(&mut mem);
+/// assert!(gmap.backing(gframe).is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct GuestMemMap {
+    backing: HashMap<GuestFrame, HostFrame>,
+    table_gframes: HashMap<GuestFrame, ()>,
+    huge_runs: HashMap<GuestFrame, PageSize>,
+    next_gframe: u64,
+}
+
+impl GuestMemMap {
+    /// An empty guest physical address space. Guest frame 0 is reserved so a
+    /// zero guest PTE never aliases a real frame.
+    #[must_use]
+    pub fn new() -> Self {
+        GuestMemMap {
+            backing: HashMap::new(),
+            table_gframes: HashMap::new(),
+            huge_runs: HashMap::new(),
+            next_gframe: 1,
+        }
+    }
+
+    /// Allocates one guest data frame with eager host backing.
+    pub fn alloc_data(&mut self, mem: &mut PhysMem) -> GuestFrame {
+        let g = GuestFrame::new(self.next_gframe);
+        self.next_gframe += 1;
+        let h = mem.alloc_frame();
+        self.backing.insert(g, h);
+        g
+    }
+
+    /// Allocates a naturally aligned run of guest frames backing one huge
+    /// page, with equally aligned contiguous host frames (so the host side
+    /// can also map it huge). Returns the first guest frame.
+    pub fn alloc_data_huge(&mut self, mem: &mut PhysMem, size: PageSize) -> GuestFrame {
+        let frames = size.base_pages();
+        let start = self.next_gframe.div_ceil(frames) * frames;
+        self.next_gframe = start + frames;
+        let h = mem.alloc_frames(frames, frames);
+        for i in 0..frames {
+            self.backing
+                .insert(GuestFrame::new(start + i), h.add(i));
+        }
+        self.huge_runs.insert(GuestFrame::new(start), size);
+        GuestFrame::new(start)
+    }
+
+    /// If `gframe` lies inside a run allocated by
+    /// [`GuestMemMap::alloc_data_huge`], returns the run's first guest frame
+    /// and size (so the host table can map it with a huge entry).
+    #[must_use]
+    pub fn huge_run_of(&self, gframe: GuestFrame) -> Option<(GuestFrame, PageSize)> {
+        for size in [PageSize::Size1G, PageSize::Size2M] {
+            let start = GuestFrame::new(gframe.raw() / size.base_pages() * size.base_pages());
+            if self.huge_runs.get(&start) == Some(&size) {
+                return Some((start, size));
+            }
+        }
+        None
+    }
+
+    /// The host frame backing a guest frame, if assigned.
+    #[must_use]
+    pub fn backing(&self, gframe: GuestFrame) -> Option<HostFrame> {
+        self.backing.get(&gframe).copied()
+    }
+
+    /// True if `gframe` holds a guest page-table page.
+    #[must_use]
+    pub fn is_table_gframe(&self, gframe: GuestFrame) -> bool {
+        self.table_gframes.contains_key(&gframe)
+    }
+
+    /// Iterator over the guest frames that hold guest page-table pages.
+    pub fn table_gframes(&self) -> impl Iterator<Item = GuestFrame> + '_ {
+        self.table_gframes.keys().copied()
+    }
+
+    /// Number of guest frames allocated so far.
+    #[must_use]
+    pub fn gframe_count(&self) -> usize {
+        self.backing.len()
+    }
+
+    /// Iterator over every `(guest frame, host frame)` backing pair. The
+    /// VMM uses this when it needs to pre-populate or scan the host table.
+    pub fn frames(&self) -> impl Iterator<Item = (GuestFrame, HostFrame)> + '_ {
+        self.backing.iter().map(|(g, h)| (*g, *h))
+    }
+}
+
+impl TableSpace for GuestMemMap {
+    fn resolve(&self, frame_raw: u64) -> HostFrame {
+        self.backing
+            .get(&GuestFrame::new(frame_raw))
+            .copied()
+            .unwrap_or_else(|| panic!("guest frame {frame_raw:#x} has no host backing"))
+    }
+
+    fn alloc_table(&mut self, mem: &mut PhysMem) -> u64 {
+        let g = GuestFrame::new(self.next_gframe);
+        self.next_gframe += 1;
+        let h = mem.alloc_table_page();
+        self.backing.insert(g, h);
+        self.table_gframes.insert(g, ());
+        g.raw()
+    }
+
+    fn free_table(&mut self, mem: &mut PhysMem, frame_raw: u64) {
+        let g = GuestFrame::new(frame_raw);
+        self.table_gframes.remove(&g);
+        if let Some(h) = self.backing.remove(&g) {
+            mem.free_table_page(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RadixTable;
+    use agile_types::{PteFlags, Level};
+
+    #[test]
+    fn data_frames_get_backing() {
+        let mut mem = PhysMem::new();
+        let mut gmap = GuestMemMap::new();
+        let a = gmap.alloc_data(&mut mem);
+        let b = gmap.alloc_data(&mut mem);
+        assert_ne!(a, b);
+        assert_ne!(gmap.backing(a), gmap.backing(b));
+        assert_eq!(gmap.gframe_count(), 2);
+    }
+
+    #[test]
+    fn huge_alloc_is_aligned_both_sides() {
+        let mut mem = PhysMem::new();
+        let mut gmap = GuestMemMap::new();
+        gmap.alloc_data(&mut mem); // perturb
+        let g = gmap.alloc_data_huge(&mut mem, PageSize::Size2M);
+        assert_eq!(g.raw() % 512, 0);
+        let h = gmap.backing(g).unwrap();
+        assert_eq!(h.raw() % 512, 0);
+        // Contiguity on both sides.
+        assert_eq!(
+            gmap.backing(g.add(511)).unwrap().raw(),
+            h.raw() + 511
+        );
+    }
+
+    #[test]
+    fn table_gframes_are_tracked_and_backed_by_table_pages() {
+        let mut mem = PhysMem::new();
+        let mut gmap = GuestMemMap::new();
+        let raw = gmap.alloc_table(&mut mem);
+        let g = GuestFrame::new(raw);
+        assert!(gmap.is_table_gframe(g));
+        assert!(mem.is_table(gmap.backing(g).unwrap()));
+        assert_eq!(gmap.table_gframes().count(), 1);
+        gmap.free_table(&mut mem, raw);
+        assert!(!gmap.is_table_gframe(g));
+        assert_eq!(gmap.backing(g), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no host backing")]
+    fn resolving_unbacked_gframe_panics() {
+        let gmap = GuestMemMap::new();
+        gmap.resolve(0x1234);
+    }
+
+    #[test]
+    fn guest_radix_table_works_through_backing() {
+        // Build a guest page table whose pages live in guest frames; verify
+        // the radix ops resolve through the backing map.
+        let mut mem = PhysMem::new();
+        let mut gmap = GuestMemMap::new();
+        let gpt = RadixTable::new(&mut mem, &mut gmap);
+        let data = gmap.alloc_data(&mut mem);
+        gpt.map(
+            &mut mem,
+            &mut gmap,
+            0x7000,
+            data.raw(),
+            agile_types::PageSize::Size4K,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
+        let (pte, level) = gpt.lookup(&mem, &gmap, 0x7abc).unwrap();
+        assert_eq!(level, Level::L1);
+        assert_eq!(pte.frame_raw(), data.raw());
+        // All four table pages are guest frames with host table backing.
+        assert_eq!(gmap.table_gframes().count(), 4);
+    }
+}

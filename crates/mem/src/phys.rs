@@ -1,0 +1,317 @@
+//! Simulated host physical memory.
+
+use agile_types::{HostFrame, Pte, ENTRIES_PER_TABLE};
+use std::collections::HashMap;
+
+/// One 4 KiB page-table page: 512 PTEs, exactly as hardware would see it.
+#[derive(Clone)]
+pub struct TablePage {
+    entries: [Pte; ENTRIES_PER_TABLE],
+}
+
+impl TablePage {
+    /// A zero-filled (all not-present) table page.
+    #[must_use]
+    pub fn new() -> Self {
+        TablePage {
+            entries: [Pte::empty(); ENTRIES_PER_TABLE],
+        }
+    }
+
+    /// Reads the entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 512`.
+    #[must_use]
+    pub fn entry(&self, index: usize) -> Pte {
+        self.entries[index]
+    }
+
+    /// Writes the entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 512`.
+    pub fn set_entry(&mut self, index: usize, pte: Pte) {
+        self.entries[index] = pte;
+    }
+
+    /// Number of present entries.
+    #[must_use]
+    pub fn present_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_present()).count()
+    }
+
+    /// Iterator over `(index, pte)` for present entries.
+    pub fn present_entries(&self) -> impl Iterator<Item = (usize, Pte)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_present())
+            .map(|(i, e)| (i, *e))
+    }
+}
+
+impl Default for TablePage {
+    fn default() -> Self {
+        TablePage::new()
+    }
+}
+
+impl std::fmt::Debug for TablePage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TablePage({} present)", self.present_count())
+    }
+}
+
+/// Simulated host physical memory: a bump frame allocator plus the contents
+/// of every page-table page.
+///
+/// Data pages have identity but no simulated contents (the simulator models
+/// translation, not data); page-table pages hold real PTE arrays so that the
+/// hardware walker's loads — and therefore the paper's memory-reference
+/// counts — are structural.
+///
+/// # Example
+///
+/// ```
+/// use agile_mem::PhysMem;
+/// use agile_types::Pte;
+///
+/// let mut mem = PhysMem::new();
+/// let t = mem.alloc_table_page();
+/// mem.write_pte(t, 5, Pte::leaf(0x123, true, false));
+/// assert_eq!(mem.read_pte(t, 5).frame_raw(), 0x123);
+/// ```
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    tables: HashMap<HostFrame, Box<TablePage>>,
+    next_frame: u64,
+    data_frames: u64,
+    freed_table_pages: u64,
+}
+
+impl PhysMem {
+    /// An empty physical memory with nothing allocated.
+    ///
+    /// Frame 0 is reserved (never handed out) so that a zero PTE can never
+    /// alias a real allocation.
+    #[must_use]
+    pub fn new() -> Self {
+        PhysMem {
+            tables: HashMap::new(),
+            next_frame: 1,
+            data_frames: 0,
+            freed_table_pages: 0,
+        }
+    }
+
+    /// Allocates one data frame.
+    pub fn alloc_frame(&mut self) -> HostFrame {
+        let f = HostFrame::new(self.next_frame);
+        self.next_frame += 1;
+        self.data_frames += 1;
+        f
+    }
+
+    /// Allocates `count` physically contiguous data frames whose start is
+    /// aligned to `align` frames (e.g. 512 for a 2 MiB huge page). Returns
+    /// the first frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    pub fn alloc_frames(&mut self, count: u64, align: u64) -> HostFrame {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let start = self.next_frame.div_ceil(align) * align;
+        self.next_frame = start + count;
+        self.data_frames += count;
+        HostFrame::new(start)
+    }
+
+    /// Allocates a zeroed page-table page and returns its frame.
+    pub fn alloc_table_page(&mut self) -> HostFrame {
+        let f = HostFrame::new(self.next_frame);
+        self.next_frame += 1;
+        self.tables.insert(f, Box::new(TablePage::new()));
+        f
+    }
+
+    /// Frees a page-table page. The frame number is not reused (bump
+    /// allocator), but the contents are dropped and the page stops being
+    /// readable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a live table page — freeing a data frame or
+    /// double-freeing indicates a simulator bug.
+    pub fn free_table_page(&mut self, frame: HostFrame) {
+        let removed = self.tables.remove(&frame);
+        assert!(removed.is_some(), "free of non-table frame {frame}");
+        self.freed_table_pages += 1;
+    }
+
+    /// Reads the PTE at `index` of the table page at `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a live table page or `index >= 512`; the
+    /// hardware walker dereferencing a non-table frame is a simulator bug.
+    #[must_use]
+    pub fn read_pte(&self, frame: HostFrame, index: usize) -> Pte {
+        self.tables
+            .get(&frame)
+            .unwrap_or_else(|| panic!("PTE read from non-table frame {frame}"))
+            .entry(index)
+    }
+
+    /// Fallible variant of [`PhysMem::read_pte`] for software probing.
+    #[must_use]
+    pub fn try_read_pte(&self, frame: HostFrame, index: usize) -> Option<Pte> {
+        self.tables.get(&frame).map(|t| t.entry(index))
+    }
+
+    /// Writes the PTE at `index` of the table page at `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a live table page or `index >= 512`.
+    pub fn write_pte(&mut self, frame: HostFrame, index: usize, pte: Pte) {
+        self.tables
+            .get_mut(&frame)
+            .unwrap_or_else(|| panic!("PTE write to non-table frame {frame}"))
+            .set_entry(index, pte);
+    }
+
+    /// Borrow of the table page at `frame`, if it is one.
+    #[must_use]
+    pub fn table(&self, frame: HostFrame) -> Option<&TablePage> {
+        self.tables.get(&frame).map(|b| b.as_ref())
+    }
+
+    /// True if `frame` currently holds a page-table page.
+    #[must_use]
+    pub fn is_table(&self, frame: HostFrame) -> bool {
+        self.tables.contains_key(&frame)
+    }
+
+    /// Number of live page-table pages.
+    #[must_use]
+    pub fn table_page_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of data frames ever allocated.
+    #[must_use]
+    pub fn data_frame_count(&self) -> u64 {
+        self.data_frames
+    }
+
+    /// Number of table pages freed over the lifetime of the memory.
+    #[must_use]
+    pub fn freed_table_page_count(&self) -> u64 {
+        self.freed_table_pages
+    }
+
+    /// Total frames handed out (data + table, live or freed).
+    #[must_use]
+    pub fn frames_allocated(&self) -> u64 {
+        self.next_frame - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_unique_and_nonzero() {
+        let mut mem = PhysMem::new();
+        let a = mem.alloc_frame();
+        let b = mem.alloc_table_page();
+        let c = mem.alloc_frame();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        assert!(a.raw() > 0 && b.raw() > 0 && c.raw() > 0);
+    }
+
+    #[test]
+    fn table_pages_start_zeroed() {
+        let mut mem = PhysMem::new();
+        let t = mem.alloc_table_page();
+        for i in 0..ENTRIES_PER_TABLE {
+            assert!(!mem.read_pte(t, i).is_present());
+        }
+        assert_eq!(mem.table(t).unwrap().present_count(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut mem = PhysMem::new();
+        let t = mem.alloc_table_page();
+        let pte = Pte::leaf(0xabc, true, false);
+        mem.write_pte(t, 511, pte);
+        assert_eq!(mem.read_pte(t, 511), pte);
+        assert_eq!(mem.table(t).unwrap().present_count(), 1);
+    }
+
+    #[test]
+    fn contiguous_alloc_respects_alignment() {
+        let mut mem = PhysMem::new();
+        mem.alloc_frame(); // perturb
+        let start = mem.alloc_frames(512, 512);
+        assert_eq!(start.raw() % 512, 0);
+        let next = mem.alloc_frame();
+        assert!(next.raw() >= start.raw() + 512);
+    }
+
+    #[test]
+    fn free_table_page_makes_it_unreadable() {
+        let mut mem = PhysMem::new();
+        let t = mem.alloc_table_page();
+        assert!(mem.is_table(t));
+        mem.free_table_page(t);
+        assert!(!mem.is_table(t));
+        assert!(mem.try_read_pte(t, 0).is_none());
+        assert_eq!(mem.freed_table_page_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-table frame")]
+    fn reading_data_frame_as_table_panics() {
+        let mut mem = PhysMem::new();
+        let d = mem.alloc_frame();
+        let _ = mem.read_pte(d, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of non-table frame")]
+    fn double_free_panics() {
+        let mut mem = PhysMem::new();
+        let t = mem.alloc_table_page();
+        mem.free_table_page(t);
+        mem.free_table_page(t);
+    }
+
+    #[test]
+    fn counters_track_allocations() {
+        let mut mem = PhysMem::new();
+        mem.alloc_frame();
+        mem.alloc_frame();
+        mem.alloc_table_page();
+        assert_eq!(mem.data_frame_count(), 2);
+        assert_eq!(mem.table_page_count(), 1);
+        assert_eq!(mem.frames_allocated(), 3);
+    }
+
+    #[test]
+    fn present_entries_iterates_only_present() {
+        let mut page = TablePage::new();
+        page.set_entry(3, Pte::leaf(1, false, false));
+        page.set_entry(7, Pte::leaf(2, true, false));
+        let found: Vec<usize> = page.present_entries().map(|(i, _)| i).collect();
+        assert_eq!(found, vec![3, 7]);
+    }
+}

@@ -1,0 +1,662 @@
+//! Software operations on 4-level radix page tables.
+//!
+//! These are the operations the guest OS and the VMM use to *build and edit*
+//! page tables. They are not the hardware page walk — that lives in
+//! `agile-walk` and performs its own counted loads.
+
+use crate::{PhysMem, TableSpace};
+use agile_types::{Level, PageSize, Pte, PteFlags};
+
+/// Errors from page-table editing operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// A mapping at `level` conflicts with the request (e.g. a huge-page
+    /// leaf sits where an interior table is needed, or vice versa).
+    Conflict(Level),
+    /// The radix path needed by the operation does not exist at `level`.
+    Missing(Level),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Conflict(l) => write!(f, "conflicting mapping at {l}"),
+            MapError::Missing(l) => write!(f, "missing page-table path at {l}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A 4-level radix page table rooted at one table page.
+///
+/// The table is a lightweight handle (just the root frame number in its
+/// [`TableSpace`]); all state lives in [`PhysMem`]. This mirrors hardware,
+/// where a page-table *is* its root pointer.
+///
+/// Interior entries hold frame numbers in the same space as the table's
+/// pages: host frames for host/shadow tables, guest frames for the guest
+/// table.
+///
+/// # Example
+///
+/// ```
+/// use agile_mem::{HostSpace, PhysMem, RadixTable};
+/// use agile_types::{Level, PageSize, PteFlags};
+///
+/// let mut mem = PhysMem::new();
+/// let mut space = HostSpace;
+/// let t = RadixTable::new(&mut mem, &mut space);
+/// t.map(&mut mem, &mut space, 0x20_0000, 0x200, PageSize::Size2M, PteFlags::WRITABLE)
+///     .unwrap();
+/// let (pte, level) = t.lookup(&mem, &space, 0x20_1234).unwrap();
+/// assert_eq!(level, Level::L2);
+/// assert!(pte.is_huge());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixTable {
+    root: u64,
+}
+
+impl RadixTable {
+    /// Allocates an empty table (one zeroed root page) in `space`.
+    pub fn new(mem: &mut PhysMem, space: &mut impl TableSpace) -> Self {
+        RadixTable {
+            root: space.alloc_table(mem),
+        }
+    }
+
+    /// Wraps an existing root frame (used when reconstructing handles).
+    #[must_use]
+    pub const fn from_root(root_raw: u64) -> Self {
+        RadixTable { root: root_raw }
+    }
+
+    /// The root frame number, in the table's space.
+    #[must_use]
+    pub const fn root_raw(&self) -> u64 {
+        self.root
+    }
+
+    /// Descends from the root to the table page holding `va`'s entry at
+    /// `level`, returning that page's raw frame. Returns `None` if the path
+    /// is missing or blocked by a huge-page leaf above `level`.
+    #[must_use]
+    pub fn table_frame(
+        &self,
+        mem: &PhysMem,
+        space: &impl TableSpace,
+        va: u64,
+        level: Level,
+    ) -> Option<u64> {
+        let mut frame_raw = self.root;
+        for cur in Level::top().walk_order() {
+            if cur == level {
+                return Some(frame_raw);
+            }
+            let idx = index_of(va, cur);
+            let pte = mem.read_pte(space.resolve(frame_raw), idx);
+            // Switching entries point into the *guest* table (a different
+            // space); software traversal of this table stops there.
+            if !pte.is_present() || pte.is_leaf_at(cur) || pte.is_switching() {
+                return None;
+            }
+            frame_raw = pte.frame_raw();
+        }
+        None
+    }
+
+    /// Reads `va`'s entry at `level`, if the path to it exists.
+    #[must_use]
+    pub fn entry(
+        &self,
+        mem: &PhysMem,
+        space: &impl TableSpace,
+        va: u64,
+        level: Level,
+    ) -> Option<Pte> {
+        let frame_raw = self.table_frame(mem, space, va, level)?;
+        Some(mem.read_pte(space.resolve(frame_raw), index_of(va, level)))
+    }
+
+    /// Overwrites `va`'s entry at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Missing`] if the path to `level` does not exist.
+    pub fn set_entry(
+        &self,
+        mem: &mut PhysMem,
+        space: &impl TableSpace,
+        va: u64,
+        level: Level,
+        pte: Pte,
+    ) -> Result<(), MapError> {
+        let frame_raw = self
+            .table_frame(mem, space, va, level)
+            .ok_or(MapError::Missing(level))?;
+        mem.write_pte(space.resolve(frame_raw), index_of(va, level), pte);
+        Ok(())
+    }
+
+    /// Applies `f` to `va`'s entry at `level` and writes the result back.
+    /// Returns the new entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Missing`] if the path to `level` does not exist.
+    pub fn update_entry(
+        &self,
+        mem: &mut PhysMem,
+        space: &impl TableSpace,
+        va: u64,
+        level: Level,
+        f: impl FnOnce(Pte) -> Pte,
+    ) -> Result<Pte, MapError> {
+        let frame_raw = self
+            .table_frame(mem, space, va, level)
+            .ok_or(MapError::Missing(level))?;
+        let host = space.resolve(frame_raw);
+        let idx = index_of(va, level);
+        let new = f(mem.read_pte(host, idx));
+        mem.write_pte(host, idx, new);
+        Ok(new)
+    }
+
+    /// Walks down from the root and returns the leaf entry translating `va`
+    /// together with the level it was found at (L1, or L2/L3 for huge
+    /// pages). Returns `None` if any entry on the path is not present.
+    #[must_use]
+    pub fn lookup(&self, mem: &PhysMem, space: &impl TableSpace, va: u64) -> Option<(Pte, Level)> {
+        let mut frame_raw = self.root;
+        for level in Level::top().walk_order() {
+            let pte = mem.read_pte(space.resolve(frame_raw), index_of(va, level));
+            if !pte.is_present() || pte.is_switching() {
+                return None;
+            }
+            if pte.is_leaf_at(level) {
+                return Some((pte, level));
+            }
+            frame_raw = pte.frame_raw();
+        }
+        unreachable!("walk fell through L1");
+    }
+
+    /// Maps the page containing `va` to `frame_raw` with the given size and
+    /// extra flags (PRESENT/USER and, for huge pages, HUGE are implied).
+    /// Interior table pages are allocated on demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Conflict`] if a huge-page leaf blocks the path or
+    /// the target entry is an interior table (caller must unmap/zap first).
+    pub fn map(
+        &self,
+        mem: &mut PhysMem,
+        space: &mut impl TableSpace,
+        va: u64,
+        frame_raw: u64,
+        size: PageSize,
+        extra_flags: PteFlags,
+    ) -> Result<(), MapError> {
+        let leaf_level = size.leaf_level();
+        let mut cur_frame = self.root;
+        for level in Level::top().walk_order() {
+            let host = space.resolve(cur_frame);
+            let idx = index_of(va, level);
+            if level == leaf_level {
+                let existing = mem.read_pte(host, idx);
+                if existing.is_present() && !existing.is_leaf_at(level) {
+                    return Err(MapError::Conflict(level));
+                }
+                let mut flags = extra_flags | PteFlags::PRESENT | PteFlags::USER;
+                if level != Level::L1 {
+                    flags |= PteFlags::HUGE;
+                }
+                mem.write_pte(host, idx, Pte::new(frame_raw, flags));
+                return Ok(());
+            }
+            let pte = mem.read_pte(host, idx);
+            if pte.is_present() {
+                if pte.is_leaf_at(level) || pte.is_switching() {
+                    return Err(MapError::Conflict(level));
+                }
+                cur_frame = pte.frame_raw();
+            } else {
+                let child = space.alloc_table(mem);
+                mem.write_pte(
+                    host,
+                    idx,
+                    Pte::new(
+                        child,
+                        PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER,
+                    ),
+                );
+                cur_frame = child;
+            }
+        }
+        unreachable!("map fell through L1");
+    }
+
+    /// Creates interior table pages (without touching entries at `level`)
+    /// so that the table page holding `va`'s entry at `level` exists, and
+    /// returns that page's raw frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Conflict`] if a leaf mapping blocks the path.
+    pub fn ensure_path(
+        &self,
+        mem: &mut PhysMem,
+        space: &mut impl TableSpace,
+        va: u64,
+        level: Level,
+    ) -> Result<u64, MapError> {
+        let mut cur = self.root;
+        for cur_level in Level::top().walk_order() {
+            if cur_level == level {
+                return Ok(cur);
+            }
+            let host = space.resolve(cur);
+            let idx = index_of(va, cur_level);
+            let pte = mem.read_pte(host, idx);
+            if pte.is_present() {
+                if pte.is_leaf_at(cur_level) || pte.is_switching() {
+                    return Err(MapError::Conflict(cur_level));
+                }
+                cur = pte.frame_raw();
+            } else {
+                let child = space.alloc_table(mem);
+                mem.write_pte(
+                    host,
+                    idx,
+                    Pte::new(
+                        child,
+                        PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER,
+                    ),
+                );
+                cur = child;
+            }
+        }
+        Err(MapError::Missing(level))
+    }
+
+    /// Clears the leaf entry of the page of `size` containing `va`,
+    /// returning the previous entry. Interior pages are left in place (as
+    /// real OSes usually do). Returns `None` if no matching leaf was mapped.
+    pub fn unmap(
+        &self,
+        mem: &mut PhysMem,
+        space: &impl TableSpace,
+        va: u64,
+        size: PageSize,
+    ) -> Option<Pte> {
+        let level = size.leaf_level();
+        let frame_raw = self.table_frame(mem, space, va, level)?;
+        let host = space.resolve(frame_raw);
+        let idx = index_of(va, level);
+        let old = mem.read_pte(host, idx);
+        if !old.is_present() || !old.is_leaf_at(level) {
+            return None;
+        }
+        mem.write_pte(host, idx, Pte::empty());
+        Some(old)
+    }
+
+    /// Clears `va`'s entry at `level` *and frees the whole subtree below
+    /// it*, returning the number of table pages freed. Used by the VMM to
+    /// zap shadow subtrees when switching a region to nested mode.
+    ///
+    /// Entries with the switching bit point at *guest* table pages, which
+    /// are not owned by this table and are left alone.
+    pub fn zap_subtree(
+        &self,
+        mem: &mut PhysMem,
+        space: &mut impl TableSpace,
+        va: u64,
+        level: Level,
+    ) -> u64 {
+        let Some(frame_raw) = self.table_frame(mem, space, va, level) else {
+            return 0;
+        };
+        let host = space.resolve(frame_raw);
+        let idx = index_of(va, level);
+        let pte = mem.read_pte(host, idx);
+        mem.write_pte(host, idx, Pte::empty());
+        if !pte.is_present() || pte.is_leaf_at(level) || pte.is_switching() {
+            return 0;
+        }
+        free_tree(mem, space, pte.frame_raw(), level.child().expect("leaf"))
+    }
+
+    /// Frees every table page including the root. The handle must not be
+    /// used afterwards. Returns the number of pages freed.
+    pub fn destroy(self, mem: &mut PhysMem, space: &mut impl TableSpace) -> u64 {
+        free_tree(mem, space, self.root, Level::top())
+    }
+
+    /// Depth-first visit of every present entry, root level first. The
+    /// callback receives the base virtual address covered by the entry, the
+    /// entry's level, and the entry. Subtrees below switching-bit entries
+    /// are not descended (they are guest-owned).
+    pub fn for_each_present(
+        &self,
+        mem: &PhysMem,
+        space: &impl TableSpace,
+        mut visit: impl FnMut(u64, Level, Pte),
+    ) {
+        visit_tree(mem, space, self.root, Level::top(), 0, &mut visit);
+    }
+
+    /// Counts live table pages reachable from the root (excluding
+    /// guest-owned pages behind switching entries).
+    #[must_use]
+    pub fn table_page_total(&self, mem: &PhysMem, space: &impl TableSpace) -> u64 {
+        let mut count = 1;
+        self.for_each_present(mem, space, |_, level, pte| {
+            if !pte.is_leaf_at(level) && !pte.is_switching() && level != Level::L1 {
+                count += 1;
+            }
+        });
+        count
+    }
+}
+
+fn index_of(va: u64, level: Level) -> usize {
+    ((va >> level.index_shift()) as usize) & (agile_types::ENTRIES_PER_TABLE - 1)
+}
+
+fn visit_tree(
+    mem: &PhysMem,
+    space: &impl TableSpace,
+    frame_raw: u64,
+    level: Level,
+    va_base: u64,
+    visit: &mut impl FnMut(u64, Level, Pte),
+) {
+    let host = space.resolve(frame_raw);
+    let Some(page) = mem.table(host) else {
+        return;
+    };
+    let entries: Vec<(usize, Pte)> = page.present_entries().collect();
+    for (idx, pte) in entries {
+        let child_base = va_base + (idx as u64) * level.span_bytes();
+        visit(child_base, level, pte);
+        if !pte.is_leaf_at(level) && !pte.is_switching() {
+            if let Some(child_level) = level.child() {
+                visit_tree(mem, space, pte.frame_raw(), child_level, child_base, visit);
+            }
+        }
+    }
+}
+
+fn free_tree(mem: &mut PhysMem, space: &mut impl TableSpace, frame_raw: u64, level: Level) -> u64 {
+    let mut freed = 0;
+    if let Some(child_level) = level.child() {
+        let host = space.resolve(frame_raw);
+        let children: Vec<Pte> = mem
+            .table(host)
+            .map(|p| p.present_entries().map(|(_, e)| e).collect())
+            .unwrap_or_default();
+        for pte in children {
+            if !pte.is_leaf_at(level) && !pte.is_switching() {
+                freed += free_tree(mem, space, pte.frame_raw(), child_level);
+            }
+        }
+    }
+    space.free_table(mem, frame_raw);
+    freed + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HostSpace;
+
+    fn setup() -> (PhysMem, HostSpace, RadixTable) {
+        let mut mem = PhysMem::new();
+        let mut space = HostSpace;
+        let t = RadixTable::new(&mut mem, &mut space);
+        (mem, space, t)
+    }
+
+    #[test]
+    fn map_lookup_4k() {
+        let (mut mem, mut space, t) = setup();
+        t.map(
+            &mut mem,
+            &mut space,
+            0x7fff_1234_5000,
+            0x55,
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
+        let (pte, level) = t.lookup(&mem, &space, 0x7fff_1234_5fff).unwrap();
+        assert_eq!(level, Level::L1);
+        assert_eq!(pte.frame_raw(), 0x55);
+        assert!(pte.is_writable());
+        assert!(t.lookup(&mem, &space, 0x7fff_1234_6000).is_none());
+    }
+
+    #[test]
+    fn map_lookup_huge() {
+        let (mut mem, mut space, t) = setup();
+        t.map(
+            &mut mem,
+            &mut space,
+            2 * PageSize::Size2M.bytes(),
+            0x400,
+            PageSize::Size2M,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        let (pte, level) = t
+            .lookup(&mem, &space, 2 * PageSize::Size2M.bytes() + 0x1234)
+            .unwrap();
+        assert_eq!(level, Level::L2);
+        assert!(pte.is_huge());
+        // 1G at a fresh region.
+        t.map(
+            &mut mem,
+            &mut space,
+            8 * PageSize::Size1G.bytes(),
+            1 << 18,
+            PageSize::Size1G,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        let (_, level) = t
+            .lookup(&mem, &space, 8 * PageSize::Size1G.bytes() + 0xfeed)
+            .unwrap();
+        assert_eq!(level, Level::L3);
+    }
+
+    #[test]
+    fn huge_under_4k_conflicts() {
+        let (mut mem, mut space, t) = setup();
+        t.map(&mut mem, &mut space, 0, 1, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        // L2 entry for VA 0 is now an interior table; a 2M map must conflict.
+        let err = t
+            .map(&mut mem, &mut space, 0, 0x200, PageSize::Size2M, PteFlags::empty())
+            .unwrap_err();
+        assert_eq!(err, MapError::Conflict(Level::L2));
+    }
+
+    #[test]
+    fn four_k_under_huge_conflicts() {
+        let (mut mem, mut space, t) = setup();
+        t.map(&mut mem, &mut space, 0, 0x200, PageSize::Size2M, PteFlags::empty())
+            .unwrap();
+        let err = t
+            .map(&mut mem, &mut space, 0x1000, 7, PageSize::Size4K, PteFlags::empty())
+            .unwrap_err();
+        assert_eq!(err, MapError::Conflict(Level::L2));
+    }
+
+    #[test]
+    fn unmap_clears_only_matching_leaf() {
+        let (mut mem, mut space, t) = setup();
+        t.map(&mut mem, &mut space, 0x1000, 3, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        assert!(t.unmap(&mut mem, &space, 0x1000, PageSize::Size2M).is_none());
+        let old = t.unmap(&mut mem, &space, 0x1000, PageSize::Size4K).unwrap();
+        assert_eq!(old.frame_raw(), 3);
+        assert!(t.lookup(&mem, &space, 0x1000).is_none());
+        assert!(t.unmap(&mut mem, &space, 0x1000, PageSize::Size4K).is_none());
+    }
+
+    #[test]
+    fn entry_reads_any_level() {
+        let (mut mem, mut space, t) = setup();
+        t.map(&mut mem, &mut space, 0x1000, 3, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        assert!(t.entry(&mem, &space, 0x1000, Level::L4).unwrap().is_present());
+        assert!(t.entry(&mem, &space, 0x1000, Level::L3).unwrap().is_present());
+        assert!(t.entry(&mem, &space, 0x1000, Level::L2).unwrap().is_present());
+        assert_eq!(
+            t.entry(&mem, &space, 0x1000, Level::L1).unwrap().frame_raw(),
+            3
+        );
+        // Unmapped region: path missing below L4.
+        assert!(t.entry(&mem, &space, 1 << 40, Level::L1).is_none());
+        assert!(t.entry(&mem, &space, 1 << 40, Level::L4).is_some());
+    }
+
+    #[test]
+    fn update_entry_applies_closure() {
+        let (mut mem, mut space, t) = setup();
+        t.map(&mut mem, &mut space, 0x1000, 3, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        let new = t
+            .update_entry(&mut mem, &space, 0x1000, Level::L1, |p| {
+                p.with_flags(PteFlags::DIRTY)
+            })
+            .unwrap();
+        assert!(new.flags().contains(PteFlags::DIRTY));
+        assert!(t
+            .entry(&mem, &space, 0x1000, Level::L1)
+            .unwrap()
+            .flags()
+            .contains(PteFlags::DIRTY));
+        let err = t
+            .update_entry(&mut mem, &space, 1 << 40, Level::L1, |p| p)
+            .unwrap_err();
+        assert_eq!(err, MapError::Missing(Level::L1));
+    }
+
+    #[test]
+    fn for_each_present_covers_all_leaves() {
+        let (mut mem, mut space, t) = setup();
+        let vas = [0x1000u64, 0x2000, 0x40_0000, 1 << 33];
+        for (i, va) in vas.iter().enumerate() {
+            t.map(
+                &mut mem,
+                &mut space,
+                *va,
+                i as u64 + 1,
+                PageSize::Size4K,
+                PteFlags::empty(),
+            )
+            .unwrap();
+        }
+        let mut leaves = Vec::new();
+        t.for_each_present(&mem, &space, |va, level, pte| {
+            if pte.is_leaf_at(level) {
+                leaves.push((va, pte.frame_raw()));
+            }
+        });
+        leaves.sort_unstable();
+        assert_eq!(
+            leaves,
+            vec![(0x1000, 1), (0x2000, 2), (0x40_0000, 3), (1 << 33, 4)]
+        );
+    }
+
+    #[test]
+    fn zap_subtree_frees_pages_and_clears_entry() {
+        let (mut mem, mut space, t) = setup();
+        // Two 4K pages under the same L3 subtree.
+        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0x20_0000,
+            2,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        let before = mem.table_page_count();
+        // Zap at L3 entry covering VA 0: frees the L2 page and both L1 pages.
+        let freed = t.zap_subtree(&mut mem, &mut space, 0, Level::L3);
+        assert_eq!(freed, 3);
+        assert_eq!(mem.table_page_count(), before - 3);
+        assert!(t.lookup(&mem, &space, 0x1000).is_none());
+        assert!(t.lookup(&mem, &space, 0x20_0000).is_none());
+        assert!(t.entry(&mem, &space, 0, Level::L3).is_some());
+        assert!(!t.entry(&mem, &space, 0, Level::L3).unwrap().is_present());
+    }
+
+    #[test]
+    fn zap_subtree_does_not_follow_switching_entries() {
+        let (mut mem, mut space, t) = setup();
+        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        // Pretend the L2 entry switched to nested mode: points at a guest
+        // table page we do not own.
+        let foreign = mem.alloc_table_page();
+        t.set_entry(
+            &mut mem,
+            &space,
+            0x1000,
+            Level::L2,
+            Pte::table(foreign).with_flags(PteFlags::SWITCHING),
+        )
+        .unwrap();
+        let freed = t.zap_subtree(&mut mem, &mut space, 0, Level::L3);
+        // Only the L2 table page is freed; the foreign (guest) page survives.
+        assert_eq!(freed, 1);
+        assert!(mem.is_table(foreign));
+    }
+
+    #[test]
+    fn destroy_frees_everything() {
+        let (mut mem, mut space, t) = setup();
+        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        t.map(&mut mem, &mut space, 1 << 40, 2, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        let live = mem.table_page_count();
+        let freed = t.destroy(&mut mem, &mut space);
+        assert_eq!(freed as usize, live);
+        assert_eq!(mem.table_page_count(), 0);
+    }
+
+    #[test]
+    fn table_page_total_counts_interior_pages() {
+        let (mut mem, mut space, t) = setup();
+        assert_eq!(t.table_page_total(&mem, &space), 1);
+        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        // Root + L3 + L2 + L1 pages.
+        assert_eq!(t.table_page_total(&mem, &space), 4);
+        assert_eq!(t.table_page_total(&mem, &space) as usize, mem.table_page_count());
+    }
+
+    #[test]
+    fn table_frame_matches_phys_layout() {
+        let (mut mem, mut space, t) = setup();
+        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
+            .unwrap();
+        let l1_frame = t.table_frame(&mem, &space, 0x1000, Level::L1).unwrap();
+        let pte = mem.read_pte(HostSpace.resolve(l1_frame), 1);
+        assert_eq!(pte.frame_raw(), 1);
+        assert_eq!(
+            t.table_frame(&mem, &space, 0x1000, Level::L4).unwrap(),
+            t.root_raw()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Table spaces: where a radix table's pages live and how interior frame
+//! numbers resolve to simulated host frames.
+
+use crate::PhysMem;
+use agile_types::HostFrame;
+
+/// Where a radix table's pages live.
+///
+/// Host-side tables (host page table, shadow page table) store host frame
+/// numbers in interior entries and their pages live directly in host
+/// physical memory — [`HostSpace`]. The *guest* page table stores guest
+/// frame numbers; its pages live in guest physical memory, which the VM's
+/// backing map resolves to host frames ([`crate::GuestMemMap`]).
+pub trait TableSpace {
+    /// Resolves a raw frame number from this space to the host frame where
+    /// the page's contents actually live.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `frame_raw` has no backing; software walking
+    /// a dangling table pointer is a simulator bug.
+    fn resolve(&self, frame_raw: u64) -> HostFrame;
+
+    /// Allocates a zeroed page-table page in this space and returns its raw
+    /// frame number (in this space's numbering).
+    fn alloc_table(&mut self, mem: &mut PhysMem) -> u64;
+
+    /// Frees a page-table page previously returned by
+    /// [`TableSpace::alloc_table`].
+    fn free_table(&mut self, mem: &mut PhysMem, frame_raw: u64);
+}
+
+/// The identity space for host-side tables: frame numbers *are* host frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostSpace;
+
+impl TableSpace for HostSpace {
+    fn resolve(&self, frame_raw: u64) -> HostFrame {
+        HostFrame::new(frame_raw)
+    }
+
+    fn alloc_table(&mut self, mem: &mut PhysMem) -> u64 {
+        mem.alloc_table_page().raw()
+    }
+
+    fn free_table(&mut self, mem: &mut PhysMem, frame_raw: u64) {
+        mem.free_table_page(HostFrame::new(frame_raw));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_space_is_identity() {
+        let space = HostSpace;
+        assert_eq!(space.resolve(0x42), HostFrame::new(0x42));
+    }
+
+    #[test]
+    fn host_space_allocates_real_table_pages() {
+        let mut mem = PhysMem::new();
+        let mut space = HostSpace;
+        let f = space.alloc_table(&mut mem);
+        assert!(mem.is_table(HostFrame::new(f)));
+        space.free_table(&mut mem, f);
+        assert!(!mem.is_table(HostFrame::new(f)));
+    }
+}

@@ -1,0 +1,316 @@
+//! A generic set-associative cache with true-LRU replacement.
+
+/// Hit/miss/eviction counters for one cache structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Insertions that displaced a live entry.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in [0, 1]; 0 when there were no lookups.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A set-associative cache with LRU replacement within each set.
+///
+/// The caller supplies the set index on every operation (TLBs index by VPN
+/// bits; fully associative structures pass 0 and size the single set to the
+/// full capacity).
+///
+/// # Example
+///
+/// ```
+/// use agile_tlb::SetAssocCache;
+///
+/// let mut c: SetAssocCache<u64, &str> = SetAssocCache::new(4, 2);
+/// c.insert(0, 10, "a");
+/// c.insert(0, 20, "b");
+/// assert_eq!(c.lookup(0, &10), Some("a"));
+/// c.insert(0, 30, "c"); // evicts 20, the LRU key
+/// assert_eq!(c.lookup(0, &20), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<K, V> {
+    sets: Vec<Vec<Slot<K, V>>>,
+    ways: usize,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    last_use: u64,
+}
+
+impl<K: Eq + Clone, V: Clone> SetAssocCache<K, V> {
+    /// Creates a cache with `sets` sets of `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have capacity");
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a fully associative cache with `entries` entries.
+    #[must_use]
+    pub fn fully_associative(entries: usize) -> Self {
+        SetAssocCache::new(1, entries)
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Looks up `key` in set `set_index % sets`, updating LRU state and
+    /// hit/miss counters.
+    pub fn lookup(&mut self, set_index: usize, key: &K) -> Option<V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let sets = self.sets.len();
+        let set = &mut self.sets[set_index % sets];
+        if let Some(slot) = set.iter_mut().find(|s| s.key == *key) {
+            slot.last_use = stamp;
+            self.stats.hits += 1;
+            Some(slot.value.clone())
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Probes for `key` without touching LRU state or counters.
+    #[must_use]
+    pub fn peek(&self, set_index: usize, key: &K) -> Option<&V> {
+        self.sets[set_index % self.sets.len()]
+            .iter()
+            .find(|s| s.key == *key)
+            .map(|s| &s.value)
+    }
+
+    /// Inserts or updates `key`, evicting the LRU entry of a full set.
+    /// Returns the evicted `(key, value)` pair, if any.
+    pub fn insert(&mut self, set_index: usize, key: K, value: V) -> Option<(K, V)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let sets = self.sets.len();
+        let set = &mut self.sets[set_index % sets];
+        if let Some(slot) = set.iter_mut().find(|s| s.key == key) {
+            slot.value = value;
+            slot.last_use = stamp;
+            return None;
+        }
+        if set.len() < self.ways {
+            set.push(Slot {
+                key,
+                value,
+                last_use: stamp,
+            });
+            return None;
+        }
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.last_use)
+            .map(|(i, _)| i)
+            .expect("set is full, so non-empty");
+        let victim = std::mem::replace(
+            &mut set[victim_idx],
+            Slot {
+                key,
+                value,
+                last_use: stamp,
+            },
+        );
+        self.stats.evictions += 1;
+        Some((victim.key, victim.value))
+    }
+
+    /// Removes `key` from set `set_index`, returning its value.
+    pub fn invalidate(&mut self, set_index: usize, key: &K) -> Option<V> {
+        let sets = self.sets.len();
+        let set = &mut self.sets[set_index % sets];
+        let pos = set.iter().position(|s| s.key == *key)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Removes every entry matching the predicate, returning how many were
+    /// removed.
+    pub fn invalidate_if(&mut self, mut pred: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|s| !pred(&s.key, &s.value));
+            removed += before - set.len();
+        }
+        removed
+    }
+
+    /// Empties the cache (stats are kept).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Current number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// True if no entries are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/eviction counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters to zero.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = SetAssocCache::new(2, 2);
+        assert_eq!(c.lookup(0, &1u64), None);
+        c.insert(0, 1u64, 'x');
+        assert_eq!(c.lookup(0, &1), Some('x'));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(1, 3);
+        c.insert(0, 1u32, 1);
+        c.insert(0, 2u32, 2);
+        c.insert(0, 3u32, 3);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.lookup(0, &1).is_some());
+        let evicted = c.insert(0, 4u32, 4).unwrap();
+        assert_eq!(evicted.0, 2);
+        assert!(c.lookup(0, &2).is_none());
+        assert!(c.lookup(0, &1).is_some());
+        assert!(c.lookup(0, &3).is_some());
+        assert!(c.lookup(0, &4).is_some());
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.insert(0, 10u32, 'a');
+        c.insert(1, 11u32, 'b');
+        assert_eq!(c.lookup(0, &10), Some('a'));
+        assert_eq!(c.lookup(1, &11), Some('b'));
+        // Same set wraps modulo set count.
+        c.insert(2, 12u32, 'c'); // lands in set 0, evicting 10
+        assert_eq!(c.lookup(0, &10), None);
+    }
+
+    #[test]
+    fn insert_existing_updates_value_without_eviction() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.insert(0, 5u32, 'a');
+        assert!(c.insert(0, 5u32, 'b').is_none());
+        assert_eq!(c.lookup(0, &5), Some('b'));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_key_and_predicate() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.insert(0, 1u32, 10u32);
+        c.insert(0, 2u32, 20u32);
+        c.insert(1, 3u32, 30u32);
+        assert_eq!(c.invalidate(0, &1), Some(10));
+        assert_eq!(c.invalidate(0, &1), None);
+        let removed = c.invalidate_if(|_, v| *v >= 20);
+        assert_eq!(removed, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn flush_clears_but_keeps_stats() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(0, 1u32, ());
+        c.lookup(0, &1);
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.insert(0, 1u32, 'a');
+        c.insert(0, 2u32, 'b');
+        // Peek at 1; if peek updated LRU, 2 would be evicted next.
+        assert_eq!(c.peek(0, &1), Some(&'a'));
+        let evicted = c.insert(0, 3u32, 'c').unwrap();
+        assert_eq!(evicted.0, 1, "peek must not refresh entry 1");
+        assert_eq!(c.stats().hits, 0, "peek must not count as a hit");
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let mut c = SetAssocCache::new(1, 1);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.insert(0, 1u32, ());
+        c.lookup(0, &1);
+        c.lookup(0, &2);
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: SetAssocCache<u32, ()> = SetAssocCache::new(0, 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Geometry configuration for the TLB hierarchy and walk caches.
+
+/// Geometry of one page-size partition of a TLB: `entries` total entries,
+/// `ways`-way set associative (ways == entries means fully associative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizedTlbConfig {
+    /// Total entries. Zero disables the partition.
+    pub entries: usize,
+    /// Associativity. Clamped to `entries`.
+    pub ways: usize,
+}
+
+impl SizedTlbConfig {
+    /// A disabled partition.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        SizedTlbConfig { entries: 0, ways: 1 }
+    }
+
+    /// Number of sets implied by the geometry (at least 1 when enabled).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        if self.entries == 0 {
+            0
+        } else {
+            (self.entries / self.ways.min(self.entries)).max(1)
+        }
+    }
+}
+
+/// Full TLB hierarchy geometry. Defaults reproduce the paper's testbed
+/// (Table III: Intel Sandy Bridge per-core TLBs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// L1 data TLB, 4 KiB pages.
+    pub l1d_4k: SizedTlbConfig,
+    /// L1 data TLB, 2 MiB pages.
+    pub l1d_2m: SizedTlbConfig,
+    /// L1 data TLB, 1 GiB pages.
+    pub l1d_1g: SizedTlbConfig,
+    /// L1 instruction TLB, 4 KiB pages.
+    pub l1i_4k: SizedTlbConfig,
+    /// L1 instruction TLB, 2 MiB pages.
+    pub l1i_2m: SizedTlbConfig,
+    /// Unified L2 TLB, 4 KiB pages.
+    pub l2_4k: SizedTlbConfig,
+    /// Unified L2 TLB, 2 MiB pages (the paper's Sandy Bridge L2 TLB holds
+    /// no 2 MiB entries — Table III — so this defaults to disabled).
+    pub l2_2m: SizedTlbConfig,
+}
+
+impl Default for TlbConfig {
+    /// Table III geometry.
+    fn default() -> Self {
+        TlbConfig {
+            l1d_4k: SizedTlbConfig { entries: 64, ways: 4 },
+            l1d_2m: SizedTlbConfig { entries: 32, ways: 4 },
+            l1d_1g: SizedTlbConfig { entries: 4, ways: 4 },
+            l1i_4k: SizedTlbConfig { entries: 128, ways: 4 },
+            l1i_2m: SizedTlbConfig { entries: 8, ways: 8 },
+            l2_4k: SizedTlbConfig { entries: 512, ways: 4 },
+            l2_2m: SizedTlbConfig::disabled(),
+        }
+    }
+}
+
+impl TlbConfig {
+    /// A deliberately tiny TLB, useful in tests and to provoke high miss
+    /// rates with small working sets.
+    #[must_use]
+    pub fn tiny() -> Self {
+        TlbConfig {
+            l1d_4k: SizedTlbConfig { entries: 4, ways: 2 },
+            l1d_2m: SizedTlbConfig { entries: 2, ways: 2 },
+            l1d_1g: SizedTlbConfig { entries: 1, ways: 1 },
+            l1i_4k: SizedTlbConfig { entries: 4, ways: 2 },
+            l1i_2m: SizedTlbConfig { entries: 2, ways: 2 },
+            l2_4k: SizedTlbConfig { entries: 16, ways: 4 },
+            l2_2m: SizedTlbConfig { entries: 8, ways: 4 },
+        }
+    }
+}
+
+/// Page-walk-cache geometry (entries per skip table; fully associative).
+/// Defaults approximate Intel's translation caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcConfig {
+    /// Entries in the skip-1 table (caches L4 entries / PML4E cache).
+    pub skip1_entries: usize,
+    /// Entries in the skip-2 table (PDPTE cache).
+    pub skip2_entries: usize,
+    /// Entries in the skip-3 table (PDE cache).
+    pub skip3_entries: usize,
+    /// Entries in the nested TLB (gPA⇒hPA cache).
+    pub ntlb_entries: usize,
+    /// Master enable; when false every lookup misses and nothing fills
+    /// (Table VI's "assuming no page walk caches").
+    pub enabled: bool,
+}
+
+impl Default for PwcConfig {
+    fn default() -> Self {
+        PwcConfig {
+            skip1_entries: 16,
+            skip2_entries: 16,
+            skip3_entries: 32,
+            ntlb_entries: 64,
+            enabled: true,
+        }
+    }
+}
+
+impl PwcConfig {
+    /// Configuration with every walk cache disabled.
+    #[must_use]
+    pub fn disabled() -> Self {
+        PwcConfig {
+            enabled: false,
+            ..PwcConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_defaults() {
+        let c = TlbConfig::default();
+        assert_eq!(c.l1d_4k.entries, 64);
+        assert_eq!(c.l1d_4k.ways, 4);
+        assert_eq!(c.l1i_4k.entries, 128);
+        assert_eq!(c.l2_4k.entries, 512);
+        assert_eq!(c.l1d_1g.entries, 4);
+    }
+
+    #[test]
+    fn sets_math() {
+        assert_eq!(SizedTlbConfig { entries: 64, ways: 4 }.sets(), 16);
+        assert_eq!(SizedTlbConfig { entries: 4, ways: 4 }.sets(), 1);
+        assert_eq!(SizedTlbConfig { entries: 4, ways: 8 }.sets(), 1);
+        assert_eq!(SizedTlbConfig::disabled().sets(), 0);
+    }
+
+    #[test]
+    fn pwc_disabled_flag() {
+        assert!(PwcConfig::default().enabled);
+        assert!(!PwcConfig::disabled().enabled);
+    }
+}

@@ -1,0 +1,480 @@
+//! The TLB hierarchy: split L1 D/I TLBs plus a unified L2.
+
+use crate::cache::{CacheStats, SetAssocCache};
+use crate::config::{SizedTlbConfig, TlbConfig};
+use agile_types::{AccessKind, Asid, GuestVirtAddr, HostFrame, PageSize};
+
+/// A TLB entry: the final translation the paper cares about. Under
+/// virtualization this maps gVA⇒hPA regardless of technique (nested, shadow,
+/// and agile paging all produce the same TLB contents — their difference is
+/// the *miss* path); natively it maps VA⇒PA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Host-physical frame of the first 4 KiB page of the mapping.
+    pub frame: HostFrame,
+    /// Page size of the mapping.
+    pub size: PageSize,
+    /// Whether the mapping permits writes (a write to a read-only entry
+    /// must re-walk so the fault path runs).
+    pub writable: bool,
+    /// Whether a store has gone through this entry. A store through a
+    /// clean entry re-walks so the hardware can set dirty bits in the page
+    /// tables, exactly as on x86-64.
+    pub dirty: bool,
+}
+
+impl TlbEntry {
+    /// Builds a clean entry.
+    #[must_use]
+    pub const fn new(frame: HostFrame, size: PageSize, writable: bool) -> Self {
+        TlbEntry {
+            frame,
+            size,
+            writable,
+            dirty: false,
+        }
+    }
+
+    /// Same entry with the dirty flag set (install after a store walk).
+    #[must_use]
+    pub const fn with_dirty(mut self, dirty: bool) -> Self {
+        self.dirty = dirty;
+        self
+    }
+}
+
+/// Per-structure hit counters plus overall miss count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit in an L1 structure.
+    pub l1_hits: u64,
+    /// Lookups that missed L1 but hit the unified L2.
+    pub l2_hits: u64,
+    /// Lookups that missed the whole hierarchy (page walks).
+    pub misses: u64,
+    /// Fills performed after walks.
+    pub fills: u64,
+    /// Entries invalidated by `invlpg`/flush operations.
+    pub invalidations: u64,
+}
+
+impl TlbStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.misses
+    }
+
+    /// Counters accumulated since the `earlier` snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &TlbStats) -> TlbStats {
+        TlbStats {
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            misses: self.misses - earlier.misses,
+            fills: self.fills - earlier.fills,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
+
+    /// Overall miss ratio in [0, 1].
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups() as f64
+        }
+    }
+}
+
+type Key = (Asid, u64);
+
+/// One page-size partition: an optional set-associative structure.
+#[derive(Debug, Clone)]
+struct SizedTlb {
+    cache: Option<SetAssocCache<Key, TlbEntry>>,
+    size: PageSize,
+}
+
+impl SizedTlb {
+    fn new(cfg: SizedTlbConfig, size: PageSize) -> Self {
+        let cache = if cfg.entries == 0 {
+            None
+        } else {
+            Some(SetAssocCache::new(cfg.sets(), cfg.ways.min(cfg.entries)))
+        };
+        SizedTlb { cache, size }
+    }
+
+    fn key(&self, asid: Asid, va: GuestVirtAddr) -> (usize, Key) {
+        let vpn = va.page_number(self.size);
+        (vpn as usize, (asid, vpn))
+    }
+
+    fn lookup(&mut self, asid: Asid, va: GuestVirtAddr) -> Option<TlbEntry> {
+        let (set, key) = self.key(asid, va);
+        self.cache.as_mut()?.lookup(set, &key)
+    }
+
+    fn insert(&mut self, asid: Asid, va: GuestVirtAddr, entry: TlbEntry) {
+        let (set, key) = self.key(asid, va);
+        if let Some(c) = self.cache.as_mut() {
+            c.insert(set, key, entry);
+        }
+    }
+
+    fn invalidate_page(&mut self, asid: Asid, va: GuestVirtAddr) -> usize {
+        let (set, key) = self.key(asid, va);
+        match self.cache.as_mut() {
+            Some(c) => usize::from(c.invalidate(set, &key).is_some()),
+            None => 0,
+        }
+    }
+
+    fn invalidate_asid(&mut self, asid: Asid) -> usize {
+        match self.cache.as_mut() {
+            Some(c) => c.invalidate_if(|(a, _), _| *a == asid),
+            None => 0,
+        }
+    }
+
+    fn flush(&mut self) -> usize {
+        match self.cache.as_mut() {
+            Some(c) => {
+                let n = c.len();
+                c.flush();
+                n
+            }
+            None => 0,
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.cache.as_ref().map(SetAssocCache::stats).unwrap_or_default()
+    }
+}
+
+/// The full per-core TLB hierarchy of Table III.
+///
+/// Lookup order: the L1 structure matching the access kind (D-TLB for
+/// read/write, I-TLB for execute), every page size, then the unified L2.
+/// L2 hits are promoted into L1. Fills insert into both levels.
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    l1d: Vec<SizedTlb>,
+    l1i: Vec<SizedTlb>,
+    l2: Vec<SizedTlb>,
+    stats: TlbStats,
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy from a geometry description.
+    #[must_use]
+    pub fn new(cfg: &TlbConfig) -> Self {
+        TlbHierarchy {
+            l1d: vec![
+                SizedTlb::new(cfg.l1d_4k, PageSize::Size4K),
+                SizedTlb::new(cfg.l1d_2m, PageSize::Size2M),
+                SizedTlb::new(cfg.l1d_1g, PageSize::Size1G),
+            ],
+            l1i: vec![
+                SizedTlb::new(cfg.l1i_4k, PageSize::Size4K),
+                SizedTlb::new(cfg.l1i_2m, PageSize::Size2M),
+            ],
+            l2: vec![
+                SizedTlb::new(cfg.l2_4k, PageSize::Size4K),
+                SizedTlb::new(cfg.l2_2m, PageSize::Size2M),
+            ],
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Looks up a translation. A hit requires the entry to satisfy the
+    /// access: writes to read-only entries are treated as misses so the
+    /// walker (and its fault path) runs, matching hardware behaviour for
+    /// permission upgrades (e.g. copy-on-write, dirty-bit setting).
+    pub fn lookup(
+        &mut self,
+        asid: Asid,
+        va: GuestVirtAddr,
+        access: AccessKind,
+    ) -> Option<TlbEntry> {
+        let l1 = if access.is_fetch() {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
+        for t in l1.iter_mut() {
+            if let Some(e) = t.lookup(asid, va) {
+                if access.is_write() && (!e.writable || !e.dirty) {
+                    t.invalidate_page(asid, va);
+                    break;
+                }
+                self.stats.l1_hits += 1;
+                return Some(e);
+            }
+        }
+        for t in self.l2.iter_mut() {
+            if let Some(e) = t.lookup(asid, va) {
+                if access.is_write() && (!e.writable || !e.dirty) {
+                    t.invalidate_page(asid, va);
+                    break;
+                }
+                self.stats.l2_hits += 1;
+                // Promote to the matching L1.
+                let l1 = if access.is_fetch() {
+                    &mut self.l1i
+                } else {
+                    &mut self.l1d
+                };
+                if let Some(slot) = l1.iter_mut().find(|s| s.size == e.size) {
+                    slot.insert(asid, va, e);
+                }
+                return Some(e);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Installs a translation after a walk (into L1-D or L1-I per the
+    /// access kind, and into L2 if it has a partition for the size).
+    pub fn fill(&mut self, asid: Asid, va: GuestVirtAddr, entry: TlbEntry) {
+        self.fill_for(asid, va, entry, AccessKind::Read);
+    }
+
+    /// [`TlbHierarchy::fill`] with an explicit access kind.
+    pub fn fill_for(&mut self, asid: Asid, va: GuestVirtAddr, entry: TlbEntry, access: AccessKind) {
+        self.stats.fills += 1;
+        let l1 = if access.is_fetch() {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
+        if let Some(t) = l1.iter_mut().find(|t| t.size == entry.size) {
+            t.insert(asid, va, entry);
+        }
+        if let Some(t) = self.l2.iter_mut().find(|t| t.size == entry.size) {
+            t.insert(asid, va, entry);
+        }
+    }
+
+    /// Invalidates one page's translation in every structure (`invlpg`).
+    pub fn invalidate_page(&mut self, asid: Asid, va: GuestVirtAddr) {
+        let mut n = 0;
+        for t in self
+            .l1d
+            .iter_mut()
+            .chain(self.l1i.iter_mut())
+            .chain(self.l2.iter_mut())
+        {
+            n += t.invalidate_page(asid, va);
+        }
+        self.stats.invalidations += n as u64;
+    }
+
+    /// Drops every translation tagged with `asid`.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        let mut n = 0;
+        for t in self
+            .l1d
+            .iter_mut()
+            .chain(self.l1i.iter_mut())
+            .chain(self.l2.iter_mut())
+        {
+            n += t.invalidate_asid(asid);
+        }
+        self.stats.invalidations += n as u64;
+    }
+
+    /// Full TLB flush.
+    pub fn flush_all(&mut self) {
+        let mut n = 0;
+        for t in self
+            .l1d
+            .iter_mut()
+            .chain(self.l1i.iter_mut())
+            .chain(self.l2.iter_mut())
+        {
+            n += t.flush();
+        }
+        self.stats.invalidations += n as u64;
+    }
+
+    /// Aggregate hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets counters (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    /// Raw per-structure stats of the L1-D 4 KiB partition (diagnostics).
+    #[must_use]
+    pub fn l1d_4k_stats(&self) -> CacheStats {
+        self.l1d[0].stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(frame: u64) -> TlbEntry {
+        TlbEntry::new(HostFrame::new(frame), PageSize::Size4K, true).with_dirty(true)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let asid = Asid::new(1);
+        let va = GuestVirtAddr::new(0x1000);
+        assert!(tlb.lookup(asid, va, AccessKind::Read).is_none());
+        tlb.fill(asid, va, entry(0x42));
+        let e = tlb.lookup(asid, va, AccessKind::Read).unwrap();
+        assert_eq!(e.frame, HostFrame::new(0x42));
+        assert_eq!(tlb.stats().misses, 1);
+        assert_eq!(tlb.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn asids_do_not_alias() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let va = GuestVirtAddr::new(0x1000);
+        tlb.fill(Asid::new(1), va, entry(1));
+        assert!(tlb.lookup(Asid::new(2), va, AccessKind::Read).is_none());
+        assert!(tlb.lookup(Asid::new(1), va, AccessKind::Read).is_some());
+    }
+
+    #[test]
+    fn write_to_readonly_entry_misses() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let asid = Asid::new(1);
+        let va = GuestVirtAddr::new(0x2000);
+        tlb.fill(asid, va, TlbEntry::new(HostFrame::new(9), PageSize::Size4K, false));
+        assert!(tlb.lookup(asid, va, AccessKind::Read).is_some());
+        assert!(tlb.lookup(asid, va, AccessKind::Write).is_none());
+        // The stale read-only entry must be gone so the refill sticks.
+        tlb.fill(asid, va, entry(9));
+        assert!(tlb.lookup(asid, va, AccessKind::Write).is_some());
+    }
+
+    #[test]
+    fn store_through_clean_entry_rewalks() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let asid = Asid::new(1);
+        let va = GuestVirtAddr::new(0x9000);
+        // Read walk installed a clean, writable entry.
+        tlb.fill(asid, va, TlbEntry::new(HostFrame::new(3), PageSize::Size4K, true));
+        assert!(tlb.lookup(asid, va, AccessKind::Read).is_some());
+        // First store misses so hardware can set dirty bits.
+        assert!(tlb.lookup(asid, va, AccessKind::Write).is_none());
+        tlb.fill(asid, va, entry(3));
+        assert!(tlb.lookup(asid, va, AccessKind::Write).is_some());
+    }
+
+    #[test]
+    fn l2_hit_promotes_to_l1() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::tiny());
+        let asid = Asid::new(1);
+        // Fill more 4K entries than L1-D holds (4) but fewer than L2 (16),
+        // all mapping to different sets as much as possible.
+        for i in 0..8u64 {
+            tlb.fill(asid, GuestVirtAddr::new(i << 12), entry(i));
+        }
+        tlb.reset_stats();
+        // The earliest entries fell out of L1 but sit in L2.
+        let got = tlb.lookup(asid, GuestVirtAddr::new(0), AccessKind::Read);
+        assert!(got.is_some());
+        assert_eq!(tlb.stats().l2_hits, 1);
+        // Immediately again: now an L1 hit thanks to promotion.
+        tlb.lookup(asid, GuestVirtAddr::new(0), AccessKind::Read).unwrap();
+        assert_eq!(tlb.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn instruction_fetches_use_itlb() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let asid = Asid::new(1);
+        let va = GuestVirtAddr::new(0x3000);
+        tlb.fill_for(asid, va, entry(1), AccessKind::Execute);
+        tlb.reset_stats();
+        assert!(tlb.lookup(asid, va, AccessKind::Execute).is_some());
+        assert_eq!(tlb.stats().l1_hits, 1);
+        // Data lookups find it only via L2 (fill went to L1-I + L2).
+        assert!(tlb.lookup(asid, va, AccessKind::Read).is_some());
+        assert_eq!(tlb.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn huge_pages_hit_in_their_partition() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let asid = Asid::new(1);
+        let base = GuestVirtAddr::new(4 * PageSize::Size2M.bytes());
+        tlb.fill(asid, base, TlbEntry::new(HostFrame::new(0x800), PageSize::Size2M, true));
+        // Any VA within the 2M page hits.
+        let inside = GuestVirtAddr::new(4 * PageSize::Size2M.bytes() + 0x12_3456);
+        let e = tlb.lookup(asid, inside, AccessKind::Read).unwrap();
+        assert_eq!(e.size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn invalidate_page_removes_everywhere() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let asid = Asid::new(1);
+        let va = GuestVirtAddr::new(0x4000);
+        tlb.fill(asid, va, entry(5));
+        tlb.invalidate_page(asid, va);
+        assert!(tlb.lookup(asid, va, AccessKind::Read).is_none());
+        assert!(tlb.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn flush_asid_is_selective() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let va = GuestVirtAddr::new(0x5000);
+        tlb.fill(Asid::new(1), va, entry(1));
+        tlb.fill(Asid::new(2), va, entry(2));
+        tlb.flush_asid(Asid::new(1));
+        assert!(tlb.lookup(Asid::new(1), va, AccessKind::Read).is_none());
+        assert!(tlb.lookup(Asid::new(2), va, AccessKind::Read).is_some());
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        for i in 0..10u64 {
+            tlb.fill(Asid::new(1), GuestVirtAddr::new(i << 12), entry(i));
+        }
+        tlb.flush_all();
+        for i in 0..10u64 {
+            assert!(tlb
+                .lookup(Asid::new(1), GuestVirtAddr::new(i << 12), AccessKind::Read)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn capacity_pressure_causes_misses() {
+        // Working set larger than the whole tiny hierarchy must produce
+        // steady-state misses.
+        let mut tlb = TlbHierarchy::new(&TlbConfig::tiny());
+        let asid = Asid::new(1);
+        for round in 0..4 {
+            for i in 0..64u64 {
+                let va = GuestVirtAddr::new(i << 12);
+                if tlb.lookup(asid, va, AccessKind::Read).is_none() {
+                    tlb.fill(asid, va, entry(i));
+                }
+            }
+            if round == 0 {
+                continue;
+            }
+        }
+        assert!(tlb.stats().miss_ratio() > 0.5);
+    }
+}

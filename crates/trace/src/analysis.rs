@@ -1,0 +1,287 @@
+//! Step 1 (page-table-update trace analysis) and step 2 (BadgerTrap-style
+//! TLB-miss classification).
+
+use crate::log::{TraceEvent, TraceLog};
+use agile_types::{Level, ProcessId};
+use std::collections::{HashMap, HashSet};
+
+/// Region key: process plus a virtual-address prefix at some span.
+type Region = (u32, u64);
+
+fn prefix(gva: u64, nested_levels: u8) -> u64 {
+    // nested_levels = 1 ⇒ the leaf table switched; one L1 table page covers
+    // an L2-entry span (2 MiB). 2 ⇒ 1 GiB, 3 ⇒ 512 GiB, 4 ⇒ whole space.
+    match nested_levels {
+        1 => gva >> Level::L2.index_shift(),
+        2 => gva >> Level::L3.index_shift(),
+        3 => gva >> Level::L4.index_shift(),
+        _ => 0,
+    }
+}
+
+/// Offline emulation of the shadow⇒nested policy over a step-1 trace
+/// (paper §VI: "we emulate our shadow-to-nested policy in an offline
+/// fashion when processing the trace").
+///
+/// The result is the paper's four gVA region lists — one per switching
+/// level — plus the fraction of VMM interventions agile paging eliminates.
+#[derive(Debug, Clone, Default)]
+pub struct Step1Analysis {
+    nested: [HashSet<Region>; 4],
+    /// Guest page-table updates observed in the trace.
+    pub total_writes: u64,
+    /// Updates that landed in regions already under nested mode (no VMM
+    /// intervention under agile paging).
+    pub eliminated_writes: u64,
+}
+
+impl Step1Analysis {
+    /// Write threshold per interval (the paper's bimodal "two writes").
+    pub const WRITE_THRESHOLD: u32 = 2;
+
+    /// Processes a trace of [`TraceEvent::GptWrite`] /
+    /// [`TraceEvent::IntervalEnd`] events, emulating both directions of the
+    /// paper's policy: two detected writes within an interval nest a
+    /// region; a region that goes a whole interval without writes reverts
+    /// (the offline analogue of the dirty-bit-scan, so one-time start-up
+    /// bursts do not stay nested forever).
+    #[must_use]
+    pub fn from_trace(log: &TraceLog) -> Self {
+        let mut out = Step1Analysis::default();
+        let mut writes_this_interval: HashMap<(u32, u8, u64), u32> = HashMap::new();
+        let mut touched_nested: HashSet<(u8, Region)> = HashSet::new();
+        for event in log.events() {
+            match event {
+                TraceEvent::GptWrite { pid, gva, level } => {
+                    out.total_writes += 1;
+                    // A write to a level-j entry dynamizes the page holding
+                    // it: that level and everything below switches, i.e.
+                    // nested_levels = j.
+                    let nested_levels = level.number();
+                    if let Some(covering) = out.classify(*pid, *gva) {
+                        out.eliminated_writes += 1;
+                        touched_nested
+                            .insert((covering, (pid.raw(), prefix(*gva, covering))));
+                        continue;
+                    }
+                    let key = (pid.raw(), nested_levels, prefix(*gva, nested_levels));
+                    let count = writes_this_interval.entry(key).or_insert(0);
+                    *count += 1;
+                    if *count >= Self::WRITE_THRESHOLD {
+                        let region = (pid.raw(), prefix(*gva, nested_levels));
+                        out.nested[(nested_levels - 1) as usize].insert(region);
+                        touched_nested.insert((nested_levels, region));
+                    }
+                }
+                TraceEvent::IntervalEnd => {
+                    // Revert regions untouched this interval.
+                    for (i, set) in out.nested.iter_mut().enumerate() {
+                        let levels = (i + 1) as u8;
+                        set.retain(|r| touched_nested.contains(&(levels, *r)));
+                    }
+                    writes_this_interval.clear();
+                    touched_nested.clear();
+                }
+                TraceEvent::TlbMiss { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// The deepest nested-mode classification covering `gva`, as a number
+    /// of nested levels (1 = only the leaf switched … 4 = whole space), or
+    /// `None` when the address stays fully shadow.
+    #[must_use]
+    pub fn classify(&self, pid: ProcessId, gva: u64) -> Option<u8> {
+        // Wider switches subsume narrower ones: check deepest span first.
+        (1..=4u8).rev().find(|&nested_levels| {
+            self.nested[(nested_levels - 1) as usize]
+                .contains(&(pid.raw(), prefix(gva, nested_levels)))
+        })
+    }
+
+    /// Number of regions under nested mode for each switching degree.
+    #[must_use]
+    pub fn region_counts(&self) -> [usize; 4] {
+        [
+            self.nested[0].len(),
+            self.nested[1].len(),
+            self.nested[2].len(),
+            self.nested[3].len(),
+        ]
+    }
+
+    /// `F_V`: fraction of VMM page-table interventions eliminated.
+    #[must_use]
+    pub fn fv(&self) -> f64 {
+        if self.total_writes == 0 {
+            0.0
+        } else {
+            self.eliminated_writes as f64 / self.total_writes as f64
+        }
+    }
+}
+
+/// Step 2: classify a BadgerTrap-style TLB-miss trace against the step-1
+/// region lists, yielding the paper's `F_Ni` fractions (Table VI).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Step2Analysis {
+    /// TLB misses observed.
+    pub total_misses: u64,
+    /// Misses per switching degree; index 0 = leaf-only nested ("L4"
+    /// column of Table VI) … index 3 = whole table nested ("L1" column).
+    pub switched: [u64; 4],
+}
+
+impl Step2Analysis {
+    /// Processes a trace of [`TraceEvent::TlbMiss`] events.
+    #[must_use]
+    pub fn from_trace(log: &TraceLog, step1: &Step1Analysis) -> Self {
+        let mut out = Step2Analysis::default();
+        for event in log.events() {
+            if let TraceEvent::TlbMiss { pid, gva, .. } = event {
+                out.total_misses += 1;
+                if let Some(levels) = step1.classify(*pid, *gva) {
+                    out.switched[(levels - 1) as usize] += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// `F_Ni` for `i` in 1..=4: the fraction of misses served with `i`
+    /// guest levels in nested mode.
+    #[must_use]
+    pub fn fn_fractions(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        if self.total_misses == 0 {
+            return out;
+        }
+        for (o, s) in out.iter_mut().zip(self.switched.iter()) {
+            *o = *s as f64 / self.total_misses as f64;
+        }
+        out
+    }
+
+    /// Fraction served in full shadow mode.
+    #[must_use]
+    pub fn shadow_fraction(&self) -> f64 {
+        1.0 - self.fn_fractions().iter().sum::<f64>()
+    }
+
+    /// Average memory references per miss at 4 KiB with no walk caches
+    /// (Table VI's right column): 4 for shadow, 4 + 4i for a switch with
+    /// `i` nested levels.
+    #[must_use]
+    pub fn avg_refs(&self) -> f64 {
+        let fns = self.fn_fractions();
+        let mut avg = self.shadow_fraction() * 4.0;
+        for (i, f) in fns.iter().enumerate() {
+            avg += f * (4.0 + 4.0 * (i as f64 + 1.0));
+        }
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(pid: u32, gva: u64, level: Level) -> TraceEvent {
+        TraceEvent::GptWrite {
+            pid: ProcessId::new(pid),
+            gva,
+            level,
+        }
+    }
+
+    fn m(pid: u32, gva: u64) -> TraceEvent {
+        TraceEvent::TlbMiss {
+            pid: ProcessId::new(pid),
+            gva,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn one_write_per_interval_stays_shadow() {
+        let mut log = TraceLog::new();
+        log.push(w(1, 0x20_0000, Level::L1));
+        log.push(TraceEvent::IntervalEnd);
+        log.push(w(1, 0x20_1000, Level::L1));
+        log.push(TraceEvent::IntervalEnd);
+        let s1 = Step1Analysis::from_trace(&log);
+        assert_eq!(s1.classify(ProcessId::new(1), 0x20_0000), None);
+        assert_eq!(s1.fv(), 0.0);
+    }
+
+    #[test]
+    fn two_writes_in_an_interval_nest_the_leaf_region() {
+        let mut log = TraceLog::new();
+        log.push(w(1, 0x20_0000, Level::L1));
+        log.push(w(1, 0x20_1000, Level::L1)); // same 2 MiB region
+        log.push(w(1, 0x20_2000, Level::L1)); // now eliminated
+        let s1 = Step1Analysis::from_trace(&log);
+        assert_eq!(s1.classify(ProcessId::new(1), 0x20_3000), Some(1));
+        assert_eq!(s1.classify(ProcessId::new(1), 0x40_0000), None, "other region");
+        assert_eq!(s1.classify(ProcessId::new(2), 0x20_0000), None, "other process");
+        assert_eq!(s1.region_counts(), [1, 0, 0, 0]);
+        assert!((s1.fv() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_writes_nest_wider_spans() {
+        let mut log = TraceLog::new();
+        log.push(w(1, 0x4000_0000, Level::L2));
+        log.push(w(1, 0x5000_0000, Level::L2)); // same 1 GiB region (prefix >>30 differs!)
+        let s1 = Step1Analysis::from_trace(&log);
+        // 0x4000_0000 >> 30 = 1, 0x5000_0000 >> 30 = 1 — same region.
+        assert_eq!(s1.classify(ProcessId::new(1), 0x2000_0000), None, "outside the region");
+        assert_eq!(s1.classify(ProcessId::new(1), 0x4000_0000), Some(2));
+        assert_eq!(s1.classify(ProcessId::new(1), 0x5fff_f000), Some(2));
+    }
+
+    #[test]
+    fn deepest_classification_wins() {
+        let mut log = TraceLog::new();
+        // Leaf region nests...
+        log.push(w(1, 0x20_0000, Level::L1));
+        log.push(w(1, 0x20_1000, Level::L1));
+        // ...then the whole L4 space nests.
+        log.push(w(1, 0, Level::L4));
+        log.push(w(1, 0x1000, Level::L4));
+        let s1 = Step1Analysis::from_trace(&log);
+        assert_eq!(s1.classify(ProcessId::new(1), 0x20_0000), Some(4));
+        assert_eq!(s1.classify(ProcessId::new(1), 0xdead_b000), Some(4));
+    }
+
+    #[test]
+    fn step2_fractions_and_avg_refs() {
+        let mut log = TraceLog::new();
+        log.push(w(1, 0x20_0000, Level::L1));
+        log.push(w(1, 0x20_1000, Level::L1));
+        let s1 = Step1Analysis::from_trace(&log);
+        let mut misses = TraceLog::new();
+        for i in 0..8 {
+            misses.push(m(1, 0x100_0000 + i * 0x1000)); // shadow region
+        }
+        misses.push(m(1, 0x20_0000)); // nested leaf region
+        misses.push(m(1, 0x20_5000)); // nested leaf region
+        let s2 = Step2Analysis::from_trace(&misses, &s1);
+        assert_eq!(s2.total_misses, 10);
+        let fns = s2.fn_fractions();
+        assert!((fns[0] - 0.2).abs() < 1e-9);
+        assert!((s2.shadow_fraction() - 0.8).abs() < 1e-9);
+        // avg = 0.8*4 + 0.2*8 = 4.8
+        assert!((s2.avg_refs() - 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traces_are_harmless() {
+        let s1 = Step1Analysis::from_trace(&TraceLog::new());
+        assert_eq!(s1.fv(), 0.0);
+        let s2 = Step2Analysis::from_trace(&TraceLog::new(), &s1);
+        assert_eq!(s2.shadow_fraction(), 1.0);
+        assert_eq!(s2.avg_refs(), 4.0);
+    }
+}

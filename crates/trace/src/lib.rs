@@ -1,0 +1,36 @@
+//! The paper's two-step trace-and-model methodology (Section VI).
+//!
+//! The paper does not measure agile paging on real hardware (none exists);
+//! it *projects* it:
+//!
+//! 1. **Step 1** — run the workload under shadow paging with an instrumented
+//!    VMM, tracing every guest page-table update that caused a shadow-table
+//!    update. Processing the trace yields, per switching level, the list of
+//!    guest-virtual regions that would sit in nested mode, plus the fraction
+//!    of VMM interventions agile paging eliminates (`F_Vi`).
+//! 2. **Step 2** — run the workload again under nested paging with
+//!    BadgerTrap (a tool that turns every TLB miss into a trap), classify
+//!    each missed address against the step-1 region lists, and obtain the
+//!    fraction of TLB misses served at each switching level (`F_Ni`).
+//!
+//! A linear performance model (paper Table IV) then combines the shadow
+//! run's measured costs with the two fraction sets to project agile
+//! paging's execution time — including the paper's conservative assumption
+//! that leaf-switched misses pay half the nested-beyond-native cost and
+//! deeper switches pay full cost.
+//!
+//! This crate implements the traces, both analyses, and the model; the
+//! `agile-core` crate hooks them to the simulator and cross-validates the
+//! projection against directly simulated agile paging (the `twostep`
+//! bench binary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod log;
+mod model;
+
+pub use analysis::{Step1Analysis, Step2Analysis};
+pub use log::{TraceEvent, TraceLog};
+pub use model::{LinearModel, Projection};

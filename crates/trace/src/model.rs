@@ -1,0 +1,129 @@
+//! The paper's linear performance model (Table IV).
+
+/// Inputs measured from the *shadow* and *nested* runs, in the units of the
+/// paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// `E_ideal`: execution cycles with free translation.
+    pub ideal_cycles: u64,
+    /// `H_S`: cycles spent in the hypervisor during the shadow run.
+    pub shadow_vmm_cycles: u64,
+    /// `M`: TLB misses (taken from the shadow run; the paper uses the base
+    /// run's count — the workloads are identical so these agree).
+    pub tlb_misses: u64,
+    /// `C_S`: average cycles per TLB miss under shadow paging.
+    pub shadow_cycles_per_miss: f64,
+    /// `C_N`: average cycles per TLB miss under nested paging.
+    pub nested_cycles_per_miss: f64,
+}
+
+/// The model's projection for agile paging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    /// Projected cycles spent on page walks (`PW_A` of Table IV).
+    pub page_walk_cycles: f64,
+    /// Projected cycles spent in the VMM (`VMM_A`).
+    pub vmm_cycles: f64,
+    /// Projected execution cycles (`E_ideal + PW_A + VMM_A`).
+    pub exec_cycles: f64,
+    /// Page-walk overhead as a fraction of ideal time.
+    pub page_walk_overhead: f64,
+    /// VMM overhead as a fraction of ideal time.
+    pub vmm_overhead: f64,
+}
+
+impl Projection {
+    /// Combined overhead fraction.
+    #[must_use]
+    pub fn total_overhead(&self) -> f64 {
+        self.page_walk_overhead + self.vmm_overhead
+    }
+}
+
+impl LinearModel {
+    /// Projects agile paging from the measured fractions, exactly as the
+    /// paper's Table IV:
+    ///
+    /// ```text
+    /// PW_A  = [ C_N · Σ_{i=2..4} F_Ni
+    ///         + C_S · (1 − Σ_{i=1..4} F_Ni)
+    ///         + (C_N + C_S) · 0.5 · F_N1 ] · M
+    /// VMM_A = H_S · (1 − F_V)
+    /// ```
+    ///
+    /// with the paper's conservative assumption that a leaf-only switch
+    /// (`F_N1`) pays half the nested-beyond-native miss cost and deeper
+    /// switches pay the full nested cost.
+    #[must_use]
+    pub fn project(&self, fv: f64, fn_fractions: [f64; 4]) -> Projection {
+        let fn_deep: f64 = fn_fractions[1..].iter().sum();
+        let fn_all: f64 = fn_fractions.iter().sum();
+        let per_miss = self.nested_cycles_per_miss * fn_deep
+            + self.shadow_cycles_per_miss * (1.0 - fn_all)
+            + (self.nested_cycles_per_miss + self.shadow_cycles_per_miss) * 0.5 * fn_fractions[0];
+        let page_walk_cycles = per_miss * self.tlb_misses as f64;
+        let vmm_cycles = self.shadow_vmm_cycles as f64 * (1.0 - fv.clamp(0.0, 1.0));
+        let ideal = self.ideal_cycles.max(1) as f64;
+        Projection {
+            page_walk_cycles,
+            vmm_cycles,
+            exec_cycles: ideal + page_walk_cycles + vmm_cycles,
+            page_walk_overhead: page_walk_cycles / ideal,
+            vmm_overhead: vmm_cycles / ideal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LinearModel {
+        LinearModel {
+            ideal_cycles: 1_000_000,
+            shadow_vmm_cycles: 400_000,
+            tlb_misses: 10_000,
+            shadow_cycles_per_miss: 40.0,
+            nested_cycles_per_miss: 100.0,
+        }
+    }
+
+    #[test]
+    fn all_shadow_projection_equals_shadow_walk_cost() {
+        let p = model().project(0.0, [0.0; 4]);
+        assert!((p.page_walk_cycles - 400_000.0).abs() < 1e-6);
+        assert!((p.vmm_cycles - 400_000.0).abs() < 1e-6);
+        assert!((p.total_overhead() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaf_switches_pay_half_the_nested_premium() {
+        // All misses leaf-switched: per-miss = (100 + 40) / 2 = 70.
+        let p = model().project(0.0, [1.0, 0.0, 0.0, 0.0]);
+        assert!((p.page_walk_cycles - 700_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deep_switches_pay_full_nested_cost() {
+        let p = model().project(0.0, [0.0, 0.0, 0.0, 1.0]);
+        assert!((p.page_walk_cycles - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fv_scales_vmm_cycles_linearly() {
+        let p = model().project(0.75, [0.0; 4]);
+        assert!((p.vmm_cycles - 100_000.0).abs() < 1e-6);
+        let p = model().project(1.0, [0.0; 4]);
+        assert_eq!(p.vmm_cycles, 0.0);
+    }
+
+    #[test]
+    fn mixed_projection_is_a_convex_blend() {
+        let fns = [0.1, 0.05, 0.0, 0.0];
+        let p = model().project(0.5, fns);
+        // per-miss = 100*0.05 + 40*0.85 + 70*0.1 = 5 + 34 + 7 = 46.
+        assert!((p.page_walk_cycles - 460_000.0).abs() < 1e-6);
+        assert!((p.vmm_cycles - 200_000.0).abs() < 1e-6);
+        assert!((p.exec_cycles - 1_660_000.0).abs() < 1e-6);
+    }
+}

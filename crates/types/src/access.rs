@@ -1,0 +1,55 @@
+//! Access kinds distinguished by the MMU.
+
+/// Why memory is being touched; determines permission checks and dirty-bit
+/// behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data load.
+    Read,
+    /// Data store. Requires a writable mapping and sets the dirty bit.
+    Write,
+    /// Instruction fetch. Looked up in the I-TLB.
+    Execute,
+}
+
+impl AccessKind {
+    /// True for stores.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// True for instruction fetches.
+    #[must_use]
+    pub const fn is_fetch(self) -> bool {
+        matches!(self, AccessKind::Execute)
+    }
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Execute => "execute",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Execute.is_fetch());
+        assert!(!AccessKind::Write.is_fetch());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AccessKind::Read.to_string(), "read");
+    }
+}

@@ -1,0 +1,213 @@
+//! Address-space newtypes: gVA, gPA, hPA, and frame numbers.
+
+use crate::{Level, PageSize, ENTRIES_PER_TABLE, PAGE_SHIFT};
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident, $frame:ident, $frame_doc:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit address.
+            #[must_use]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw 64-bit address.
+            #[must_use]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The 9-bit page-table index this address selects at `level`.
+            #[must_use]
+            pub const fn index(self, level: Level) -> usize {
+                ((self.0 >> level.index_shift()) as usize) & (ENTRIES_PER_TABLE - 1)
+            }
+
+            /// Offset of this address within a page of the given size.
+            #[must_use]
+            pub const fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & size.offset_mask()
+            }
+
+            /// This address rounded down to the page boundary of `size`.
+            #[must_use]
+            pub const fn page_base(self, size: PageSize) -> Self {
+                Self(self.0 & !size.offset_mask())
+            }
+
+            /// The frame (page number) containing this address, for 4 KiB
+            /// base pages.
+            #[must_use]
+            pub const fn frame(self) -> $frame {
+                $frame(self.0 >> PAGE_SHIFT)
+            }
+
+            /// Virtual/physical page number for a page of the given size.
+            #[must_use]
+            pub const fn page_number(self, size: PageSize) -> u64 {
+                self.0 >> size.shift()
+            }
+
+            /// Address advanced by `bytes`. Wraps on overflow (addresses are
+            /// plain 64-bit values in the simulator).
+            #[must_use]
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0.wrapping_add(bytes))
+            }
+
+            /// True if the address is aligned to a page of `size`.
+            #[must_use]
+            pub const fn is_aligned(self, size: PageSize) -> bool {
+                self.0 & size.offset_mask() == 0
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(addr: $name) -> u64 {
+                addr.raw()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl std::fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                std::fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        #[doc = $frame_doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $frame(u64);
+
+        impl $frame {
+            /// Wraps a raw 4 KiB frame number.
+            #[must_use]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw frame number.
+            #[must_use]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The base address of this frame.
+            #[must_use]
+            pub const fn base(self) -> $name {
+                $name(self.0 << PAGE_SHIFT)
+            }
+
+            /// The frame `n` frames after this one.
+            #[must_use]
+            pub const fn add(self, n: u64) -> Self {
+                Self(self.0.wrapping_add(n))
+            }
+        }
+
+        impl std::fmt::Display for $frame {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A guest virtual address (`gVA`): what a guest process issues.
+    GuestVirtAddr,
+    GuestVirtFrame,
+    "A guest virtual 4 KiB page number."
+);
+
+addr_newtype!(
+    /// A guest physical address (`gPA`): what the guest OS believes is
+    /// physical memory. Translated to [`HostPhysAddr`] by the host page table.
+    GuestPhysAddr,
+    GuestFrame,
+    "A guest physical 4 KiB frame number."
+);
+
+addr_newtype!(
+    /// A host physical address (`hPA`): real (simulated) machine memory.
+    HostPhysAddr,
+    HostFrame,
+    "A host physical 4 KiB frame number."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_extraction_matches_x86_64() {
+        // Set distinct index values at each level:
+        // L4=0x1aa, L3=0x0cc, L2=0x155, L1=0x033, offset=0xabc.
+        let raw = (0x1aau64 << 39) | (0x0cc << 30) | (0x155 << 21) | (0x033 << 12) | 0xabc;
+        let va = GuestVirtAddr::new(raw);
+        assert_eq!(va.index(Level::L4), 0x1aa);
+        assert_eq!(va.index(Level::L3), 0x0cc);
+        assert_eq!(va.index(Level::L2), 0x155);
+        assert_eq!(va.index(Level::L1), 0x033);
+        assert_eq!(va.page_offset(PageSize::Size4K), 0xabc);
+    }
+
+    #[test]
+    fn page_base_strips_offset() {
+        let va = GuestVirtAddr::new(0x1234_5678);
+        assert_eq!(va.page_base(PageSize::Size4K).raw(), 0x1234_5000);
+        assert_eq!(va.page_base(PageSize::Size2M).raw(), 0x1220_0000);
+        assert!(va.page_base(PageSize::Size2M).is_aligned(PageSize::Size2M));
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let pa = HostPhysAddr::new(0xdead_b000);
+        assert_eq!(pa.frame().base(), HostPhysAddr::new(0xdead_b000));
+        assert_eq!(pa.frame().raw(), 0xdeadb);
+    }
+
+    #[test]
+    fn frame_add_advances() {
+        let f = GuestFrame::new(10);
+        assert_eq!(f.add(5).raw(), 15);
+        assert_eq!(f.add(0), f);
+    }
+
+    #[test]
+    fn page_number_by_size() {
+        let va = GuestVirtAddr::new(5 * PageSize::Size2M.bytes() + 17);
+        assert_eq!(va.page_number(PageSize::Size2M), 5);
+        assert_eq!(va.page_number(PageSize::Size4K), 5 * 512);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let va: GuestVirtAddr = 0x1000u64.into();
+        let raw: u64 = va.into();
+        assert_eq!(raw, 0x1000);
+        assert_eq!(va.to_string(), "0x1000");
+        assert_eq!(format!("{va:x}"), "1000");
+    }
+
+    #[test]
+    fn add_wraps() {
+        let va = GuestVirtAddr::new(u64::MAX);
+        assert_eq!(va.add(1).raw(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Identifier newtypes for VMs, guest processes, and address spaces.
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw identifier.
+            #[must_use]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw identifier value.
+            #[must_use]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A virtual machine (one host page table per VM).
+    VmId
+);
+
+id_newtype!(
+    /// A guest process (one guest page table — and, under shadow/agile
+    /// paging, one shadow page table — per process).
+    ProcessId
+);
+
+id_newtype!(
+    /// An address-space identifier tagging TLB entries, so context switches
+    /// need not flush the TLB (as on modern x86-64 with PCID).
+    Asid
+);
+
+impl From<ProcessId> for Asid {
+    fn from(pid: ProcessId) -> Asid {
+        Asid::new(pid.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let vm = VmId::new(3);
+        assert_eq!(vm.raw(), 3);
+        assert_eq!(vm.to_string(), "VmId3");
+        let pid: ProcessId = 9u32.into();
+        assert_eq!(pid.raw(), 9);
+    }
+
+    #[test]
+    fn asid_from_pid_is_stable() {
+        let pid = ProcessId::new(42);
+        assert_eq!(Asid::from(pid), Asid::new(42));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+    }
+}

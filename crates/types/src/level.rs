@@ -1,0 +1,184 @@
+//! Page-table levels, numbered as in the paper (L4 = root, L1 = leaf).
+
+use crate::{INDEX_BITS, PAGE_SHIFT};
+
+/// A level of the 4-level radix page table.
+///
+/// The paper numbers levels from the root down: `L4` is the top level
+/// (pointed to by the page-table pointer register), `L1` holds the leaf
+/// 4 KiB PTEs. Huge pages terminate at `L2` (2 MiB) or `L3` (1 GiB).
+///
+/// # Example
+///
+/// ```
+/// use agile_types::Level;
+///
+/// assert_eq!(Level::L4.child(), Some(Level::L3));
+/// assert_eq!(Level::L1.child(), None);
+/// assert_eq!(Level::top().walk_order().count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Leaf level: 4 KiB page-table entries.
+    L1,
+    /// Level 2: page directory; a huge entry here maps 2 MiB.
+    L2,
+    /// Level 3: page directory pointer; a huge entry here maps 1 GiB.
+    L3,
+    /// Root level, addressed directly by the page-table pointer.
+    L4,
+}
+
+impl Level {
+    /// All levels in walk order, root first.
+    pub const WALK_ORDER: [Level; 4] = [Level::L4, Level::L3, Level::L2, Level::L1];
+
+    /// The root of the page table.
+    #[must_use]
+    pub const fn top() -> Self {
+        Level::L4
+    }
+
+    /// The leaf of the page table.
+    #[must_use]
+    pub const fn leaf() -> Self {
+        Level::L1
+    }
+
+    /// Numeric level, 1 (leaf) through 4 (root), matching the paper's naming.
+    #[must_use]
+    pub const fn number(self) -> u8 {
+        match self {
+            Level::L1 => 1,
+            Level::L2 => 2,
+            Level::L3 => 3,
+            Level::L4 => 4,
+        }
+    }
+
+    /// Builds a level from its paper number (1–4).
+    ///
+    /// Returns `None` for any other number.
+    #[must_use]
+    pub const fn from_number(n: u8) -> Option<Self> {
+        match n {
+            1 => Some(Level::L1),
+            2 => Some(Level::L2),
+            3 => Some(Level::L3),
+            4 => Some(Level::L4),
+            _ => None,
+        }
+    }
+
+    /// The next level down the walk (`L4 → L3 → L2 → L1 → None`).
+    #[must_use]
+    pub const fn child(self) -> Option<Self> {
+        match self {
+            Level::L4 => Some(Level::L3),
+            Level::L3 => Some(Level::L2),
+            Level::L2 => Some(Level::L1),
+            Level::L1 => None,
+        }
+    }
+
+    /// The next level up (`L1 → L2 → L3 → L4 → None`).
+    #[must_use]
+    pub const fn parent(self) -> Option<Self> {
+        match self {
+            Level::L1 => Some(Level::L2),
+            Level::L2 => Some(Level::L3),
+            Level::L3 => Some(Level::L4),
+            Level::L4 => None,
+        }
+    }
+
+    /// Bit position within a virtual address where this level's 9-bit index
+    /// starts: 12 for L1, 21 for L2, 30 for L3, 39 for L4.
+    #[must_use]
+    pub const fn index_shift(self) -> u32 {
+        PAGE_SHIFT + INDEX_BITS * (self.number() as u32 - 1)
+    }
+
+    /// Bytes of address space mapped by one entry at this level.
+    ///
+    /// L1 → 4 KiB, L2 → 2 MiB, L3 → 1 GiB, L4 → 512 GiB.
+    #[must_use]
+    pub const fn span_bytes(self) -> u64 {
+        1u64 << self.index_shift()
+    }
+
+    /// Iterator over levels from the root down to the leaf.
+    pub fn walk_order(self) -> impl Iterator<Item = Level> {
+        Level::WALK_ORDER
+            .into_iter()
+            .skip_while(move |l| l.number() > self.number())
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for n in 1..=4 {
+            assert_eq!(Level::from_number(n).unwrap().number(), n);
+        }
+        assert_eq!(Level::from_number(0), None);
+        assert_eq!(Level::from_number(5), None);
+    }
+
+    #[test]
+    fn child_parent_inverse() {
+        for l in Level::WALK_ORDER {
+            if let Some(c) = l.child() {
+                assert_eq!(c.parent(), Some(l));
+            }
+            if let Some(p) = l.parent() {
+                assert_eq!(p.child(), Some(l));
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_match_x86_64() {
+        assert_eq!(Level::L1.index_shift(), 12);
+        assert_eq!(Level::L2.index_shift(), 21);
+        assert_eq!(Level::L3.index_shift(), 30);
+        assert_eq!(Level::L4.index_shift(), 39);
+    }
+
+    #[test]
+    fn spans_match_x86_64() {
+        assert_eq!(Level::L1.span_bytes(), 4 << 10);
+        assert_eq!(Level::L2.span_bytes(), 2 << 20);
+        assert_eq!(Level::L3.span_bytes(), 1 << 30);
+        assert_eq!(Level::L4.span_bytes(), 512u64 << 30);
+    }
+
+    #[test]
+    fn walk_order_from_top_hits_all_levels() {
+        let order: Vec<_> = Level::top().walk_order().collect();
+        assert_eq!(order, vec![Level::L4, Level::L3, Level::L2, Level::L1]);
+        let from_l2: Vec<_> = Level::L2.walk_order().collect();
+        assert_eq!(from_l2, vec![Level::L2, Level::L1]);
+    }
+
+    #[test]
+    fn display_is_paper_style() {
+        assert_eq!(Level::L4.to_string(), "L4");
+        assert_eq!(Level::L1.to_string(), "L1");
+    }
+
+    #[test]
+    fn ordering_is_by_number() {
+        assert!(Level::L1 < Level::L2);
+        assert!(Level::L3 < Level::L4);
+    }
+}

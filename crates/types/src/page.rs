@@ -1,0 +1,148 @@
+//! Page sizes supported by the simulated MMU.
+
+use crate::Level;
+
+/// A translation granule: 4 KiB base pages plus 2 MiB and 1 GiB huge pages,
+/// matching x86-64.
+///
+/// # Example
+///
+/// ```
+/// use agile_types::{Level, PageSize};
+///
+/// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Size2M.leaf_level(), Level::L2);
+/// assert_eq!(PageSize::from_leaf_level(Level::L3), Some(PageSize::Size1G));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PageSize {
+    /// 4 KiB base page (leaf PTE at L1).
+    #[default]
+    Size4K,
+    /// 2 MiB huge page (leaf PTE at L2).
+    Size2M,
+    /// 1 GiB huge page (leaf PTE at L3).
+    Size1G,
+}
+
+impl PageSize {
+    /// All sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// Log2 of the page size in bytes.
+    #[must_use]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.shift()
+    }
+
+    /// Mask selecting the offset-within-page bits.
+    #[must_use]
+    pub const fn offset_mask(self) -> u64 {
+        self.bytes() - 1
+    }
+
+    /// The page-table level whose entry maps a page of this size.
+    #[must_use]
+    pub const fn leaf_level(self) -> Level {
+        match self {
+            PageSize::Size4K => Level::L1,
+            PageSize::Size2M => Level::L2,
+            PageSize::Size1G => Level::L3,
+        }
+    }
+
+    /// Inverse of [`PageSize::leaf_level`]; `None` for L4 (no huge page spans
+    /// 512 GiB on x86-64).
+    #[must_use]
+    pub const fn from_leaf_level(level: Level) -> Option<Self> {
+        match level {
+            Level::L1 => Some(PageSize::Size4K),
+            Level::L2 => Some(PageSize::Size2M),
+            Level::L3 => Some(PageSize::Size1G),
+            Level::L4 => None,
+        }
+    }
+
+    /// Number of 4 KiB base pages covered by one page of this size.
+    #[must_use]
+    pub const fn base_pages(self) -> u64 {
+        self.bytes() >> PageSize::Size4K.shift()
+    }
+
+    /// Short label used in experiment output ("4K", "2M", "1G").
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            PageSize::Size4K => "4K",
+            PageSize::Size2M => "2M",
+            PageSize::Size1G => "1G",
+        }
+    }
+}
+
+impl std::fmt::Display for PageSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_x86_64() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.bytes(), 2 << 20);
+        assert_eq!(PageSize::Size1G.bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn leaf_level_round_trips() {
+        for sz in PageSize::ALL {
+            assert_eq!(PageSize::from_leaf_level(sz.leaf_level()), Some(sz));
+        }
+        assert_eq!(PageSize::from_leaf_level(Level::L4), None);
+    }
+
+    #[test]
+    fn base_page_counts() {
+        assert_eq!(PageSize::Size4K.base_pages(), 1);
+        assert_eq!(PageSize::Size2M.base_pages(), 512);
+        assert_eq!(PageSize::Size1G.base_pages(), 512 * 512);
+    }
+
+    #[test]
+    fn offset_mask_covers_page() {
+        for sz in PageSize::ALL {
+            assert_eq!(sz.offset_mask() + 1, sz.bytes());
+        }
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(PageSize::Size4K.to_string(), "4K");
+        assert_eq!(PageSize::Size1G.to_string(), "1G");
+    }
+
+    #[test]
+    fn default_is_base_page() {
+        assert_eq!(PageSize::default(), PageSize::Size4K);
+    }
+
+    #[test]
+    fn ordering_is_by_size() {
+        assert!(PageSize::Size4K < PageSize::Size2M);
+        assert!(PageSize::Size2M < PageSize::Size1G);
+    }
+}

@@ -1,0 +1,344 @@
+//! Page-table entry encoding.
+//!
+//! A [`Pte`] is a 64-bit word laid out like an x86-64 entry: a present bit,
+//! permission bits, accessed/dirty bits, a huge-page (page-size) bit, and a
+//! 40-bit frame number at bits 12..52.
+//!
+//! Agile paging adds one architectural bit: the **switching bit** (paper
+//! Section III-A). It is meaningful only in *shadow* page-table entries; when
+//! set, the entry's frame is the host-physical frame of the *next guest
+//! page-table level*, and the hardware walker switches from shadow to nested
+//! mode at that point of the walk. We encode it in bit 9, one of the
+//! software-available bits of a real x86-64 PTE.
+
+use crate::{HostFrame, Level, PageSize};
+
+/// Flag bits of a [`Pte`].
+///
+/// This is a transparent set-of-bits newtype (the approved dependency list
+/// has no `bitflags`, so the tiny amount of machinery is written out).
+///
+/// # Example
+///
+/// ```
+/// use agile_types::PteFlags;
+///
+/// let f = PteFlags::PRESENT | PteFlags::WRITABLE;
+/// assert!(f.contains(PteFlags::PRESENT));
+/// assert!(!f.contains(PteFlags::DIRTY));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PteFlags(u64);
+
+impl PteFlags {
+    /// Entry maps something; clear means any access faults.
+    pub const PRESENT: PteFlags = PteFlags(1 << 0);
+    /// Writes permitted.
+    pub const WRITABLE: PteFlags = PteFlags(1 << 1);
+    /// User-mode access permitted.
+    pub const USER: PteFlags = PteFlags(1 << 2);
+    /// Set by hardware (or the VMM, under shadow paging) on first access.
+    pub const ACCESSED: PteFlags = PteFlags(1 << 5);
+    /// Set by hardware (or the VMM, under shadow paging) on first write.
+    pub const DIRTY: PteFlags = PteFlags(1 << 6);
+    /// This entry is a huge-page leaf (valid at L2/L3).
+    pub const HUGE: PteFlags = PteFlags(1 << 7);
+    /// Agile paging switching bit: walk continues in nested mode below this
+    /// shadow entry (paper Section III-A). Software-available bit 9.
+    pub const SWITCHING: PteFlags = PteFlags(1 << 9);
+
+    /// The empty flag set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        PteFlags(0)
+    }
+
+    /// Raw bit representation.
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// True if every bit in `other` is set in `self`.
+    #[must_use]
+    pub const fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of the two flag sets.
+    #[must_use]
+    pub const fn union(self, other: PteFlags) -> Self {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Flags in `self` but not in `other`.
+    #[must_use]
+    pub const fn difference(self, other: PteFlags) -> Self {
+        PteFlags(self.0 & !other.0)
+    }
+}
+
+impl std::ops::BitOr for PteFlags {
+    type Output = PteFlags;
+    fn bitor(self, rhs: PteFlags) -> PteFlags {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for PteFlags {
+    fn bitor_assign(&mut self, rhs: PteFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+/// Bits of the PTE word that hold flags (everything outside the frame field).
+const FLAGS_MASK: u64 = !FRAME_MASK;
+/// Frame number field: bits 12..52, stored pre-shifted like real x86-64.
+const FRAME_MASK: u64 = 0x000f_ffff_ffff_f000;
+
+/// A 64-bit page-table entry.
+///
+/// Used for all three page tables (guest, host, shadow); the interpretation
+/// of the frame field differs per table:
+///
+/// * guest PT: guest-physical frame of the next level / mapped page,
+/// * host PT and shadow PT: host-physical frame,
+/// * shadow PT with [`PteFlags::SWITCHING`]: host-physical frame of the next
+///   *guest* page-table level (the nested escape hatch, paper Fig. 3).
+///
+/// # Example
+///
+/// ```
+/// use agile_types::{HostFrame, Pte, PteFlags};
+///
+/// let pte = Pte::table(HostFrame::new(0x42));
+/// assert!(pte.is_present());
+/// assert_eq!(pte.frame_raw(), 0x42);
+/// assert!(!pte.flags().contains(PteFlags::HUGE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(u64);
+
+impl Pte {
+    /// The all-zero, not-present entry.
+    #[must_use]
+    pub const fn empty() -> Self {
+        Pte(0)
+    }
+
+    /// Builds an entry from a raw frame number and flags.
+    #[must_use]
+    pub const fn new(frame_raw: u64, flags: PteFlags) -> Self {
+        Pte(((frame_raw << 12) & FRAME_MASK) | (flags.bits() & FLAGS_MASK))
+    }
+
+    /// A present, writable, user, non-leaf entry pointing at a page-table
+    /// page — the normal interior-node entry.
+    #[must_use]
+    pub const fn table(next: HostFrame) -> Self {
+        Pte::new(
+            next.raw(),
+            PteFlags(PteFlags::PRESENT.0 | PteFlags::WRITABLE.0 | PteFlags::USER.0),
+        )
+    }
+
+    /// A present leaf entry with the given permissions.
+    #[must_use]
+    pub const fn leaf(frame_raw: u64, writable: bool, huge: bool) -> Self {
+        let mut bits = PteFlags::PRESENT.0 | PteFlags::USER.0;
+        if writable {
+            bits |= PteFlags::WRITABLE.0;
+        }
+        if huge {
+            bits |= PteFlags::HUGE.0;
+        }
+        Pte::new(frame_raw, PteFlags(bits))
+    }
+
+    /// Raw 64-bit representation.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an entry from its raw representation.
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        Pte(raw)
+    }
+
+    /// The flag bits.
+    #[must_use]
+    pub const fn flags(self) -> PteFlags {
+        PteFlags(self.0 & FLAGS_MASK)
+    }
+
+    /// The raw frame number (meaning depends on which table holds the entry).
+    #[must_use]
+    pub const fn frame_raw(self) -> u64 {
+        (self.0 & FRAME_MASK) >> 12
+    }
+
+    /// The frame interpreted as host-physical (host/shadow tables).
+    #[must_use]
+    pub const fn host_frame(self) -> HostFrame {
+        HostFrame::new(self.frame_raw())
+    }
+
+    /// True if the present bit is set.
+    #[must_use]
+    pub const fn is_present(self) -> bool {
+        self.flags().contains(PteFlags::PRESENT)
+    }
+
+    /// True if the entry permits writes.
+    #[must_use]
+    pub const fn is_writable(self) -> bool {
+        self.flags().contains(PteFlags::WRITABLE)
+    }
+
+    /// True if this is a huge-page leaf.
+    #[must_use]
+    pub const fn is_huge(self) -> bool {
+        self.flags().contains(PteFlags::HUGE)
+    }
+
+    /// True if the agile switching bit is set (shadow tables only).
+    #[must_use]
+    pub const fn is_switching(self) -> bool {
+        self.flags().contains(PteFlags::SWITCHING)
+    }
+
+    /// True if this entry terminates the walk at `level`: L1 entries always
+    /// do, L2/L3 entries do when [`PteFlags::HUGE`] is set.
+    #[must_use]
+    pub fn is_leaf_at(self, level: Level) -> bool {
+        match level {
+            Level::L1 => true,
+            Level::L2 | Level::L3 => self.is_huge(),
+            Level::L4 => false,
+        }
+    }
+
+    /// The page size this entry maps if it is a leaf at `level`.
+    #[must_use]
+    pub fn leaf_size(self, level: Level) -> Option<PageSize> {
+        if self.is_leaf_at(level) {
+            PageSize::from_leaf_level(level)
+        } else {
+            None
+        }
+    }
+
+    /// Copy of this entry with `flags` added.
+    #[must_use]
+    pub const fn with_flags(self, flags: PteFlags) -> Self {
+        Pte(self.0 | (flags.bits() & FLAGS_MASK))
+    }
+
+    /// Copy of this entry with `flags` removed.
+    #[must_use]
+    pub const fn without_flags(self, flags: PteFlags) -> Self {
+        Pte(self.0 & !(flags.bits() & FLAGS_MASK))
+    }
+}
+
+impl std::fmt::Display for Pte {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.is_present() {
+            return write!(f, "<not present>");
+        }
+        write!(f, "frame={:#x}", self.frame_raw())?;
+        for (flag, ch) in [
+            (PteFlags::WRITABLE, 'W'),
+            (PteFlags::USER, 'U'),
+            (PteFlags::ACCESSED, 'A'),
+            (PteFlags::DIRTY, 'D'),
+            (PteFlags::HUGE, 'H'),
+            (PteFlags::SWITCHING, 'S'),
+        ] {
+            if self.flags().contains(flag) {
+                write!(f, " {ch}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_not_present() {
+        assert!(!Pte::empty().is_present());
+        assert_eq!(Pte::empty().raw(), 0);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let pte = Pte::new(0xabcdef, PteFlags::PRESENT);
+        assert_eq!(pte.frame_raw(), 0xabcdef);
+        assert_eq!(pte.host_frame(), HostFrame::new(0xabcdef));
+    }
+
+    #[test]
+    fn frame_does_not_clobber_flags() {
+        let pte = Pte::new(u64::MAX >> 12, PteFlags::PRESENT | PteFlags::DIRTY);
+        assert!(pte.is_present());
+        assert!(pte.flags().contains(PteFlags::DIRTY));
+        // Frame is truncated to the 40-bit field, flags intact.
+        assert_eq!(pte.frame_raw(), FRAME_MASK >> 12);
+    }
+
+    #[test]
+    fn leaf_detection_by_level() {
+        let plain = Pte::leaf(1, true, false);
+        let huge = Pte::leaf(512, true, true);
+        assert!(plain.is_leaf_at(Level::L1));
+        assert!(!plain.is_leaf_at(Level::L2));
+        assert!(huge.is_leaf_at(Level::L2));
+        assert!(huge.is_leaf_at(Level::L3));
+        assert!(!huge.is_leaf_at(Level::L4));
+        assert_eq!(huge.leaf_size(Level::L2), Some(PageSize::Size2M));
+        assert_eq!(plain.leaf_size(Level::L2), None);
+    }
+
+    #[test]
+    fn with_without_flags() {
+        let pte = Pte::table(HostFrame::new(7));
+        let dirty = pte.with_flags(PteFlags::DIRTY | PteFlags::ACCESSED);
+        assert!(dirty.flags().contains(PteFlags::DIRTY));
+        let clean = dirty.without_flags(PteFlags::DIRTY);
+        assert!(!clean.flags().contains(PteFlags::DIRTY));
+        assert!(clean.flags().contains(PteFlags::ACCESSED));
+        assert_eq!(clean.frame_raw(), 7);
+    }
+
+    #[test]
+    fn switching_bit_is_independent() {
+        let pte = Pte::table(HostFrame::new(3)).with_flags(PteFlags::SWITCHING);
+        assert!(pte.is_switching());
+        assert!(pte.is_present());
+        assert_eq!(pte.frame_raw(), 3);
+        assert!(!pte.without_flags(PteFlags::SWITCHING).is_switching());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pte::empty().to_string(), "<not present>");
+        let s = Pte::leaf(0x10, true, true).to_string();
+        assert!(s.contains("frame=0x10"), "{s}");
+        assert!(s.contains('W') && s.contains('H'), "{s}");
+    }
+
+    #[test]
+    fn flags_set_ops() {
+        let f = PteFlags::PRESENT | PteFlags::DIRTY;
+        assert!(f.contains(PteFlags::PRESENT));
+        assert_eq!(f.difference(PteFlags::DIRTY), PteFlags::PRESENT);
+        let mut g = PteFlags::empty();
+        g |= PteFlags::HUGE;
+        assert!(g.contains(PteFlags::HUGE));
+    }
+}

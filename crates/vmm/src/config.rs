@@ -1,0 +1,191 @@
+//! VMM configuration: which memory-virtualization technique runs, and the
+//! agile-paging policy and hardware-optimization knobs.
+
+use crate::traps::VmtrapCosts;
+
+/// The policy for moving parts of the guest page table from nested back to
+/// shadow mode (paper Section III-C, "Nested⇒Shadow mode").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NestedToShadowPolicy {
+    /// Simple policy: at every interval, move *everything* back to shadow
+    /// mode and let the write detector re-nest the hot parts. Can oscillate.
+    PeriodicReset,
+    /// Effective policy (default): at each interval, scan the host-table
+    /// dirty bits of the pages holding nested guest page-table nodes; only
+    /// pages that were *not* written revert to shadow mode, parents before
+    /// children.
+    #[default]
+    DirtyBitScan,
+}
+
+/// Agile-paging knobs (paper Sections III-C and IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgileOptions {
+    /// Writes to one guest page-table page within an interval before that
+    /// level and everything below it moves to nested mode. The paper uses a
+    /// small bimodal threshold: two writes.
+    pub write_threshold: u32,
+    /// How nested parts return to shadow mode.
+    pub nested_to_shadow: NestedToShadowPolicy,
+    /// Hardware optimization 1: the walker sets accessed/dirty bits in all
+    /// three tables, eliminating `AdBitSync` VMtraps at the price of an
+    /// extra (counted) nested walk.
+    pub hw_ad_bits: bool,
+    /// Hardware optimization 2: a small gptr⇒sptr cache serviced by
+    /// hardware on guest context switches, eliminating `ContextSwitch`
+    /// VMtraps on hits.
+    pub hw_ctx_cache: bool,
+    /// Entries in the context-switch pointer cache (paper: 4–8).
+    pub ctx_cache_entries: usize,
+    /// Administrative policy for short-lived/small processes: start the
+    /// process fully nested and engage shadow mode only after the first
+    /// interval tick (paper Section III-C, "Short-Lived or Small
+    /// Processes").
+    pub start_in_nested: bool,
+}
+
+impl Default for AgileOptions {
+    fn default() -> Self {
+        AgileOptions {
+            write_threshold: 2,
+            nested_to_shadow: NestedToShadowPolicy::DirtyBitScan,
+            hw_ad_bits: true,
+            hw_ctx_cache: true,
+            ctx_cache_entries: 8,
+            start_in_nested: false,
+        }
+    }
+}
+
+impl AgileOptions {
+    /// The paper's base mechanism with both optional hardware optimizations
+    /// disabled (Section III only).
+    #[must_use]
+    pub fn without_hw_opts() -> Self {
+        AgileOptions {
+            hw_ad_bits: false,
+            hw_ctx_cache: false,
+            ..AgileOptions::default()
+        }
+    }
+}
+
+/// SHSP (selective hardware/software paging) baseline knobs: the per-process
+/// temporal switching scheme of Wang et al. \[58\].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShspOptions {
+    /// TLB-miss count per interval above which shadow mode is attractive.
+    pub tlb_miss_threshold: u64,
+    /// Page-table-update trap count per interval above which nested mode is
+    /// attractive.
+    pub pt_update_threshold: u64,
+}
+
+impl Default for ShspOptions {
+    fn default() -> Self {
+        ShspOptions {
+            tlb_miss_threshold: 64,
+            pt_update_threshold: 64,
+        }
+    }
+}
+
+/// Which memory-virtualization technique the VMM runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Base native: no virtualization. The "VMM" degenerates to a zero-cost
+    /// merged-table maintainer so that the same guest OS code runs
+    /// unvirtualized (see `DESIGN.md`).
+    Native,
+    /// Hardware nested paging: 2D walks, direct page-table updates.
+    Nested,
+    /// Software shadow paging: 1D walks over the shadow table, VMtraps on
+    /// guest page-table updates.
+    Shadow,
+    /// The paper's contribution: per-subtree combination of both.
+    Agile(AgileOptions),
+    /// Whole-process temporal switching between nested and shadow (the
+    /// paper's closest prior work).
+    Shsp(ShspOptions),
+}
+
+impl Technique {
+    /// Short label used in experiment output columns ("B", "N", "S", "A").
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Technique::Native => "B",
+            Technique::Nested => "N",
+            Technique::Shadow => "S",
+            Technique::Agile(_) => "A",
+            Technique::Shsp(_) => "SHSP",
+        }
+    }
+
+    /// True for the techniques that maintain a shadow table at least some
+    /// of the time.
+    #[must_use]
+    pub fn uses_shadow(&self) -> bool {
+        matches!(
+            self,
+            Technique::Shadow | Technique::Agile(_) | Technique::Shsp(_) | Technique::Native
+        )
+    }
+}
+
+/// Full VMM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmmConfig {
+    /// Active technique.
+    pub technique: Technique,
+    /// Trap cost model.
+    pub costs: VmtrapCosts,
+}
+
+impl VmmConfig {
+    /// Configuration with default costs for `technique`. Native uses the
+    /// free cost model (there is no hypervisor).
+    #[must_use]
+    pub fn new(technique: Technique) -> Self {
+        let costs = match technique {
+            Technique::Native => VmtrapCosts::free(),
+            _ => VmtrapCosts::default(),
+        };
+        VmmConfig { technique, costs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Technique::Native.label(), "B");
+        assert_eq!(Technique::Agile(AgileOptions::default()).label(), "A");
+    }
+
+    #[test]
+    fn native_config_is_free() {
+        let c = VmmConfig::new(Technique::Native);
+        assert_eq!(c.costs, VmtrapCosts::free());
+        let s = VmmConfig::new(Technique::Shadow);
+        assert_ne!(s.costs, VmtrapCosts::free());
+    }
+
+    #[test]
+    fn default_agile_options_match_paper() {
+        let a = AgileOptions::default();
+        assert_eq!(a.write_threshold, 2);
+        assert_eq!(a.nested_to_shadow, NestedToShadowPolicy::DirtyBitScan);
+        assert!(a.ctx_cache_entries >= 4 && a.ctx_cache_entries <= 8);
+    }
+
+    #[test]
+    fn without_hw_opts_disables_both() {
+        let a = AgileOptions::without_hw_opts();
+        assert!(!a.hw_ad_bits);
+        assert!(!a.hw_ctx_cache);
+        assert_eq!(a.write_threshold, 2);
+    }
+}

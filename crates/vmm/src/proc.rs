@@ -1,0 +1,122 @@
+//! Per-process virtualization state tracked by the VMM.
+
+use agile_mem::RadixTable;
+use agile_types::{GuestFrame, HostFrame, Level};
+use agile_walk::AgileCr3;
+use std::collections::HashMap;
+
+/// Mode of one guest page-table page, as the VMM tracks it (paper Section
+/// III-B/III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GptPageMode {
+    /// Write-protected and mirrored by the shadow table: guest writes trap.
+    Synced,
+    /// KVM-style unsynced page: temporarily writable; the corresponding
+    /// shadow entries were dropped and will resync at the next TLB flush or
+    /// context switch.
+    Unsynced,
+    /// Agile nested mode: the page (and everything below it) is walked in
+    /// nested mode, so guest writes are direct.
+    Nested,
+}
+
+/// What the VMM knows about one guest page-table page.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GptPageInfo {
+    /// Radix level of the entries this page holds.
+    pub level: Level,
+    /// First guest virtual address covered by the page.
+    pub va_base: u64,
+    /// Current interception mode.
+    pub mode: GptPageMode,
+    /// Writes the VMM has observed to the page in the current interval
+    /// (the paper's bimodal write detector).
+    pub writes_this_interval: u32,
+    /// Whether the shadow table currently mirrors entries derived from this
+    /// page. Only shadowed pages are write-protected, so only they trap.
+    pub shadowed: bool,
+}
+
+/// Per-process state.
+#[derive(Debug)]
+pub(crate) struct ProcState {
+    /// Guest page table (pages live in guest frames).
+    pub gpt: RadixTable,
+    /// Shadow page table, when the technique maintains one.
+    pub spt: Option<RadixTable>,
+    /// Metadata per guest page-table page.
+    pub pages: HashMap<GuestFrame, GptPageInfo>,
+    /// Whole address space currently in nested mode (Technique::Nested,
+    /// SHSP nested phase, or agile before shadow engagement).
+    pub full_nested: bool,
+    /// Agile: the root itself switched to nested mode (register-level
+    /// switching bit → 20-reference walks).
+    pub root_nested: bool,
+}
+
+impl ProcState {
+    /// The guest page-table root as a guest frame (`gptr`).
+    pub fn gptr(&self) -> GuestFrame {
+        GuestFrame::new(self.gpt.root_raw())
+    }
+}
+
+/// The architectural roots the hardware walker needs for the current
+/// process, per technique — what the VMM programs into the (virtual) CR3 /
+/// EPTP / sptr registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwRoots {
+    /// Base native: a single 1D table.
+    Native {
+        /// Root of the (merged) native page table.
+        root: HostFrame,
+    },
+    /// Nested paging: guest root (a guest frame) + host root.
+    Nested {
+        /// Guest page-table root (`gptr`, a guest frame).
+        gptr: GuestFrame,
+        /// Host page-table root (`hptr`).
+        hptr: HostFrame,
+    },
+    /// Shadow paging: the shadow root only is walked.
+    Shadow {
+        /// Shadow page-table root (`sptr`).
+        sptr: HostFrame,
+    },
+    /// Agile paging: all three pointers (paper Section III-A).
+    Agile {
+        /// Walk starting state.
+        cr3: AgileCr3,
+        /// Guest page-table root.
+        gptr: GuestFrame,
+        /// Host page-table root.
+        hptr: HostFrame,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_are_distinct() {
+        assert_ne!(GptPageMode::Synced, GptPageMode::Unsynced);
+        assert_ne!(GptPageMode::Unsynced, GptPageMode::Nested);
+    }
+
+    #[test]
+    fn hw_roots_carry_pointers() {
+        let r = HwRoots::Agile {
+            cr3: AgileCr3::FullNested,
+            gptr: GuestFrame::new(1),
+            hptr: HostFrame::new(2),
+        };
+        match r {
+            HwRoots::Agile { gptr, hptr, .. } => {
+                assert_eq!(gptr.raw(), 1);
+                assert_eq!(hptr.raw(), 2);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The SHSP baseline: selective hardware/software paging (Wang et al.).
+//!
+//! SHSP switches an *entire guest process* between nested and shadow paging
+//! by monitoring TLB misses and page-table activity each interval (paper
+//! Section VII-C). It is the temporal-only predecessor agile paging extends
+//! spatially.
+
+use crate::config::ShspOptions;
+
+/// Which technique the process currently runs under SHSP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShspMode {
+    /// Whole process uses nested paging.
+    Nested,
+    /// Whole process uses shadow paging.
+    Shadow,
+}
+
+/// The per-interval mode controller.
+///
+/// # Example
+///
+/// ```
+/// use agile_vmm::{ShspController, ShspMode, ShspOptions};
+///
+/// let mut c = ShspController::new(ShspOptions::default());
+/// assert_eq!(c.mode(), ShspMode::Nested); // processes start nested
+/// // Heavy TLB missing, no page-table churn: switch to shadow.
+/// assert_eq!(c.evaluate(10_000, 0), Some(ShspMode::Shadow));
+/// assert_eq!(c.mode(), ShspMode::Shadow);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShspController {
+    opts: ShspOptions,
+    mode: ShspMode,
+    switches: u64,
+}
+
+impl ShspController {
+    /// Creates a controller; per the prior work, processes start in nested
+    /// mode (cheap for short-lived processes).
+    #[must_use]
+    pub fn new(opts: ShspOptions) -> Self {
+        ShspController {
+            opts,
+            mode: ShspMode::Nested,
+            switches: 0,
+        }
+    }
+
+    /// The current whole-process mode.
+    #[must_use]
+    pub fn mode(&self) -> ShspMode {
+        self.mode
+    }
+
+    /// Number of mode switches performed so far.
+    #[must_use]
+    pub fn switch_count(&self) -> u64 {
+        self.switches
+    }
+
+    /// Consumes one interval's monitoring data (TLB misses and observed
+    /// guest page-table writes) and decides whether to switch. Returns the
+    /// new mode when a switch should happen.
+    pub fn evaluate(&mut self, tlb_misses: u64, pt_writes: u64) -> Option<ShspMode> {
+        let target = match self.mode {
+            ShspMode::Nested => {
+                if tlb_misses > self.opts.tlb_miss_threshold
+                    && pt_writes <= self.opts.pt_update_threshold
+                {
+                    Some(ShspMode::Shadow)
+                } else {
+                    None
+                }
+            }
+            ShspMode::Shadow => {
+                if pt_writes > self.opts.pt_update_threshold {
+                    Some(ShspMode::Nested)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(m) = target {
+            self.mode = m;
+            self.switches += 1;
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> ShspOptions {
+        ShspOptions {
+            tlb_miss_threshold: 100,
+            pt_update_threshold: 10,
+        }
+    }
+
+    #[test]
+    fn starts_nested() {
+        assert_eq!(ShspController::new(opts()).mode(), ShspMode::Nested);
+    }
+
+    #[test]
+    fn switches_to_shadow_on_tlb_pressure() {
+        let mut c = ShspController::new(opts());
+        assert_eq!(c.evaluate(1000, 0), Some(ShspMode::Shadow));
+        assert_eq!(c.switch_count(), 1);
+    }
+
+    #[test]
+    fn stays_nested_when_tables_churn() {
+        let mut c = ShspController::new(opts());
+        assert_eq!(c.evaluate(1000, 1000), None);
+        assert_eq!(c.mode(), ShspMode::Nested);
+    }
+
+    #[test]
+    fn returns_to_nested_on_update_storm() {
+        let mut c = ShspController::new(opts());
+        c.evaluate(1000, 0);
+        assert_eq!(c.mode(), ShspMode::Shadow);
+        assert_eq!(c.evaluate(1000, 1000), Some(ShspMode::Nested));
+        assert_eq!(c.switch_count(), 2);
+    }
+
+    #[test]
+    fn quiet_intervals_do_not_switch() {
+        let mut c = ShspController::new(opts());
+        assert_eq!(c.evaluate(0, 0), None);
+        c.evaluate(1000, 0);
+        assert_eq!(c.evaluate(0, 0), None);
+        assert_eq!(c.mode(), ShspMode::Shadow);
+    }
+}

@@ -1,0 +1,1555 @@
+//! The VMM proper: interception, shadow synchronization, agile mode
+//! management, and fault handling.
+
+use crate::config::{NestedToShadowPolicy, Technique, VmmConfig};
+use crate::proc::{GptPageInfo, GptPageMode, HwRoots, ProcState};
+use crate::shsp::{ShspController, ShspMode};
+use crate::traps::{VmtrapKind, VmtrapStats};
+use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
+use agile_tlb::SetAssocCache;
+use agile_types::{
+    AccessKind, Asid, Fault, FaultCause, GuestFrame, GuestVirtAddr, HostFrame, Level, PageSize,
+    Pte, PteFlags, ProcessId, VmId,
+};
+use agile_walk::AgileCr3;
+use std::collections::HashMap;
+
+/// A translation-structure shootdown the machine must apply after a VMM
+/// operation: either one address space's full TLB/PWC state, or only the
+/// entries covering a virtual range (cheap, used for subtree-local
+/// restructuring like agile mode switches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushRequest {
+    /// Flush everything tagged with the address space.
+    Asid(Asid),
+    /// Flush only entries covering `[start, start+len)` of the address
+    /// space.
+    Range {
+        /// Address space.
+        asid: Asid,
+        /// Range start (guest virtual).
+        start: u64,
+        /// Range length in bytes.
+        len: u64,
+    },
+    /// Drop the nested-TLB entry for one guest frame (the VMM remapped it
+    /// in the host table, e.g. a host-level copy-on-write break).
+    NtlbFrame(GuestFrame),
+}
+
+/// How the VMM resolved a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The VMM repaired the translation structures; the access should be
+    /// retried.
+    Fixed,
+    /// The fault is genuine from the guest's point of view; the guest OS
+    /// page-fault handler must run with the given (guest-visible) fault.
+    ReflectToGuest(Fault),
+}
+
+/// Event counters beyond VMtraps, used by the experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmmCounters {
+    /// Guest page-table subtrees moved from shadow to nested mode.
+    pub to_nested: u64,
+    /// Guest page-table pages moved from nested back to shadow mode.
+    pub to_shadow: u64,
+    /// Leaf guest-table pages unsynced (KVM-style).
+    pub unsyncs: u64,
+    /// Unsynced pages re-protected at flush/context-switch points.
+    pub resyncs: u64,
+    /// Shadow leaf entries constructed (lazy or eager).
+    pub shadow_leaves_built: u64,
+    /// Context switches absorbed by the hardware pointer cache (HW opt 2).
+    pub ctx_cache_hits: u64,
+    /// Guest page-table writes observed, total.
+    pub gpt_writes_total: u64,
+    /// Guest page-table writes that were direct (no VMM intervention).
+    pub gpt_writes_direct: u64,
+}
+
+impl VmmCounters {
+    /// Counters accumulated since the `earlier` snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &VmmCounters) -> VmmCounters {
+        VmmCounters {
+            to_nested: self.to_nested - earlier.to_nested,
+            to_shadow: self.to_shadow - earlier.to_shadow,
+            unsyncs: self.unsyncs - earlier.unsyncs,
+            resyncs: self.resyncs - earlier.resyncs,
+            shadow_leaves_built: self.shadow_leaves_built - earlier.shadow_leaves_built,
+            ctx_cache_hits: self.ctx_cache_hits - earlier.ctx_cache_hits,
+            gpt_writes_total: self.gpt_writes_total - earlier.gpt_writes_total,
+            gpt_writes_direct: self.gpt_writes_direct - earlier.gpt_writes_direct,
+        }
+    }
+}
+
+/// The virtual machine monitor for one VM.
+///
+/// Owns the VM's guest-physical backing map, the host page table, and the
+/// per-process guest/shadow page-table state. See the crate docs for the
+/// mediation model.
+#[derive(Debug)]
+pub struct Vmm {
+    vm: VmId,
+    cfg: VmmConfig,
+    gmap: GuestMemMap,
+    hpt: RadixTable,
+    procs: HashMap<ProcessId, ProcState>,
+    traps: VmtrapStats,
+    counters: VmmCounters,
+    ctx_cache: Option<SetAssocCache<u64, u64>>,
+    current: Option<ProcessId>,
+    pending_flushes: Vec<FlushRequest>,
+    shsp: Option<ShspController>,
+    gpt_writes_this_interval: u64,
+    ticks: u64,
+    write_trace: Option<Vec<(ProcessId, u64, Level)>>,
+}
+
+impl Vmm {
+    /// Creates the VMM for a fresh VM.
+    pub fn new(mem: &mut PhysMem, cfg: VmmConfig) -> Self {
+        let mut host = HostSpace;
+        let hpt = RadixTable::new(mem, &mut host);
+        let ctx_cache = match cfg.technique {
+            Technique::Agile(o) if o.hw_ctx_cache => {
+                Some(SetAssocCache::fully_associative(o.ctx_cache_entries.max(1)))
+            }
+            _ => None,
+        };
+        let shsp = match cfg.technique {
+            Technique::Shsp(o) => Some(ShspController::new(o)),
+            _ => None,
+        };
+        Vmm {
+            vm: VmId::new(0),
+            cfg,
+            gmap: GuestMemMap::new(),
+            hpt,
+            procs: HashMap::new(),
+            traps: VmtrapStats::default(),
+            counters: VmmCounters::default(),
+            ctx_cache,
+            current: None,
+            pending_flushes: Vec::new(),
+            shsp,
+            gpt_writes_this_interval: 0,
+            ticks: 0,
+            write_trace: None,
+        }
+    }
+
+    /// Turns on recording of guest page-table updates (the paper's step-1
+    /// instrumented-VMM trace). Drain with [`Vmm::take_write_trace`].
+    pub fn enable_write_trace(&mut self) {
+        self.write_trace = Some(Vec::new());
+    }
+
+    /// Drains the recorded `(process, gva, level)` update tuples.
+    pub fn take_write_trace(&mut self) -> Vec<(ProcessId, u64, Level)> {
+        self.write_trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This VM's id.
+    #[must_use]
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// The active technique.
+    #[must_use]
+    pub fn technique(&self) -> Technique {
+        self.cfg.technique
+    }
+
+    /// Host page-table root (`hptr`).
+    #[must_use]
+    pub fn hptr(&self) -> HostFrame {
+        HostFrame::new(self.hpt.root_raw())
+    }
+
+    /// VMtrap counts and cycles so far.
+    #[must_use]
+    pub fn trap_stats(&self) -> VmtrapStats {
+        self.traps
+    }
+
+    /// Non-trap event counters.
+    #[must_use]
+    pub fn counters(&self) -> VmmCounters {
+        self.counters
+    }
+
+    /// Currently scheduled guest process.
+    #[must_use]
+    pub fn current_process(&self) -> Option<ProcessId> {
+        self.current
+    }
+
+    /// The SHSP controller's current mode, when running SHSP.
+    #[must_use]
+    pub fn shsp_mode(&self) -> Option<ShspMode> {
+        self.shsp.as_ref().map(ShspController::mode)
+    }
+
+    /// Drains the shootdown requests produced by VMM operations since the
+    /// last call.
+    pub fn take_pending_flushes(&mut self) -> Vec<FlushRequest> {
+        std::mem::take(&mut self.pending_flushes)
+    }
+
+    /// Mode of the guest page-table page holding `gva`'s entry at `level`
+    /// (diagnostics / tests).
+    #[must_use]
+    pub fn page_mode(&self, mem: &PhysMem, pid: ProcessId, gva: u64, level: Level) -> Option<GptPageMode> {
+        let proc = self.procs.get(&pid)?;
+        let frame = proc.gpt.table_frame(mem, &self.gmap, gva, level)?;
+        proc.pages.get(&GuestFrame::new(frame)).map(|i| i.mode)
+    }
+
+    /// Number of guest page-table pages the VMM tracks for `pid`.
+    #[must_use]
+    pub fn gpt_page_count(&self, pid: ProcessId) -> usize {
+        self.procs.get(&pid).map_or(0, |p| p.pages.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Guest memory and process lifecycle
+    // ------------------------------------------------------------------
+
+    /// Allocates one guest data frame (machine memory is assigned
+    /// immediately; the host-table entry is still filled lazily on first
+    /// hardware use, costing an EPT-violation VMexit).
+    pub fn alloc_guest_frame(&mut self, mem: &mut PhysMem) -> GuestFrame {
+        self.gmap.alloc_data(mem)
+    }
+
+    /// Allocates a naturally aligned huge run of guest frames.
+    pub fn alloc_guest_frame_huge(&mut self, mem: &mut PhysMem, size: PageSize) -> GuestFrame {
+        self.gmap.alloc_data_huge(mem, size)
+    }
+
+    /// Creates the paging state for a new guest process: a guest page-table
+    /// root and, for shadow-maintaining techniques, a shadow root.
+    pub fn create_process(&mut self, mem: &mut PhysMem, pid: ProcessId) {
+        let gpt = RadixTable::new(mem, &mut self.gmap);
+        let spt = if self.cfg.technique.uses_shadow() {
+            Some(RadixTable::new(mem, &mut HostSpace))
+        } else {
+            None
+        };
+        let full_nested = match self.cfg.technique {
+            Technique::Nested => true,
+            Technique::Agile(o) => o.start_in_nested,
+            Technique::Shsp(_) => self.shsp.as_ref().is_some_and(|c| c.mode() == ShspMode::Nested),
+            _ => false,
+        };
+        let mut proc = ProcState {
+            gpt,
+            spt,
+            pages: HashMap::new(),
+            full_nested,
+            root_nested: false,
+        };
+        let root_mode = if full_nested {
+            GptPageMode::Nested
+        } else {
+            GptPageMode::Synced
+        };
+        proc.pages.insert(
+            GuestFrame::new(proc.gpt.root_raw()),
+            GptPageInfo {
+                level: Level::L4,
+                va_base: 0,
+                mode: root_mode,
+                writes_this_interval: 0,
+                shadowed: false,
+            },
+        );
+        self.procs.insert(pid, proc);
+        if self.current.is_none() {
+            self.current = Some(pid);
+        }
+    }
+
+    fn proc(&self, pid: ProcessId) -> &ProcState {
+        self.procs.get(&pid).expect("unknown process")
+    }
+
+    /// Registers any guest page-table pages on `gva`'s path that the VMM
+    /// has not seen yet, inheriting nested mode from the parent.
+    fn register_gpt_pages(&mut self, mem: &PhysMem, pid: ProcessId, gva: u64) {
+        let proc = self.procs.get(&pid).expect("unknown process");
+        let mut to_add: Vec<(GuestFrame, GptPageInfo)> = Vec::new();
+        let mut parent_nested = proc.full_nested;
+        for level in Level::top().walk_order() {
+            let Some(frame) = proc.gpt.table_frame(mem, &self.gmap, gva, level) else {
+                break;
+            };
+            let g = GuestFrame::new(frame);
+            match proc.pages.get(&g) {
+                Some(info) => parent_nested = info.mode == GptPageMode::Nested,
+                None => {
+                    let va_base = match level.parent() {
+                        Some(p) => gva & !(p.span_bytes() - 1),
+                        None => 0,
+                    };
+                    let mode = if parent_nested {
+                        GptPageMode::Nested
+                    } else {
+                        GptPageMode::Synced
+                    };
+                    to_add.push((
+                        g,
+                        GptPageInfo {
+                            level,
+                            va_base,
+                            mode,
+                            writes_this_interval: 0,
+                            shadowed: false,
+                        },
+                    ));
+                    parent_nested = mode == GptPageMode::Nested;
+                }
+            }
+        }
+        let proc = self.procs.get_mut(&pid).expect("unknown process");
+        for (g, info) in to_add {
+            proc.pages.insert(g, info);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Guest page-table mediation (the interception boundary)
+    // ------------------------------------------------------------------
+
+    /// Reads the guest leaf mapping `gva`, with its level.
+    #[must_use]
+    pub fn gpt_lookup(&self, mem: &PhysMem, pid: ProcessId, gva: u64) -> Option<(Pte, Level)> {
+        self.proc(pid).gpt.lookup(mem, &self.gmap, gva)
+    }
+
+    /// Reads `gva`'s guest entry at `level`.
+    #[must_use]
+    pub fn gpt_entry(&self, mem: &PhysMem, pid: ProcessId, gva: u64, level: Level) -> Option<Pte> {
+        self.proc(pid).gpt.entry(mem, &self.gmap, gva, level)
+    }
+
+    /// Sets the accessed (and, for writes, dirty) bit on the guest leaf
+    /// mapping `gva`, without interception cost — used to model hardware
+    /// A/D updates in configurations where the walked table is the guest's
+    /// own (base native).
+    pub fn set_guest_ad_bits(&mut self, mem: &mut PhysMem, pid: ProcessId, gva: u64, write: bool) {
+        let Some((_, level)) = self.gpt_lookup(mem, pid, gva) else {
+            return;
+        };
+        let mut flags = PteFlags::ACCESSED;
+        if write {
+            flags |= PteFlags::DIRTY;
+        }
+        let proc = self.procs.get_mut(&pid).expect("unknown process");
+        let _ = proc
+            .gpt
+            .update_entry(mem, &self.gmap, gva, level, |p| p.with_flags(flags));
+    }
+
+    /// Guest OS maps a page: `gva` → `gframe` at `size`. Charged as a
+    /// page-table update at the leaf level.
+    pub fn gpt_map(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        gva: u64,
+        gframe: GuestFrame,
+        size: PageSize,
+        flags: PteFlags,
+    ) {
+        self.note_gpt_write(mem, pid, gva, size.leaf_level());
+        {
+            let proc = self.procs.get_mut(&pid).expect("unknown process");
+            proc.gpt
+                .map(mem, &mut self.gmap, gva, gframe.raw(), size, flags)
+                .expect("guest mapping conflict");
+        }
+        self.register_gpt_pages(mem, pid, gva);
+        if matches!(self.cfg.technique, Technique::Native) {
+            self.native_mirror_leaf(mem, pid, gva);
+        }
+    }
+
+    /// Guest OS unmaps the page of `size` at `gva`. Returns the old guest
+    /// entry.
+    pub fn gpt_unmap(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        gva: u64,
+        size: PageSize,
+    ) -> Option<Pte> {
+        self.note_gpt_write(mem, pid, gva, size.leaf_level());
+        let old = {
+            let proc = self.procs.get_mut(&pid).expect("unknown process");
+            proc.gpt.unmap(mem, &self.gmap, gva, size)
+        };
+        if old.is_some() {
+            self.drop_shadow_leaf(mem, pid, gva);
+        }
+        old
+    }
+
+    /// Guest OS edits `gva`'s guest entry at `level` (protection changes,
+    /// A/D-bit clears, remaps). Returns the new entry.
+    pub fn gpt_update(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        gva: u64,
+        level: Level,
+        f: impl FnOnce(Pte) -> Pte,
+    ) -> Option<Pte> {
+        self.note_gpt_write(mem, pid, gva, level);
+        let new = {
+            let proc = self.procs.get_mut(&pid).expect("unknown process");
+            proc.gpt.update_entry(mem, &self.gmap, gva, level, f).ok()
+        };
+        if new.is_some() {
+            if matches!(self.cfg.technique, Technique::Native) {
+                self.native_mirror_leaf(mem, pid, gva);
+            } else {
+                self.drop_shadow_leaf(mem, pid, gva);
+            }
+        }
+        new
+    }
+
+    /// Whether the process's address space is currently walked fully
+    /// nested (technique nested, SHSP nested phase, or agile pre-shadow).
+    fn is_fully_nested(&self, pid: ProcessId) -> bool {
+        matches!(self.cfg.technique, Technique::Nested) || self.proc(pid).full_nested
+    }
+
+    /// Central write-interception accounting (see crate docs). Runs
+    /// *before* the edit is applied.
+    fn note_gpt_write(&mut self, mem: &mut PhysMem, pid: ProcessId, gva: u64, level: Level) {
+        self.counters.gpt_writes_total += 1;
+        self.gpt_writes_this_interval += 1;
+        if let Some(trace) = self.write_trace.as_mut() {
+            trace.push((pid, gva, level));
+        }
+        match self.cfg.technique {
+            Technique::Native => {
+                self.counters.gpt_writes_direct += 1;
+                return;
+            }
+            Technique::Nested => {
+                self.counters.gpt_writes_direct += 1;
+                self.mark_gpt_page_dirty(mem, pid, gva, level);
+                return;
+            }
+            _ => {}
+        }
+        if self.is_fully_nested(pid) {
+            self.counters.gpt_writes_direct += 1;
+            self.mark_gpt_page_dirty(mem, pid, gva, level);
+            return;
+        }
+        // Find the deepest existing guest table page at or above `level`.
+        let proc = self.proc(pid);
+        let mut target: Option<GuestFrame> = None;
+        for l in Level::top().walk_order() {
+            if let Some(f) = proc.gpt.table_frame(mem, &self.gmap, gva, l) {
+                target = Some(GuestFrame::new(f));
+            } else {
+                break;
+            }
+            if l == level {
+                break;
+            }
+        }
+        let Some(page) = target else {
+            self.counters.gpt_writes_direct += 1;
+            return;
+        };
+        let (mode, writes, page_level, shadowed) = {
+            let info = self
+                .procs
+                .get(&pid)
+                .and_then(|p| p.pages.get(&page))
+                .copied()
+                .unwrap_or(GptPageInfo {
+                    level,
+                    va_base: 0,
+                    mode: GptPageMode::Synced,
+                    writes_this_interval: 0,
+                    shadowed: false,
+                });
+            (info.mode, info.writes_this_interval + 1, info.level, info.shadowed)
+        };
+        if let Some(info) = self.procs.get_mut(&pid).and_then(|p| p.pages.get_mut(&page)) {
+            info.writes_this_interval = writes;
+        }
+        let agile_threshold = match self.cfg.technique {
+            Technique::Agile(o) => Some(o.write_threshold),
+            _ => None,
+        };
+        match mode {
+            GptPageMode::Nested => {
+                self.counters.gpt_writes_direct += 1;
+                self.mark_gpt_page_dirty(mem, pid, gva, level);
+            }
+            GptPageMode::Unsynced => {
+                self.counters.gpt_writes_direct += 1;
+                if let Some(t) = agile_threshold {
+                    if writes >= t {
+                        self.convert_to_nested(mem, pid, page);
+                        self.mark_gpt_page_dirty(mem, pid, gva, level);
+                    }
+                }
+            }
+            GptPageMode::Synced if !shadowed => {
+                // The shadow table holds nothing derived from this page, so
+                // it is not write-protected: the write is direct, and —
+                // crucially — *undetectable* by the VMM's write-protection
+                // machinery, so it cannot feed the agile policy (fresh
+                // page-table construction therefore never nests a page).
+                self.counters.gpt_writes_direct += 1;
+            }
+            GptPageMode::Synced => {
+                self.trap(VmtrapKind::GptWrite, 1);
+                match agile_threshold {
+                    Some(t) if writes >= t => {
+                        self.convert_to_nested(mem, pid, page);
+                        self.mark_gpt_page_dirty(mem, pid, gva, level);
+                    }
+                    _ => {
+                        if page_level == Level::L1 {
+                            // KVM-style leaf unsync: make the page writable
+                            // and drop its shadow entries until the next
+                            // synchronization point.
+                            self.counters.unsyncs += 1;
+                            if let Some(info) =
+                                self.procs.get_mut(&pid).and_then(|p| p.pages.get_mut(&page))
+                            {
+                                info.mode = GptPageMode::Unsynced;
+                            }
+                            // The shadow entries stay in place (stale is
+                            // architecturally fine until the guest flushes);
+                            // the resynchronization point reconciles them.
+                        } else {
+                            // Interior edit: invalidate the shadow subtree
+                            // at the written entry; it resyncs lazily.
+                            let proc = self.procs.get_mut(&pid).expect("unknown process");
+                            if let Some(spt) = proc.spt {
+                                spt.zap_subtree(mem, &mut HostSpace, gva, page_level);
+                            }
+                            // The page stays shadowed: the shadow table
+                            // still derives its *other* entries from it.
+                        }
+                        self.flush_range(pid, gva, page_level);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Software equivalent of hardware dirtying the backing page of a guest
+    /// table page that was written directly (nested mode): sets the host
+    /// table's dirty bit, which the dirty-bit-scan policy consumes.
+    fn mark_gpt_page_dirty(&mut self, mem: &mut PhysMem, pid: ProcessId, gva: u64, level: Level) {
+        let Some(frame) = self
+            .procs
+            .get(&pid)
+            .and_then(|p| p.gpt.table_frame(mem, &self.gmap, gva, level))
+        else {
+            return;
+        };
+        let gframe = GuestFrame::new(frame);
+        let gpa = gframe.base();
+        // A direct guest store to the page implies it is (or becomes)
+        // host-mapped; the dirty bit the scan policy reads lives there.
+        if self.hpt.lookup(mem, &HostSpace, gpa.raw()).is_none() {
+            self.hpt_ensure(mem, gframe);
+        }
+        if let Some((_, l)) = self.hpt.lookup(mem, &HostSpace, gpa.raw()) {
+            let _ = self.hpt.update_entry(mem, &HostSpace, gpa.raw(), l, |p| {
+                p.with_flags(PteFlags::DIRTY | PteFlags::ACCESSED)
+            });
+        }
+    }
+
+    fn trap(&mut self, kind: VmtrapKind, n: u64) {
+        self.traps.record(kind, n, self.cfg.costs.cost(kind));
+    }
+
+    fn flush_range(&mut self, pid: ProcessId, va: u64, level: Level) {
+        let span = level.span_bytes();
+        self.pending_flushes.push(FlushRequest::Range {
+            asid: Asid::from(pid),
+            start: va & !(span - 1),
+            len: span,
+        });
+    }
+
+    fn flush_asid(&mut self, pid: ProcessId) {
+        self.pending_flushes.push(FlushRequest::Asid(Asid::from(pid)));
+    }
+
+    // ------------------------------------------------------------------
+    // Shadow maintenance
+    // ------------------------------------------------------------------
+
+    /// Native mode keeps the merged table in lock-step with the guest
+    /// table, for free (there is no hypervisor boundary to cross).
+    fn native_mirror_leaf(&mut self, mem: &mut PhysMem, pid: ProcessId, gva: u64) {
+        let proc = self.proc(pid);
+        let Some(spt) = proc.spt else { return };
+        let guest_leaf = proc.gpt.lookup(mem, &self.gmap, gva);
+        // Drop whatever the merged table had for this address.
+        for size in PageSize::ALL {
+            spt.unmap(mem, &HostSpace, gva, size);
+        }
+        if let Some((gpte, glevel)) = guest_leaf {
+            let size = gpte.leaf_size(glevel).expect("leaf");
+            let base_gframe =
+                GuestFrame::new(gpte.frame_raw() / size.base_pages() * size.base_pages());
+            let hframe = self
+                .gmap
+                .backing(base_gframe)
+                .expect("guest frame has backing");
+            let mut flags = PteFlags::empty();
+            if gpte.is_writable() {
+                flags |= PteFlags::WRITABLE;
+            }
+            spt.map(
+                mem,
+                &mut HostSpace,
+                GuestVirtAddr::new(gva).page_base(size).raw(),
+                hframe.raw(),
+                size,
+                flags,
+            )
+            .expect("merged-table map");
+        }
+    }
+
+    /// Invalidates the shadow leaf (any size) translating `gva`.
+    fn drop_shadow_leaf(&mut self, mem: &mut PhysMem, pid: ProcessId, gva: u64) {
+        let proc = self.proc(pid);
+        let Some(spt) = proc.spt else { return };
+        for size in PageSize::ALL {
+            spt.unmap(mem, &HostSpace, gva, size);
+        }
+        self.flush_range(pid, gva, Level::L2);
+    }
+
+    /// Ensures `gframe` is mapped in the host page table (mapping the whole
+    /// huge run when the backing allows), returning the leaf size used.
+    /// Does *not* charge a trap — callers do, at the right granularity.
+    fn hpt_ensure(&mut self, mem: &mut PhysMem, gframe: GuestFrame) -> (HostFrame, PageSize, bool) {
+        let gpa = gframe.base();
+        if let Some((pte, level)) = self.hpt.lookup(mem, &HostSpace, gpa.raw()) {
+            let size = pte.leaf_size(level).expect("leaf");
+            let off = gframe.raw() % size.base_pages();
+            return (pte.host_frame().add(off), size, pte.is_writable());
+        }
+        let backing = self
+            .gmap
+            .backing(gframe)
+            .unwrap_or_else(|| panic!("guest frame {gframe} not backed"));
+        if let Some((start, size)) = self.gmap.huge_run_of(gframe) {
+            let hstart = self.gmap.backing(start).expect("huge run backed");
+            self.hpt
+                .map(
+                    mem,
+                    &mut HostSpace,
+                    start.base().raw(),
+                    hstart.raw(),
+                    size,
+                    PteFlags::WRITABLE,
+                )
+                .expect("host map");
+            return (backing, size, true);
+        }
+        self.hpt
+            .map(
+                mem,
+                &mut HostSpace,
+                gpa.raw(),
+                backing.raw(),
+                PageSize::Size4K,
+                PteFlags::WRITABLE,
+            )
+            .expect("host map");
+        (backing, PageSize::Size4K, true)
+    }
+
+    /// Lazily builds the shadow path for `gva` after a not-present shadow
+    /// fault. Returns the guest-visible fault if the guest translation
+    /// itself is missing.
+    fn sync_shadow(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        gva: GuestVirtAddr,
+        access: AccessKind,
+    ) -> Result<(), Fault> {
+        // 1. Software-walk the guest table.
+        let mut guest_leaf: Option<(Pte, Level)> = None;
+        for level in Level::top().walk_order() {
+            let entry = self.proc(pid).gpt.entry(mem, &self.gmap, gva.raw(), level);
+            match entry {
+                Some(pte) if pte.is_present() => {
+                    if pte.is_leaf_at(level) {
+                        guest_leaf = Some((pte, level));
+                        break;
+                    }
+                }
+                _ => {
+                    return Err(Fault::GuestPageFault {
+                        gva,
+                        level,
+                        access,
+                        cause: FaultCause::NotPresent,
+                    });
+                }
+            }
+        }
+        let (gpte, glevel) = guest_leaf.expect("walk ends at a leaf");
+
+        // Guest table pages the shadow table now derives entries from get
+        // write-protected (the `shadowed` flag drives interception).
+        let mark_shadowed = |vmm: &mut Self, mem: &PhysMem, down_to: Level| {
+            let proc = vmm.procs.get(&pid).expect("unknown process");
+            let mut frames = Vec::new();
+            for level in Level::top().walk_order() {
+                if level.number() < down_to.number() {
+                    break;
+                }
+                if let Some(f) = proc.gpt.table_frame(mem, &vmm.gmap, gva.raw(), level) {
+                    frames.push(GuestFrame::new(f));
+                }
+            }
+            let proc = vmm.procs.get_mut(&pid).expect("unknown process");
+            for f in frames {
+                if let Some(i) = proc.pages.get_mut(&f) {
+                    if i.mode != GptPageMode::Nested && !i.shadowed {
+                        i.shadowed = true;
+                        // Writes that happened while unprotected were never
+                        // detected; the policy counter starts fresh.
+                        i.writes_this_interval = 0;
+                    }
+                }
+            }
+        };
+
+        // 2. Install a switching-bit entry if the path crosses into a
+        //    nested-mode guest page.
+        let spt = self.proc(pid).spt.expect("shadow technique");
+        for level in Level::top().walk_order() {
+            if level == glevel {
+                break;
+            }
+            let child_level = level.child().expect("interior");
+            let child_frame = self
+                .proc(pid)
+                .gpt
+                .table_frame(mem, &self.gmap, gva.raw(), child_level)
+                .expect("guest path exists");
+            let child = GuestFrame::new(child_frame);
+            let child_nested = self
+                .proc(pid)
+                .pages
+                .get(&child)
+                .is_some_and(|i| i.mode == GptPageMode::Nested);
+            if child_nested {
+                let existing = spt.entry(mem, &HostSpace, gva.raw(), level);
+                if existing.is_some_and(|e| e.is_present() && e.is_switching()) {
+                    // Switching entry already present: the fault came from
+                    // deeper (a guest fault the walker already reported) —
+                    // nothing to fix here.
+                    return Ok(());
+                }
+                spt.ensure_path(mem, &mut HostSpace, gva.raw(), level)
+                    .expect("shadow path");
+                spt.zap_subtree(mem, &mut HostSpace, gva.raw(), level);
+                let target = self.gmap.resolve(child.raw());
+                spt.set_entry(
+                    mem,
+                    &HostSpace,
+                    gva.raw(),
+                    level,
+                    Pte::new(target.raw(), PteFlags::PRESENT | PteFlags::SWITCHING),
+                )
+                .expect("switching entry");
+                self.flush_range(pid, gva.raw(), level);
+                mark_shadowed(self, mem, level);
+                return Ok(());
+            }
+        }
+
+        // 3. Pure shadow path: merge guest and host mappings into a leaf.
+        let guest_size = gpte.leaf_size(glevel).expect("leaf");
+        let va_gframe = GuestFrame::new(
+            gpte.frame_raw() + ((gva.raw() & guest_size.offset_mask()) >> agile_types::PAGE_SHIFT),
+        );
+        let (host_frame_4k, host_size, host_writable) = self.hpt_ensure(mem, va_gframe);
+        let eff = guest_size.min(host_size);
+        let eff_offset = va_gframe.raw() % eff.base_pages();
+        let hframe = HostFrame::new(host_frame_4k.raw() - eff_offset);
+        let hw_ad = matches!(self.cfg.technique, Technique::Agile(o) if o.hw_ad_bits);
+        // Dirty-bit tracking trick: without the hardware A/D optimization,
+        // the shadow leaf starts read-only unless the guest dirty bit is
+        // already set, so the first write traps and the VMM can set D. A
+        // host-side write protection (VMM content sharing) always forces
+        // the shadow leaf read-only.
+        let writable = host_writable
+            && gpte.is_writable()
+            && (hw_ad || gpte.flags().contains(PteFlags::DIRTY) || access.is_write());
+        // The VMM sets the accessed bit in guest and shadow entries on first
+        // reference (paper Section III-B); a write also sets dirty.
+        let mut gflags = PteFlags::ACCESSED;
+        if access.is_write() && gpte.is_writable() {
+            gflags |= PteFlags::DIRTY;
+        }
+        {
+            let proc = self.procs.get_mut(&pid).expect("unknown process");
+            let _ = proc
+                .gpt
+                .update_entry(mem, &self.gmap, gva.raw(), glevel, |p| p.with_flags(gflags));
+        }
+        let mut sflags = PteFlags::ACCESSED;
+        if writable {
+            sflags |= PteFlags::WRITABLE;
+        }
+        let spt_va = gva.page_base(eff).raw();
+        for size in PageSize::ALL {
+            spt.unmap(mem, &HostSpace, spt_va, size);
+        }
+        spt.map(mem, &mut HostSpace, spt_va, hframe.raw(), eff, sflags)
+            .expect("shadow leaf map");
+        self.counters.shadow_leaves_built += 1;
+        mark_shadowed(self, mem, glevel);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Agile mode conversions
+    // ------------------------------------------------------------------
+
+    /// Collects the guest table pages in the subtree rooted at `page`
+    /// (inclusive).
+    fn subtree_pages(&self, mem: &PhysMem, page: GuestFrame) -> Vec<GuestFrame> {
+        let mut out = vec![page];
+        let mut stack = vec![page];
+        while let Some(p) = stack.pop() {
+            let host = self.gmap.resolve(p.raw());
+            let Some(tp) = mem.table(host) else { continue };
+            let level = Level::L4; // placeholder; we use table_gframes to filter
+            let _ = level;
+            for (_, pte) in tp.present_entries() {
+                if pte.is_huge() {
+                    continue;
+                }
+                let child = GuestFrame::new(pte.frame_raw());
+                if self.gmap.is_table_gframe(child) {
+                    out.push(child);
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    /// Moves the guest page-table subtree rooted at `page` to nested mode:
+    /// installs the switching bit at the parent shadow entry, zaps the
+    /// shadow subtree, and lifts write protection on all pages below.
+    pub(crate) fn convert_to_nested(&mut self, mem: &mut PhysMem, pid: ProcessId, page: GuestFrame) {
+        let Some(info) = self.proc(pid).pages.get(&page).copied() else {
+            return;
+        };
+        if info.mode == GptPageMode::Nested {
+            return;
+        }
+        self.counters.to_nested += 1;
+        let affected = self.subtree_pages(mem, page);
+        {
+            let proc = self.procs.get_mut(&pid).expect("unknown process");
+            for g in &affected {
+                if let Some(i) = proc.pages.get_mut(g) {
+                    i.mode = GptPageMode::Nested;
+                    i.shadowed = false;
+                }
+            }
+        }
+        if info.level == Level::L4 {
+            // Root page: the register itself switches (20-reference walks).
+            self.procs.get_mut(&pid).expect("process").root_nested = true;
+        } else {
+            let parent_level = info.level.parent().expect("non-root");
+            let spt = self.proc(pid).spt.expect("shadow technique");
+            let target = self.gmap.resolve(page.raw());
+            if spt
+                .ensure_path(mem, &mut HostSpace, info.va_base, parent_level)
+                .is_ok()
+            {
+                spt.zap_subtree(mem, &mut HostSpace, info.va_base, parent_level);
+                let _ = spt.set_entry(
+                    mem,
+                    &HostSpace,
+                    info.va_base,
+                    parent_level,
+                    Pte::new(target.raw(), PteFlags::PRESENT | PteFlags::SWITCHING),
+                );
+            }
+        }
+        if let Some(parent) = info.level.parent() {
+            self.flush_range(pid, info.va_base, parent);
+        } else {
+            self.flush_asid(pid);
+        }
+    }
+
+    /// Moves one guest page-table page back to shadow mode: re-protects it,
+    /// invalidates the covering switching entry, and — for leaf-level pages
+    /// — eagerly rebuilds the shadow leaves for the region in one batched
+    /// fill (charged as a single hidden-fault trap), so the revert does not
+    /// shower the following interval with per-page hidden faults. Parents
+    /// must be converted before children (the interval-tick policy orders
+    /// by level).
+    pub(crate) fn convert_to_shadow(&mut self, mem: &mut PhysMem, pid: ProcessId, page: GuestFrame) {
+        let Some(info) = self.proc(pid).pages.get(&page).copied() else {
+            return;
+        };
+        if info.mode != GptPageMode::Nested {
+            return;
+        }
+        self.counters.to_shadow += 1;
+        {
+            let proc = self.procs.get_mut(&pid).expect("unknown process");
+            if let Some(i) = proc.pages.get_mut(&page) {
+                i.mode = GptPageMode::Synced;
+                i.writes_this_interval = 0;
+                i.shadowed = false;
+            }
+            if info.level == Level::L4 {
+                proc.root_nested = false;
+            }
+        }
+        if let Some(parent_level) = info.level.parent() {
+            let spt = self.proc(pid).spt.expect("shadow technique");
+            // Clear a covering switching entry, if one exists at the parent.
+            if let Some(e) = spt.entry(mem, &HostSpace, info.va_base, parent_level) {
+                if e.is_present() && e.is_switching() {
+                    let _ = spt.set_entry(mem, &HostSpace, info.va_base, parent_level, Pte::empty());
+                }
+            }
+            self.flush_range(pid, info.va_base, parent_level);
+        } else {
+            self.flush_asid(pid);
+        }
+        if info.level == Level::L1 {
+            self.trap(VmtrapKind::HiddenPageFault, 1);
+            self.eager_shadow_region(mem, pid, page);
+        }
+    }
+
+    /// Builds shadow leaves for every present guest entry of one leaf-level
+    /// guest table page (batched fill used by [`Vmm::convert_to_shadow`]).
+    fn eager_shadow_region(&mut self, mem: &mut PhysMem, pid: ProcessId, page: GuestFrame) {
+        let Some(info) = self.proc(pid).pages.get(&page).copied() else {
+            return;
+        };
+        let Some(spt) = self.proc(pid).spt else { return };
+        let hw_ad = matches!(self.cfg.technique, Technique::Agile(o) if o.hw_ad_bits);
+        for i in 0..agile_types::ENTRIES_PER_TABLE as u64 {
+            let va = info.va_base + i * PageSize::Size4K.bytes();
+            let Some(g) = self.proc(pid).gpt.entry(mem, &self.gmap, va, Level::L1) else {
+                continue;
+            };
+            if !g.is_present() {
+                continue;
+            }
+            let gframe = GuestFrame::new(g.frame_raw());
+            let (backing, _, host_w) = self.hpt_ensure(mem, gframe);
+            let writable =
+                host_w && g.is_writable() && (hw_ad || g.flags().contains(PteFlags::DIRTY));
+            let mut flags = PteFlags::ACCESSED;
+            if writable {
+                flags |= PteFlags::WRITABLE;
+            }
+            for size in PageSize::ALL {
+                spt.unmap(mem, &HostSpace, va, size);
+            }
+            if spt
+                .map(mem, &mut HostSpace, va, backing.raw(), PageSize::Size4K, flags)
+                .is_ok()
+            {
+                self.counters.shadow_leaves_built += 1;
+            }
+        }
+        if let Some(i) = self.procs.get_mut(&pid).and_then(|p| p.pages.get_mut(&page)) {
+            i.shadowed = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host-level content-based page sharing (paper Section V)
+    // ------------------------------------------------------------------
+
+    /// VMM content-based page sharing: maps every given guest page of
+    /// `pid` to one shared host frame, read-only in the host table (and
+    /// drops the covering shadow leaves, which rebuild read-only). The
+    /// first frame's backing becomes the canonical copy. Returns the number
+    /// of host frames reclaimed.
+    ///
+    /// Writes later break the sharing with a host-level copy-on-write: a
+    /// fresh private frame is mapped back, costing an EPT-violation VMexit
+    /// (plus, in shadow mode, the shadow-leaf rebuild).
+    pub fn host_share(&mut self, mem: &mut PhysMem, pid: ProcessId, gvas: &[u64]) -> u64 {
+        let mut canonical: Option<HostFrame> = None;
+        let mut reclaimed = 0;
+        for gva in gvas {
+            let Some((gpte, level)) = self.gpt_lookup(mem, pid, *gva) else {
+                continue;
+            };
+            if level != Level::L1 {
+                continue; // share base pages only
+            }
+            let gframe = GuestFrame::new(gpte.frame_raw());
+            let (current, _, _) = self.hpt_ensure(mem, gframe);
+            let target = *canonical.get_or_insert(current);
+            if current != target {
+                reclaimed += 1;
+            }
+            // Remap the guest frame onto the shared copy, read-only.
+            self.hpt.unmap(mem, &HostSpace, gframe.base().raw(), PageSize::Size4K);
+            self.hpt
+                .map(
+                    mem,
+                    &mut HostSpace,
+                    gframe.base().raw(),
+                    target.raw(),
+                    PageSize::Size4K,
+                    PteFlags::empty(),
+                )
+                .expect("host share map");
+            self.pending_flushes.push(FlushRequest::NtlbFrame(gframe));
+            // Drop the shadow leaf so it rebuilds against the shared,
+            // read-only host mapping.
+            self.drop_shadow_leaf(mem, pid, *gva);
+        }
+        reclaimed
+    }
+
+    /// Breaks host-level sharing for `gframe`: maps its private backing
+    /// frame back, writable. Charged by callers as the covering VMexit.
+    fn host_cow_break(&mut self, mem: &mut PhysMem, gframe: GuestFrame) {
+        let backing = self
+            .gmap
+            .backing(gframe)
+            .unwrap_or_else(|| panic!("guest frame {gframe} not backed"));
+        self.hpt.unmap(mem, &HostSpace, gframe.base().raw(), PageSize::Size4K);
+        self.hpt
+            .map(
+                mem,
+                &mut HostSpace,
+                gframe.base().raw(),
+                backing.raw(),
+                PageSize::Size4K,
+                PteFlags::WRITABLE,
+            )
+            .expect("host cow break map");
+        self.pending_flushes.push(FlushRequest::NtlbFrame(gframe));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling (VMexits)
+    // ------------------------------------------------------------------
+
+    /// Handles a fault raised by the hardware walker for process `pid`.
+    ///
+    /// Guest page faults in nested mode do not exit to the VMM — route them
+    /// straight to the guest OS; this method asserts if given one.
+    pub fn handle_fault(&mut self, mem: &mut PhysMem, pid: ProcessId, fault: Fault) -> FaultOutcome {
+        match fault {
+            Fault::GuestPageFault { .. } => {
+                unreachable!("guest faults are handled by the guest OS, not the VMM")
+            }
+            Fault::HostPageFault { gpa, access, cause, .. } => {
+                self.trap(VmtrapKind::EptViolation, 1);
+                match cause {
+                    FaultCause::WriteProtected if access.is_write() => {
+                        // Host-level copy-on-write break (VMM page sharing).
+                        self.host_cow_break(mem, gpa.frame());
+                    }
+                    _ => {
+                        self.hpt_ensure(mem, gpa.frame());
+                    }
+                }
+                FaultOutcome::Fixed
+            }
+            Fault::ShadowPageFault {
+                gva,
+                level,
+                access,
+                cause,
+            } => self.handle_shadow_fault(mem, pid, gva, level, access, cause),
+        }
+    }
+
+    fn handle_shadow_fault(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        gva: GuestVirtAddr,
+        level: Level,
+        access: AccessKind,
+        cause: FaultCause,
+    ) -> FaultOutcome {
+        match cause {
+            FaultCause::WriteProtected => {
+                // Leaf write to a read-only shadow entry: either the guest
+                // really mapped it read-only (reflect), or this is the
+                // dirty-bit tracking trick (A/D sync trap).
+                let guest = self.gpt_lookup(mem, pid, gva.raw());
+                // Host-level sharing? Break it and rebuild the leaf.
+                if let Some((gpte, glevel)) = guest {
+                    if gpte.is_writable() && glevel == Level::L1 {
+                        let gframe = GuestFrame::new(gpte.frame_raw());
+                        let (_, _, host_w) = self.hpt_ensure(mem, gframe);
+                        if !host_w {
+                            self.trap(VmtrapKind::EptViolation, 1);
+                            self.host_cow_break(mem, gframe);
+                            self.drop_shadow_leaf(mem, pid, gva.raw());
+                            return FaultOutcome::Fixed;
+                        }
+                    }
+                }
+                match guest {
+                    Some((gpte, glevel)) if gpte.is_writable() => {
+                        self.trap(VmtrapKind::AdBitSync, 1);
+                        {
+                            let proc = self.procs.get_mut(&pid).expect("unknown process");
+                            let _ = proc.gpt.update_entry(mem, &self.gmap, gva.raw(), glevel, |p| {
+                                p.with_flags(PteFlags::DIRTY | PteFlags::ACCESSED)
+                            });
+                        }
+                        let spt = self.proc(pid).spt.expect("shadow technique");
+                        for size in PageSize::ALL {
+                            let _ = spt.update_entry(
+                                mem,
+                                &HostSpace,
+                                gva.raw(),
+                                size.leaf_level(),
+                                |p| {
+                                    if p.is_present() && p.is_leaf_at(size.leaf_level()) {
+                                        p.with_flags(
+                                            PteFlags::WRITABLE | PteFlags::DIRTY | PteFlags::ACCESSED,
+                                        )
+                                    } else {
+                                        p
+                                    }
+                                },
+                            );
+                        }
+                        self.flush_range(pid, gva.raw(), Level::L1);
+                        FaultOutcome::Fixed
+                    }
+                    _ => {
+                        if !matches!(self.cfg.technique, Technique::Native) {
+                            self.trap(VmtrapKind::GuestFaultReflection, 1);
+                        }
+                        FaultOutcome::ReflectToGuest(Fault::GuestPageFault {
+                            gva,
+                            level,
+                            access,
+                            cause: FaultCause::WriteProtected,
+                        })
+                    }
+                }
+            }
+            FaultCause::NotPresent => {
+                match self.sync_shadow(mem, pid, gva, access) {
+                    Ok(()) => {
+                        if !matches!(self.cfg.technique, Technique::Native) {
+                            self.trap(VmtrapKind::HiddenPageFault, 1);
+                        }
+                        FaultOutcome::Fixed
+                    }
+                    Err(guest_fault) => {
+                        if !matches!(self.cfg.technique, Technique::Native) {
+                            self.trap(VmtrapKind::GuestFaultReflection, 1);
+                        }
+                        FaultOutcome::ReflectToGuest(guest_fault)
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Context switches and TLB flush interception
+    // ------------------------------------------------------------------
+
+    /// Guest writes its page-table pointer register to schedule `to`.
+    pub fn guest_context_switch(&mut self, mem: &mut PhysMem, to: ProcessId) {
+        assert!(self.procs.contains_key(&to), "unknown process");
+        let from = self.current;
+        self.current = Some(to);
+        match self.cfg.technique {
+            Technique::Native | Technique::Nested => return,
+            Technique::Shsp(_)
+                if self.shsp.as_ref().is_some_and(|c| c.mode() == ShspMode::Nested) => {
+                    return;
+                }
+            Technique::Agile(_) if self.proc(to).full_nested => return,
+            _ => {}
+        }
+        // Resync the outgoing process's unsynced pages (a CR3 write is an
+        // architectural synchronization point).
+        if let Some(f) = from {
+            self.resync_unsynced(mem, f);
+        }
+        // Hardware gptr⇒sptr cache (HW optimization 2).
+        let gptr = self.proc(to).gptr().raw();
+        let sptr = self.proc(to).spt.map(|t| t.root_raw()).unwrap_or(0);
+        if let Some(cache) = self.ctx_cache.as_mut() {
+            if cache.lookup(0, &gptr).is_some() {
+                self.counters.ctx_cache_hits += 1;
+                return;
+            }
+            cache.insert(0, gptr, sptr);
+        }
+        self.trap(VmtrapKind::ContextSwitch, 1);
+    }
+
+    /// Guest executes a targeted `invlpg` for `gva`. The VMM must intercept
+    /// it only when the covered region has shadow-derived state to keep
+    /// consistent; for a region in agile nested mode the hardware-managed
+    /// TLB needs no VMM help, exactly as under pure nested paging (this is
+    /// a key source of agile paging's copy-on-write win, paper Section V).
+    pub fn guest_invlpg(&mut self, mem: &mut PhysMem, pid: ProcessId, gva: u64) {
+        match self.cfg.technique {
+            Technique::Native | Technique::Nested => return,
+            _ if self.is_fully_nested(pid) => return,
+            Technique::Agile(_) => {
+                // Deepest tracked page covering gva decides the mode.
+                let proc = self.proc(pid);
+                let mut mode = None;
+                for l in Level::top().walk_order() {
+                    match proc.gpt.table_frame(mem, &self.gmap, gva, l) {
+                        Some(f) => {
+                            if let Some(i) = proc.pages.get(&GuestFrame::new(f)) {
+                                mode = Some(i.mode);
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                if mode == Some(GptPageMode::Nested) {
+                    return;
+                }
+            }
+            _ => {}
+        }
+        self.trap(VmtrapKind::TlbFlush, 1);
+        self.resync_unsynced(mem, pid);
+        self.flush_asid(pid);
+    }
+
+    /// Guest flushes its TLB (full flush or `invlpg`). Under shadow-style
+    /// techniques this traps so the VMM can resynchronize unsynced pages.
+    pub fn guest_tlb_flush(&mut self, mem: &mut PhysMem, pid: ProcessId) {
+        match self.cfg.technique {
+            Technique::Native | Technique::Nested => return,
+            _ if self.is_fully_nested(pid) => return,
+            _ => {}
+        }
+        self.trap(VmtrapKind::TlbFlush, 1);
+        self.resync_unsynced(mem, pid);
+        self.flush_asid(pid);
+    }
+
+    /// Re-protects every unsynced page, reconciling its shadow entries in
+    /// place with the guest table (KVM-style sync: stale entries are fixed
+    /// or dropped inside the trap; no refault storm follows).
+    fn resync_unsynced(&mut self, mem: &mut PhysMem, pid: ProcessId) {
+        let unsynced: Vec<GuestFrame> = self
+            .proc(pid)
+            .pages
+            .iter()
+            .filter(|(_, i)| i.mode == GptPageMode::Unsynced)
+            .map(|(g, _)| *g)
+            .collect();
+        for page in unsynced {
+            self.counters.resyncs += 1;
+            self.reconcile_page(mem, pid, page);
+            if let Some(i) = self.procs.get_mut(&pid).and_then(|p| p.pages.get_mut(&page)) {
+                i.mode = GptPageMode::Synced;
+                i.shadowed = true;
+            }
+        }
+    }
+
+    /// Rewrites the shadow leaf entries derived from one (leaf-level) guest
+    /// table page so they match the guest table again.
+    fn reconcile_page(&mut self, mem: &mut PhysMem, pid: ProcessId, page: GuestFrame) {
+        let Some(info) = self.proc(pid).pages.get(&page).copied() else {
+            return;
+        };
+        if info.level != Level::L1 {
+            return;
+        }
+        let Some(spt) = self.proc(pid).spt else { return };
+        let hw_ad = matches!(self.cfg.technique, Technique::Agile(o) if o.hw_ad_bits);
+        for i in 0..agile_types::ENTRIES_PER_TABLE as u64 {
+            let va = info.va_base + i * PageSize::Size4K.bytes();
+            let Some(spte) = spt.entry(mem, &HostSpace, va, Level::L1) else {
+                continue;
+            };
+            if !spte.is_present() {
+                continue;
+            }
+            let gpte = self.proc(pid).gpt.entry(mem, &self.gmap, va, Level::L1);
+            match gpte {
+                Some(g) if g.is_present() => {
+                    let gframe = GuestFrame::new(g.frame_raw());
+                    if self.gmap.backing(gframe).is_none() {
+                        spt.unmap(mem, &HostSpace, va, PageSize::Size4K);
+                        continue;
+                    }
+                    let (backing, _, host_w) = self.hpt_ensure(mem, gframe);
+                    let writable = host_w
+                        && g.is_writable()
+                        && (hw_ad || g.flags().contains(PteFlags::DIRTY));
+                    let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
+                    if writable {
+                        flags |= PteFlags::WRITABLE;
+                    }
+                    let _ = spt.set_entry(
+                        mem,
+                        &HostSpace,
+                        va,
+                        Level::L1,
+                        Pte::new(backing.raw(), flags),
+                    );
+                }
+                _ => {
+                    spt.unmap(mem, &HostSpace, va, PageSize::Size4K);
+                }
+            }
+        }
+        self.flush_range(pid, info.va_base, Level::L2);
+    }
+
+    // ------------------------------------------------------------------
+    // Interval policies
+    // ------------------------------------------------------------------
+
+    /// Advances the policy clock by one interval. `tlb_misses` is the
+    /// number of TLB misses observed during the interval (fed to SHSP).
+    pub fn interval_tick(&mut self, mem: &mut PhysMem, tlb_misses: u64) {
+        self.ticks += 1;
+        match self.cfg.technique {
+            Technique::Agile(opts) => {
+                let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+                for pid in pids {
+                    if opts.start_in_nested && self.proc(pid).full_nested {
+                        // Engage shadow mode after the first interval.
+                        let proc = self.procs.get_mut(&pid).expect("process");
+                        proc.full_nested = false;
+                        for i in proc.pages.values_mut() {
+                            i.mode = GptPageMode::Synced;
+                            i.writes_this_interval = 0;
+                        }
+                        self.flush_asid(pid);
+                        continue;
+                    }
+                    self.apply_nested_to_shadow_policy(mem, pid, opts.nested_to_shadow);
+                    let proc = self.procs.get_mut(&pid).expect("process");
+                    for i in proc.pages.values_mut() {
+                        i.writes_this_interval = 0;
+                    }
+                }
+            }
+            Technique::Shsp(_) => {
+                let writes = self.gpt_writes_this_interval;
+                let decision = self
+                    .shsp
+                    .as_mut()
+                    .expect("shsp controller")
+                    .evaluate(tlb_misses, writes);
+                if let Some(mode) = decision {
+                    self.apply_shsp_switch(mem, mode);
+                }
+            }
+            _ => {}
+        }
+        self.gpt_writes_this_interval = 0;
+    }
+
+    fn apply_nested_to_shadow_policy(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        policy: NestedToShadowPolicy,
+    ) {
+        // Candidate pages in parent-first (higher level first) order.
+        let mut nested: Vec<(GuestFrame, Level)> = self
+            .proc(pid)
+            .pages
+            .iter()
+            .filter(|(_, i)| i.mode == GptPageMode::Nested)
+            .map(|(g, i)| (*g, i.level))
+            .collect();
+        nested.sort_by_key(|(_, level)| std::cmp::Reverse(*level));
+        for (page, _) in nested {
+            let revert = match policy {
+                NestedToShadowPolicy::PeriodicReset => true,
+                NestedToShadowPolicy::DirtyBitScan => {
+                    // Keep the page nested iff its backing host-table entry
+                    // was dirtied this interval; clear the bit either way
+                    // (the paper clears at interval start and scans at end).
+                    let gpa = page.base();
+                    let dirty = self
+                        .hpt
+                        .lookup(mem, &HostSpace, gpa.raw())
+                        .map(|(p, _)| p.flags().contains(PteFlags::DIRTY))
+                        .unwrap_or(false);
+                    if dirty {
+                        if let Some((_, l)) = self.hpt.lookup(mem, &HostSpace, gpa.raw()) {
+                            let _ = self.hpt.update_entry(mem, &HostSpace, gpa.raw(), l, |p| {
+                                p.without_flags(PteFlags::DIRTY)
+                            });
+                        }
+                    }
+                    !dirty
+                }
+            };
+            if revert {
+                self.convert_to_shadow(mem, pid, page);
+            }
+        }
+    }
+
+    fn apply_shsp_switch(&mut self, mem: &mut PhysMem, mode: ShspMode) {
+        let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        match mode {
+            ShspMode::Nested => {
+                for pid in pids {
+                    let proc = self.procs.get_mut(&pid).expect("process");
+                    proc.full_nested = true;
+                    for i in proc.pages.values_mut() {
+                        i.mode = GptPageMode::Nested;
+                    }
+                    // Drop the shadow table contents (kept as an empty root
+                    // for the next shadow phase).
+                    if let Some(spt) = proc.spt {
+                        spt.zap_subtree(mem, &mut HostSpace, 0, Level::L4);
+                    }
+                    self.trap(VmtrapKind::TlbFlush, 1);
+                    self.flush_asid(pid);
+                }
+            }
+            ShspMode::Shadow => {
+                for pid in pids {
+                    {
+                        let proc = self.procs.get_mut(&pid).expect("process");
+                        proc.full_nested = false;
+                        for i in proc.pages.values_mut() {
+                            i.mode = GptPageMode::Synced;
+                        }
+                    }
+                    // SHSP's cost: (re)build the entire shadow table now.
+                    let built = self.sync_full_shadow(mem, pid);
+                    self.trap(VmtrapKind::ShadowRebuild, built.max(1));
+                    self.flush_asid(pid);
+                }
+            }
+        }
+    }
+
+    /// Eagerly builds the whole shadow table from the guest table (SHSP's
+    /// switch-to-shadow step). Returns the number of leaves built.
+    fn sync_full_shadow(&mut self, mem: &mut PhysMem, pid: ProcessId) -> u64 {
+        let leaves: Vec<(u64, Level)> = {
+            let proc = self.proc(pid);
+            let mut v = Vec::new();
+            proc.gpt.for_each_present(mem, &self.gmap, |va, level, pte| {
+                if pte.is_leaf_at(level) {
+                    v.push((va, level));
+                }
+            });
+            v
+        };
+        let mut built = 0;
+        for (va, _) in &leaves {
+            if self
+                .sync_shadow(mem, pid, GuestVirtAddr::new(*va), AccessKind::Read)
+                .is_ok()
+            {
+                built += 1;
+            }
+        }
+        built
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware-facing state
+    // ------------------------------------------------------------------
+
+    /// The architectural roots the hardware should use for `pid`.
+    #[must_use]
+    pub fn hw_roots(&self, pid: ProcessId) -> HwRoots {
+        let proc = self.proc(pid);
+        match self.cfg.technique {
+            Technique::Native => HwRoots::Native {
+                root: HostFrame::new(proc.spt.expect("merged table").root_raw()),
+            },
+            Technique::Nested => HwRoots::Nested {
+                gptr: proc.gptr(),
+                hptr: self.hptr(),
+            },
+            Technique::Shadow => HwRoots::Shadow {
+                sptr: HostFrame::new(proc.spt.expect("shadow table").root_raw()),
+            },
+            Technique::Shsp(_) => {
+                if proc.full_nested {
+                    HwRoots::Nested {
+                        gptr: proc.gptr(),
+                        hptr: self.hptr(),
+                    }
+                } else {
+                    HwRoots::Shadow {
+                        sptr: HostFrame::new(proc.spt.expect("shadow table").root_raw()),
+                    }
+                }
+            }
+            Technique::Agile(_) => {
+                let cr3 = if proc.full_nested {
+                    AgileCr3::FullNested
+                } else if proc.root_nested {
+                    AgileCr3::NestedFromRoot {
+                        gpt_root: self.gmap.resolve(proc.gpt.root_raw()),
+                    }
+                } else {
+                    AgileCr3::Shadow {
+                        spt_root: HostFrame::new(proc.spt.expect("shadow table").root_raw()),
+                    }
+                };
+                HwRoots::Agile {
+                    cr3,
+                    gptr: proc.gptr(),
+                    hptr: self.hptr(),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Hardware page-walk state machines for native, nested, shadow, and agile
+//! paging.
+//!
+//! This crate implements the paper's Figure 2 (native / nested / shadow
+//! walks) and Figure 4 (the agile walk with the switching bit) as *counted*
+//! walks over real radix tables in simulated physical memory: every PTE load
+//! increments a reference counter, so the paper's headline counts — 4
+//! references for native/shadow, 24 for nested, 4–20 for agile depending on
+//! the switch point — are structural outcomes, not assumptions.
+//!
+//! The walker also integrates the translation-caching hardware the paper's
+//! measurements include: page walk caches ([`agile_tlb::PageWalkCaches`],
+//! with agile paging's shadow/guest mode bit) and the nested TLB
+//! ([`agile_tlb::NestedTlb`]).
+//!
+//! # Walk anatomy (x86-64, 4 KiB pages, no caches)
+//!
+//! | configuration                  | refs | composition |
+//! |--------------------------------|------|-------------|
+//! | native / full shadow           | 4    | 4 × 1D      |
+//! | agile, switch at 4th level     | 8    | 3 shadow + 1 × (1 gPT + 4 hPT) |
+//! | agile, switch at 3rd level     | 12   | 2 shadow + 2 × 5 |
+//! | agile, switch at 2nd level     | 16   | 1 shadow + 3 × 5 |
+//! | agile, switch at 1st level     | 20   | 0 shadow + 4 × 5 |
+//! | full nested                    | 24   | 4 (gptr) + 4 × 5 |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hw;
+mod result;
+
+pub use hw::WalkHw;
+pub use result::{AgileCr3, WalkKind, WalkOk, WalkStats};

@@ -1,0 +1,227 @@
+//! Property-based tests over the counted walkers: for arbitrary guest
+//! addresses and switch points, the reference counts obey the paper's
+//! closed-form ladder and translations resolve to the right frames.
+
+use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
+use agile_tlb::{NestedTlb, PageWalkCaches, PwcConfig};
+use agile_types::{
+    AccessKind, Asid, GuestFrame, GuestVirtAddr, HostFrame, Level, PageSize, Pte, PteFlags, VmId,
+};
+use agile_walk::{AgileCr3, WalkHw, WalkKind, WalkStats};
+use proptest::prelude::*;
+
+struct World {
+    mem: PhysMem,
+    gmap: GuestMemMap,
+    gpt: RadixTable,
+    hpt: RadixTable,
+    spt: RadixTable,
+    pages: Vec<(u64, GuestFrame)>,
+}
+
+fn build(vas: &[u64]) -> World {
+    let mut mem = PhysMem::new();
+    let mut gmap = GuestMemMap::new();
+    let mut host = HostSpace;
+    let gpt = RadixTable::new(&mut mem, &mut gmap);
+    let hpt = RadixTable::new(&mut mem, &mut host);
+    let spt = RadixTable::new(&mut mem, &mut host);
+    let mut pages = Vec::new();
+    for va in vas {
+        let g = gmap.alloc_data(&mut mem);
+        gpt.map(&mut mem, &mut gmap, *va, g.raw(), PageSize::Size4K, PteFlags::WRITABLE)
+            .unwrap();
+        pages.push((*va, g));
+    }
+    let frames: Vec<_> = gmap.frames().collect();
+    for (g, h) in frames {
+        hpt.map(&mut mem, &mut host, g.base().raw(), h.raw(), PageSize::Size4K, PteFlags::WRITABLE)
+            .unwrap();
+    }
+    for (va, g) in &pages {
+        let backing = gmap.backing(*g).unwrap();
+        spt.map(&mut mem, &mut host, *va, backing.raw(), PageSize::Size4K, PteFlags::WRITABLE)
+            .unwrap();
+    }
+    World {
+        mem,
+        gmap,
+        gpt,
+        hpt,
+        spt,
+        pages,
+    }
+}
+
+fn vas(count: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(0u64..(1 << 27), 1..count)
+        .prop_map(|s| s.into_iter().map(|p| p << 12).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Shadow walks are always 4 references and hit the right frame; nested
+    /// walks are always 24 (4K, no caches); agile at a random switch level
+    /// follows (4 - k) + 5k.
+    #[test]
+    fn reference_ladder_holds_for_random_addresses(addr_set in vas(24), switch_idx in 0usize..3) {
+        let mut w = build(&addr_set);
+        let cfg = PwcConfig::disabled();
+        let asid = Asid::new(1);
+        let gptr = GuestFrame::new(w.gpt.root_raw());
+        let hptr = HostFrame::new(w.hpt.root_raw());
+        let sptr = HostFrame::new(w.spt.root_raw());
+        let pages = w.pages.clone();
+        for (va, g) in &pages {
+            let gva = GuestVirtAddr::new(*va);
+            let backing = w.gmap.backing(*g).unwrap();
+            let mut stats = WalkStats::default();
+            let mut pwc = PageWalkCaches::new(&cfg);
+            let mut ntlb = NestedTlb::new(&cfg);
+            let mut hw = WalkHw {
+                mem: &mut w.mem,
+                pwc: &mut pwc,
+                ntlb: &mut ntlb,
+                vm: VmId::new(0),
+                stats: &mut stats,
+            };
+            let s = hw.shadow_walk(asid, gva, sptr, AccessKind::Read).unwrap();
+            prop_assert_eq!(s.refs, 4);
+            prop_assert_eq!(s.frame, backing);
+            let mut ntlb2 = NestedTlb::new(&cfg);
+            let mut pwc2 = PageWalkCaches::new(&cfg);
+            let mut hw = WalkHw {
+                mem: &mut w.mem,
+                pwc: &mut pwc2,
+                ntlb: &mut ntlb2,
+                vm: VmId::new(0),
+                stats: &mut stats,
+            };
+            let n = hw.nested_walk(asid, gva, gptr, hptr, AccessKind::Read).unwrap();
+            prop_assert_eq!(n.refs, 24);
+            prop_assert_eq!(n.frame, backing);
+        }
+
+        // Pick one address and a switch level; the agile walk must follow
+        // the ladder and still translate correctly.
+        let (va, g) = pages[pages.len() / 2];
+        let level = [Level::L2, Level::L3, Level::L4][switch_idx];
+        let child = w
+            .gpt
+            .table_frame(&w.mem, &w.gmap, va, level.child().unwrap())
+            .unwrap();
+        let target = w.gmap.resolve(child);
+        w.spt.zap_subtree(&mut w.mem, &mut HostSpace, va, level);
+        w.spt
+            .set_entry(
+                &mut w.mem,
+                &HostSpace,
+                va,
+                level,
+                Pte::new(target.raw(), PteFlags::PRESENT | PteFlags::SWITCHING),
+            )
+            .unwrap();
+        let mut stats = WalkStats::default();
+        let mut pwc = PageWalkCaches::new(&cfg);
+        let mut ntlb = NestedTlb::new(&cfg);
+        let mut hw = WalkHw {
+            mem: &mut w.mem,
+            pwc: &mut pwc,
+            ntlb: &mut ntlb,
+            vm: VmId::new(0),
+            stats: &mut stats,
+        };
+        let a = hw
+            .agile_walk(
+                asid,
+                GuestVirtAddr::new(va),
+                AgileCr3::Shadow { spt_root: sptr },
+                gptr,
+                hptr,
+                AccessKind::Read,
+            )
+            .unwrap();
+        let nested_levels = level.child().unwrap().number() as u32;
+        prop_assert_eq!(a.refs, (4 - nested_levels) + 5 * nested_levels);
+        prop_assert_eq!(a.kind, WalkKind::Switched { nested_levels: nested_levels as u8 });
+        prop_assert_eq!(a.frame, w.gmap.backing(g).unwrap());
+    }
+
+    /// With the walk caches enabled, repeated walks never cost more than
+    /// the first, never return a different frame, and classification stays
+    /// consistent.
+    #[test]
+    fn caches_preserve_correctness(addr_set in vas(16)) {
+        let mut w = build(&addr_set);
+        let cfg = PwcConfig::default();
+        let asid = Asid::new(1);
+        let gptr = GuestFrame::new(w.gpt.root_raw());
+        let hptr = HostFrame::new(w.hpt.root_raw());
+        let mut stats = WalkStats::default();
+        let mut pwc = PageWalkCaches::new(&cfg);
+        let mut ntlb = NestedTlb::new(&cfg);
+        let pages = w.pages.clone();
+        for (va, g) in &pages {
+            let gva = GuestVirtAddr::new(*va);
+            let backing = w.gmap.backing(*g).unwrap();
+            let mut hw = WalkHw {
+                mem: &mut w.mem,
+                pwc: &mut pwc,
+                ntlb: &mut ntlb,
+                vm: VmId::new(0),
+                stats: &mut stats,
+            };
+            let first = hw.nested_walk(asid, gva, gptr, hptr, AccessKind::Read).unwrap();
+            let mut hw = WalkHw {
+                mem: &mut w.mem,
+                pwc: &mut pwc,
+                ntlb: &mut ntlb,
+                vm: VmId::new(0),
+                stats: &mut stats,
+            };
+            let second = hw.nested_walk(asid, gva, gptr, hptr, AccessKind::Read).unwrap();
+            prop_assert!(second.refs <= first.refs);
+            prop_assert_eq!(first.frame, backing);
+            prop_assert_eq!(second.frame, backing);
+        }
+    }
+
+    /// Walks of unmapped addresses always fault and never corrupt state:
+    /// mapped addresses still translate afterwards.
+    #[test]
+    fn faults_do_not_corrupt(addr_set in vas(8), probe in 0u64..(1 << 27)) {
+        let probe_va = (probe << 12) | (1 << 40); // far outside the mapped window
+        let mut w = build(&addr_set);
+        let cfg = PwcConfig::disabled();
+        let asid = Asid::new(1);
+        let sptr = HostFrame::new(w.spt.root_raw());
+        let mut stats = WalkStats::default();
+        let mut pwc = PageWalkCaches::new(&cfg);
+        let mut ntlb = NestedTlb::new(&cfg);
+        let mut hw = WalkHw {
+            mem: &mut w.mem,
+            pwc: &mut pwc,
+            ntlb: &mut ntlb,
+            vm: VmId::new(0),
+            stats: &mut stats,
+        };
+        prop_assert!(hw
+            .shadow_walk(asid, GuestVirtAddr::new(probe_va), sptr, AccessKind::Read)
+            .is_err());
+        for (va, g) in &w.pages.clone() {
+            let mut hw = WalkHw {
+                mem: &mut w.mem,
+                pwc: &mut pwc,
+                ntlb: &mut ntlb,
+                vm: VmId::new(0),
+                stats: &mut stats,
+            };
+            let ok = hw
+                .shadow_walk(asid, GuestVirtAddr::new(*va), sptr, AccessKind::Read)
+                .unwrap();
+            prop_assert_eq!(ok.frame, w.gmap.backing(*g).unwrap());
+        }
+        prop_assert_eq!(stats.faulted_walks, 1);
+    }
+}

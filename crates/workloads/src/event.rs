@@ -1,0 +1,73 @@
+//! The event vocabulary a workload emits and the machine consumes.
+
+/// One guest-side event. Addresses are guest-virtual, relative to the
+/// workload's own layout; the machine applies them to the current process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A data memory access.
+    Access {
+        /// Guest virtual address touched.
+        va: u64,
+        /// Whether it is a store.
+        write: bool,
+    },
+    /// Map an anonymous region.
+    Mmap {
+        /// Region start (page-aligned).
+        start: u64,
+        /// Region length in bytes.
+        len: u64,
+        /// Writability.
+        writable: bool,
+    },
+    /// Unmap `[start, start+len)` (may split VMAs).
+    Munmap {
+        /// Range start.
+        start: u64,
+        /// Range length in bytes.
+        len: u64,
+    },
+    /// Mark a mapped range copy-on-write (content-based sharing / fork).
+    MarkCow {
+        /// Range start.
+        start: u64,
+        /// Range length in bytes.
+        len: u64,
+    },
+    /// Run one clock-algorithm reclamation pass over a range (memory
+    /// pressure).
+    ClockScan {
+        /// Range start.
+        start: u64,
+        /// Range length in bytes.
+        len: u64,
+    },
+    /// Switch to the workload's `to`-th process (guest CR3 write).
+    ContextSwitch {
+        /// Index into the workload's process set.
+        to: usize,
+    },
+    /// Interval boundary: the VMM's policy clock advances (the paper's
+    /// fixed time interval, nominally one second).
+    Tick,
+}
+
+impl Event {
+    /// True for data accesses (the unit the performance model normalizes
+    /// by).
+    #[must_use]
+    pub fn is_access(&self) -> bool {
+        matches!(self, Event::Access { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_predicate() {
+        assert!(Event::Access { va: 0, write: false }.is_access());
+        assert!(!Event::Tick.is_access());
+    }
+}

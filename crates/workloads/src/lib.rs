@@ -1,0 +1,33 @@
+//! Workload generators for the agile-paging evaluation.
+//!
+//! The paper evaluates on SPEC 2006, PARSEC, BioBench, and big-memory
+//! workloads (Table V). Those binaries and their inputs are not available
+//! to a simulator, so this crate provides *parameterized synthetic
+//! generators* and one calibrated profile per paper workload (see
+//! `DESIGN.md` for the substitution argument). Each profile recreates the
+//! two axes that determine Figure 5's shape:
+//!
+//! 1. **TLB-miss intensity** — footprint and access pattern (uniform, zipf,
+//!    hotspot, sequential, pointer-chase) versus the Table III TLB reach;
+//! 2. **page-table-update intensity** — mmap/munmap churn, copy-on-write
+//!    storms, reclamation scans, and context-switch rates.
+//!
+//! Workloads are deterministic event streams ([`Event`]) driven by a seeded
+//! RNG, so every experiment is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod gen;
+mod micro;
+mod pattern;
+mod profiles;
+mod spec;
+
+pub use event::Event;
+pub use gen::Workload;
+pub use micro::{micro_benches, MicroBench};
+pub use pattern::Pattern;
+pub use profiles::{profile, Profile};
+pub use spec::{ChurnSpec, WorkloadSpec};

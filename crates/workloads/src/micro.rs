@@ -1,0 +1,116 @@
+//! LMbench-style microbenchmarks for measuring per-VMtrap costs
+//! (paper Section VI, "Cost of VMtraps").
+//!
+//! Each microbenchmark is a tiny workload dominated by exactly one trap
+//! source, so dividing VMM cycles by trap counts recovers the per-trap
+//! latency — the same methodology the paper uses with LMbench plus custom
+//! microbenchmarks.
+
+use crate::pattern::Pattern;
+use crate::spec::{ChurnSpec, WorkloadSpec};
+
+/// One microbenchmark: a name and the workload that isolates the trap.
+#[derive(Debug, Clone)]
+pub struct MicroBench {
+    /// Trap source being measured.
+    pub name: &'static str,
+    /// The isolating workload.
+    pub spec: WorkloadSpec,
+}
+
+/// Builds the microbenchmark suite.
+#[must_use]
+pub fn micro_benches(accesses: u64) -> Vec<MicroBench> {
+    const MB: u64 = 1 << 20;
+    let base = |name: &str, footprint, pattern, churn| WorkloadSpec {
+        name: name.to_string(),
+        footprint,
+        pattern,
+        write_fraction: 0.5,
+        accesses,
+        accesses_per_tick: accesses, // single interval: no policy churn
+        churn,
+        prefault: false,
+        prefault_writes: true,
+        seed: 0x3141,
+    };
+    vec![
+        MicroBench {
+            name: "context-switch",
+            // Tiny footprint: after warm-up the only trap source left is
+            // the CR3 write every few accesses.
+            spec: base(
+                "micro-ctx",
+                64 << 10,
+                Pattern::Sequential { stride_pages: 1 },
+                ChurnSpec {
+                    ctx_switch_every: Some(4),
+                    processes: 4,
+                    ..ChurnSpec::none()
+                },
+            ),
+        },
+        MicroBench {
+            name: "pt-update",
+            spec: base(
+                "micro-ptupdate",
+                4 * MB,
+                Pattern::Sequential { stride_pages: 1 },
+                ChurnSpec {
+                    remap_every: Some(64),
+                    remap_pages: 32,
+                    ..ChurnSpec::none()
+                },
+            ),
+        },
+        MicroBench {
+            name: "page-fault",
+            // Touch each page exactly once: every access demand-faults.
+            spec: base(
+                "micro-fault",
+                (accesses.max(1)) * 4096,
+                Pattern::Sequential { stride_pages: 1 },
+                ChurnSpec::none(),
+            ),
+        },
+        MicroBench {
+            name: "cow",
+            spec: base(
+                "micro-cow",
+                4 * MB,
+                Pattern::Sequential { stride_pages: 1 },
+                ChurnSpec {
+                    cow_every: Some(1024),
+                    cow_pages: 256,
+                    ..ChurnSpec::none()
+                },
+            ),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_paper_trap_sources() {
+        let suite = micro_benches(1000);
+        let names: Vec<_> = suite.iter().map(|m| m.name).collect();
+        assert!(names.contains(&"context-switch"));
+        assert!(names.contains(&"pt-update"));
+        assert!(names.contains(&"page-fault"));
+        assert!(names.contains(&"cow"));
+    }
+
+    #[test]
+    fn page_fault_micro_touches_each_page_once() {
+        let suite = micro_benches(500);
+        let fault = suite.iter().find(|m| m.name == "page-fault").unwrap();
+        assert_eq!(fault.spec.pages(), 500);
+        assert!(matches!(
+            fault.spec.pattern,
+            Pattern::Sequential { stride_pages: 1 }
+        ));
+    }
+}

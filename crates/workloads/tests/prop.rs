@@ -1,0 +1,136 @@
+//! Property-based tests over the workload generators.
+
+use agile_workloads::{ChurnSpec, Event, Pattern, Workload, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::Uniform),
+        (0.3f64..1.5).prop_map(|theta| Pattern::Zipf { theta }),
+        (1u64..32).prop_map(|stride_pages| Pattern::Sequential { stride_pages }),
+        Just(Pattern::PointerChase),
+        ((0.01f64..0.5), (0.5f64..0.99)).prop_map(|(hot_fraction, hot_probability)| {
+            Pattern::Hotspot {
+                hot_fraction,
+                hot_probability,
+            }
+        }),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        arb_pattern(),
+        2u64..32,            // footprint MiB
+        100u64..2_000,       // accesses
+        any::<u64>(),        // seed
+        proptest::option::of(50u64..400), // remap_every
+        1u64..64,            // remap_pages
+        proptest::option::of(50u64..400), // cow_every
+        1usize..4,           // processes
+        any::<bool>(),       // prefault
+    )
+        .prop_map(
+            |(pattern, mb, accesses, seed, remap_every, remap_pages, cow_every, processes, prefault)| {
+                WorkloadSpec {
+                    name: "prop".into(),
+                    footprint: mb << 20,
+                    pattern,
+                    write_fraction: 0.4,
+                    accesses,
+                    accesses_per_tick: (accesses / 4).max(1),
+                    churn: ChurnSpec {
+                        remap_every,
+                        remap_pages,
+                        cow_every,
+                        cow_pages: 8,
+                        churn_zone: 0.3,
+                        ctx_switch_every: Some(97),
+                        processes,
+                        ..ChurnSpec::none()
+                    },
+                    prefault,
+                    prefault_writes: true,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The stream always contains exactly `accesses` pattern accesses (plus
+    /// the optional prefault sweep), every address inside the footprint,
+    /// every churn window inside the footprint, and every process index in
+    /// range.
+    #[test]
+    fn streams_are_well_formed(spec in arb_spec()) {
+        let footprint = spec.footprint;
+        let pages = spec.pages();
+        let procs = spec.churn.processes;
+        let expected_prefault = if spec.prefault {
+            (footprint / 4096) * procs as u64
+        } else {
+            0
+        };
+        let mut accesses = 0u64;
+        for event in Workload::new(spec.clone()) {
+            match event {
+                Event::Access { va, .. } => {
+                    accesses += 1;
+                    prop_assert!(va >= WorkloadSpec::REGION_BASE);
+                    prop_assert!(va < WorkloadSpec::REGION_BASE + pages * 4096);
+                }
+                Event::Mmap { start, len, .. }
+                | Event::Munmap { start, len }
+                | Event::MarkCow { start, len }
+                | Event::ClockScan { start, len } => {
+                    prop_assert!(start >= WorkloadSpec::REGION_BASE);
+                    prop_assert!(start + len <= WorkloadSpec::REGION_BASE + footprint);
+                    prop_assert!(len > 0);
+                }
+                Event::ContextSwitch { to } => prop_assert!(to < procs.max(1)),
+                Event::Tick => {}
+            }
+        }
+        prop_assert_eq!(accesses, spec.accesses + expected_prefault);
+    }
+
+    /// Identical specs yield identical streams; different seeds yield
+    /// different access sequences (for random patterns).
+    #[test]
+    fn determinism_and_seed_sensitivity(spec in arb_spec()) {
+        let a: Vec<Event> = Workload::new(spec.clone()).collect();
+        let b: Vec<Event> = Workload::new(spec.clone()).collect();
+        prop_assert_eq!(&a, &b);
+        if matches!(spec.pattern, Pattern::Uniform | Pattern::Zipf { .. }) && spec.accesses > 200 {
+            let mut other = spec.clone();
+            other.seed = spec.seed.wrapping_add(1);
+            let c: Vec<Event> = Workload::new(other).collect();
+            prop_assert_ne!(&a, &c);
+        }
+    }
+
+    /// with_accesses keeps cadences *relative to run length*: the number of
+    /// churn events per run stays (approximately) constant when the run is
+    /// scaled, because the periods scale with it.
+    #[test]
+    fn rescaling_preserves_churn_event_count(spec in arb_spec(), factor in 2u64..5) {
+        prop_assume!(spec.churn.remap_every.is_some());
+        prop_assume!(spec.accesses >= 400);
+        let count = |s: &WorkloadSpec| {
+            Workload::new(s.clone())
+                .filter(|e| matches!(e, Event::Munmap { .. }))
+                .count() as f64
+        };
+        let base = count(&spec);
+        prop_assume!(base >= 2.0);
+        let scaled_spec = spec.clone().with_accesses(spec.accesses * factor);
+        let scaled = count(&scaled_spec);
+        prop_assert!(
+            (scaled - base).abs() <= base * 0.34 + 2.0,
+            "scaled {scaled} vs base {base}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Memory pressure (paper Section V): a guest kernel running its clock
+//! algorithm scans page tables and clears referenced bits — a write storm
+//! into the guest page table on an already-stressed system.
+//!
+//! Under shadow paging every cleared bit is an intercepted write; agile
+//! paging detects the scanning and converts leaf tables to nested mode.
+//!
+//! ```text
+//! cargo run --release --example memory_pressure
+//! ```
+
+use agile_paging::{AgileOptions, Event, Machine, SystemConfig, Technique};
+
+const BASE: u64 = 0x6100_0000_0000;
+const PAGES: u64 = 8192;
+
+fn main() {
+    println!(
+        "{:<20} {:>10} {:>12} {:>14}",
+        "technique", "reclaimed", "VMM traps", "VMM Mcycles"
+    );
+    for (name, technique) in [
+        ("base native", Technique::Native),
+        ("nested paging", Technique::Nested),
+        ("shadow paging", Technique::Shadow),
+        ("agile paging", Technique::Agile(AgileOptions::default())),
+    ] {
+        let mut m = Machine::new(SystemConfig::new(technique));
+        let pid = m.current_pid();
+        m.os_mut().mmap(pid, BASE, PAGES * 4096, true);
+        for i in 0..PAGES {
+            m.touch(BASE + i * 4096, false).unwrap();
+        }
+        m.begin_measurement();
+        // Three reclamation passes with a shrinking working set in between.
+        for round in 0..3u64 {
+            for i in 0..(PAGES >> (round + 1)) {
+                m.touch(BASE + i * 4096, false).unwrap();
+            }
+            m.run_event(Event::ClockScan {
+                start: BASE,
+                len: PAGES * 4096,
+            });
+            m.run_event(Event::Tick);
+        }
+        let stats = m.stats("pressure");
+        println!(
+            "{:<20} {:>10} {:>12} {:>14.2}",
+            name,
+            stats.os.pages_reclaimed,
+            stats.traps.total_traps(),
+            stats.traps.total_cycles() as f64 / 1e6
+        );
+    }
+    println!("\nThe clock scan's referenced-bit clears are free under nested and");
+    println!("agile paging, but each one is a VMM intervention under shadow paging.");
+}

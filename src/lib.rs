@@ -1,0 +1,9 @@
+//! Facade crate for the agile-paging reproduction.
+//!
+//! Re-exports the full public API of [`agile_core`], which in turn re-exports
+//! the substrate crates. See the workspace `README.md` for a tour and
+//! `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use agile_core::*;

@@ -1,0 +1,78 @@
+//! Smoke tests for every experiment runner: each produces well-formed
+//! output quickly (full-scale runs are the bench bins).
+
+use agile_paging::experiments;
+use agile_paging::Profile;
+
+#[test]
+fn table1_renders_all_techniques() {
+    let text = experiments::table1(8_000);
+    for label in ["Base Native", "Nested Paging", "Shadow Paging", "Agile Paging"] {
+        assert!(text.contains(label), "missing {label} in:\n{text}");
+    }
+}
+
+#[test]
+fn table2_reports_reference_breakdowns() {
+    let (text, rows) = experiments::table2();
+    assert_eq!(rows.len(), 7);
+    assert!(text.contains("paper"));
+    for row in &rows {
+        assert_eq!(
+            u64::from(row.refs),
+            row.shadow_refs + row.guest_refs + row.host_refs
+        );
+    }
+}
+
+#[test]
+fn fig5_covers_every_bar_for_selected_workloads() {
+    let (text, rows) = experiments::fig5(6_000, Some(&[Profile::Astar]));
+    assert_eq!(rows.len(), 8, "2 page sizes x 4 techniques");
+    for cfg in ["4K:B", "4K:N", "4K:S", "4K:A", "2M:B", "2M:N", "2M:S", "2M:A"] {
+        assert!(text.contains(cfg), "missing {cfg}");
+    }
+}
+
+#[test]
+fn table6_fractions_are_probabilities() {
+    let (text, rows) = experiments::table6(8_000, Some(&[Profile::Astar, Profile::Gcc]));
+    assert_eq!(rows.len(), 2);
+    assert!(text.contains("Shadow(4)"));
+    for row in &rows {
+        let sum: f64 = row.fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6 || sum == 0.0, "{}: {sum}", row.workload);
+        for f in row.fractions {
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert!(row.avg_refs >= 4.0 || row.avg_refs == 0.0);
+        assert!(row.avg_refs <= 24.0);
+    }
+}
+
+#[test]
+fn vmtrap_costs_recovers_configured_latencies() {
+    let (text, rows) = experiments::vmtrap_costs(4_000);
+    assert_eq!(rows.len(), 4);
+    assert!(text.contains("cycles/trap"));
+    for row in &rows {
+        assert!(row.count > 0, "{} produced no traps", row.micro);
+    }
+}
+
+#[test]
+fn ablations_render() {
+    let hw = experiments::ablate_hw(4_000);
+    assert!(hw.contains("ad-sync traps"));
+    let policy = experiments::ablate_policy(4_000);
+    assert!(policy.contains("dirty-bit-scan"));
+    let pwc = experiments::ablate_pwc(4_000);
+    assert!(pwc.contains("avg refs/miss"));
+}
+
+#[test]
+fn shsp_compare_reports_four_rows() {
+    let (text, rows) = experiments::shsp_compare(6_000);
+    assert_eq!(rows.len(), 4);
+    assert!(text.contains("phase-mix"));
+}

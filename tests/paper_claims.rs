@@ -1,0 +1,202 @@
+//! End-to-end assertions of the paper's claims, on fast mini-workloads
+//! whose footprints reach steady state quickly (the full-scale numbers come
+//! from `cargo run -p agile-bench --bin fig5` etc.; see EXPERIMENTS.md).
+
+use agile_paging::{
+    AgileOptions, ChurnSpec, Machine, Pattern, RunStats, SystemConfig, Technique, WorkloadSpec,
+};
+
+/// Miss-heavy, update-light: the quadrant where shadow paging shines and
+/// nested paging suffers.
+fn miss_heavy(accesses: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "mini-miss-heavy".into(),
+        footprint: 8 << 20,
+        pattern: Pattern::Uniform,
+        write_fraction: 0.2,
+        accesses,
+        accesses_per_tick: (accesses / 10).max(1),
+        churn: ChurnSpec::none(),
+        prefault: false,
+        prefault_writes: true,
+        seed: 101,
+    }
+}
+
+/// Update-heavy: the quadrant where shadow paging collapses and nested
+/// paging shines.
+fn update_heavy(accesses: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "mini-update-heavy".into(),
+        footprint: 8 << 20,
+        pattern: Pattern::Zipf { theta: 0.9 },
+        write_fraction: 0.5,
+        accesses,
+        accesses_per_tick: (accesses / 10).max(1),
+        churn: ChurnSpec {
+            remap_every: Some(500),
+            remap_pages: 16,
+            cow_every: Some(400),
+            cow_pages: 8,
+            churn_zone: 0.25,
+            ..ChurnSpec::none()
+        },
+        prefault: false,
+        prefault_writes: true,
+        seed: 102,
+    }
+}
+
+fn run(technique: Technique, spec: &WorkloadSpec) -> RunStats {
+    let mut m = Machine::new(SystemConfig::new(technique));
+    m.run_spec_measured(spec, spec.accesses / 3)
+}
+
+fn agile() -> Technique {
+    Technique::Agile(AgileOptions::default())
+}
+
+const N: u64 = 60_000;
+
+#[test]
+fn nested_walks_cost_roughly_double_native() {
+    // Paper Table I / Section VII: nested TLB misses are far more expensive
+    // than native; with real caching hardware the paper measures ~2-2.5x.
+    let native = run(Technique::Native, &miss_heavy(N));
+    let nested = run(Technique::Nested, &miss_heavy(N));
+    let ratio = nested.overheads().page_walk / native.overheads().page_walk;
+    assert!(
+        (1.5..4.0).contains(&ratio),
+        "nested/native walk overhead ratio = {ratio:.2}"
+    );
+    assert!(nested.avg_refs_per_miss() > native.avg_refs_per_miss() * 2.0);
+}
+
+#[test]
+fn shadow_walks_match_native_speed() {
+    let native = run(Technique::Native, &miss_heavy(N));
+    let shadow = run(Technique::Shadow, &miss_heavy(N));
+    let walk_gap = (shadow.overheads().page_walk - native.overheads().page_walk).abs();
+    assert!(
+        walk_gap < 0.05,
+        "shadow walk overhead must be native-like, gap = {walk_gap:.3}"
+    );
+}
+
+#[test]
+fn shadow_pays_for_page_table_updates_nested_does_not() {
+    let nested = run(Technique::Nested, &update_heavy(N));
+    let shadow = run(Technique::Shadow, &update_heavy(N));
+    assert!(
+        shadow.overheads().vmm > nested.overheads().vmm * 3.0,
+        "shadow VMM {:.3} vs nested VMM {:.3}",
+        shadow.overheads().vmm,
+        nested.overheads().vmm
+    );
+    // And the crossover: on the miss-heavy workload shadow wins overall,
+    // on the update-heavy one nested wins overall.
+    let shadow_q1 = run(Technique::Shadow, &miss_heavy(N));
+    let nested_q1 = run(Technique::Nested, &miss_heavy(N));
+    assert!(shadow_q1.overheads().total() < nested_q1.overheads().total());
+    assert!(nested.overheads().total() < shadow.overheads().total());
+}
+
+#[test]
+fn agile_matches_or_beats_best_constituent_in_both_quadrants() {
+    for spec in [miss_heavy(N), update_heavy(N)] {
+        let nested = run(Technique::Nested, &spec).overheads().total();
+        let shadow = run(Technique::Shadow, &spec).overheads().total();
+        let best = nested.min(shadow);
+        let a = run(agile(), &spec).overheads().total();
+        // Allow 10% slack on the execution-time ratio for simulation noise.
+        assert!(
+            (1.0 + a) <= (1.0 + best) * 1.10,
+            "{}: agile {:.3} vs best(N={nested:.3}, S={shadow:.3})",
+            spec.name,
+            a
+        );
+    }
+}
+
+#[test]
+fn agile_avg_refs_stay_under_five_without_walk_caches() {
+    // Paper Table VI: "agile paging requires fewer than 5 memory references
+    // per TLB miss on average" with PWCs disabled.
+    for spec in [miss_heavy(N), update_heavy(N)] {
+        let mut m = Machine::new(SystemConfig::new(agile()).without_pwc());
+        let stats = m.run_spec_measured(&spec, spec.accesses / 3);
+        // The mini update-heavy workload churns 25% of its address space —
+        // far more than the paper's workloads — so allow a looser bound
+        // there; the paper-profile Table VI run (bench bin) shows < 5.5.
+        let bound = if spec.churn.remap_every.is_some() { 9.0 } else { 5.5 };
+        assert!(
+            stats.avg_refs_per_miss() < bound,
+            "{}: avg refs {:.2}",
+            spec.name,
+            stats.avg_refs_per_miss()
+        );
+        // And the shadow fraction dominates on the quiet workload.
+        if spec.churn.remap_every.is_none() {
+            let shadow_frac = stats
+                .kinds
+                .fraction(agile_paging::WalkKind::FullShadow);
+            assert!(shadow_frac > 0.8, "shadow fraction {shadow_frac:.3}");
+        }
+    }
+}
+
+#[test]
+fn huge_pages_reduce_overheads_and_agile_still_wins() {
+    // Paper Section VII: "2MB large pages help reduce overheads of virtual
+    // memory. Agile paging helps reduce overheads further."
+    let spec = miss_heavy(N);
+    let native_4k = run(Technique::Native, &spec).overheads().total();
+    let mut m = Machine::new(SystemConfig::new(Technique::Native).with_thp());
+    let native_2m = m.run_spec_measured(&spec, spec.accesses / 3).overheads().total();
+    assert!(
+        native_2m < native_4k / 2.0,
+        "2M must cut native overhead: {native_2m:.3} vs {native_4k:.3}"
+    );
+    let mut m = Machine::new(SystemConfig::new(agile()).with_thp());
+    let agile_2m = m.run_spec_measured(&spec, spec.accesses / 3).overheads().total();
+    let mut m = Machine::new(SystemConfig::new(Technique::Nested).with_thp());
+    let nested_2m = m.run_spec_measured(&spec, spec.accesses / 3).overheads().total();
+    assert!(agile_2m <= nested_2m + 0.01);
+}
+
+#[test]
+fn table2_ladder_is_exact() {
+    let (_, rows) = agile_paging::experiments::table2();
+    let refs: Vec<u32> = rows.iter().map(|r| r.refs).collect();
+    assert_eq!(refs, vec![4, 4, 8, 12, 16, 20, 24]);
+}
+
+#[test]
+fn shsp_approximates_best_of_both_agile_exceeds_it() {
+    // Paper Section VII-C: SHSP ≈ best of the two techniques; agile paging
+    // exceeds it.
+    let (_, rows) = agile_paging::experiments::shsp_compare(80_000);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.technique == name)
+            .map(|r| r.total_overhead)
+            .expect("row")
+    };
+    let best = get("Nested").min(get("Shadow"));
+    assert!(get("SHSP") <= best * 1.30 + 0.05, "SHSP {:.3} vs best {best:.3}", get("SHSP"));
+    assert!(
+        (1.0 + get("Agile")) <= (1.0 + best) * 1.05,
+        "agile {:.3} vs best {best:.3}",
+        get("Agile")
+    );
+}
+
+#[test]
+fn determinism_across_runs() {
+    let a = run(agile(), &update_heavy(20_000));
+    let b = run(agile(), &update_heavy(20_000));
+    assert_eq!(a.accesses, b.accesses);
+    assert_eq!(a.tlb.misses, b.tlb.misses);
+    assert_eq!(a.walk_cycles, b.walk_cycles);
+    assert_eq!(a.traps.total_cycles(), b.traps.total_cycles());
+}
