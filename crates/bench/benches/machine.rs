@@ -1,11 +1,12 @@
-//! Criterion benchmarks over the full machine: end-to-end simulation
+//! Timing benchmarks over the full machine: end-to-end simulation
 //! throughput per technique (the Figure 5 pipeline at micro scale) and the
-//! hardware-optimization ablation.
+//! hardware-optimization ablation. Plain loop-and-time harness — run with
+//! `cargo bench --bench machine`.
 
+use agile_bench::timing::bench;
 use agile_core::{
     AgileOptions, ChurnSpec, Machine, Pattern, SystemConfig, Technique, WorkloadSpec,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn spec(accesses: u64) -> WorkloadSpec {
@@ -28,10 +29,8 @@ fn spec(accesses: u64) -> WorkloadSpec {
     }
 }
 
-fn bench_modes(c: &mut Criterion) {
+fn bench_modes() {
     // One bar per Figure 5 technique: simulate 20k accesses end to end.
-    let mut group = c.benchmark_group("fig5_configs");
-    group.sample_size(10);
     for (name, technique) in [
         ("native", Technique::Native),
         ("nested", Technique::Nested),
@@ -39,52 +38,42 @@ fn bench_modes(c: &mut Criterion) {
         ("agile", Technique::Agile(AgileOptions::default())),
         ("shsp", Technique::Shsp(Default::default())),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m = Machine::new(SystemConfig::new(technique));
-                black_box(m.run_spec(&spec(20_000)))
-            })
+        bench(name, 10, || {
+            let mut m = Machine::new(SystemConfig::new(technique));
+            black_box(m.run_spec(&spec(20_000)))
         });
     }
-    group.finish();
 }
 
-fn bench_hw_opts(c: &mut Criterion) {
+fn bench_hw_opts() {
     // Section IV ablation at micro scale.
-    let mut group = c.benchmark_group("hw_opts");
-    group.sample_size(10);
     for (name, opts) in [
-        ("none", AgileOptions::without_hw_opts()),
-        ("both", AgileOptions::default()),
+        ("hw_opts_none", AgileOptions::without_hw_opts()),
+        ("hw_opts_both", AgileOptions::default()),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m = Machine::new(SystemConfig::new(Technique::Agile(opts)));
-                black_box(m.run_spec(&spec(20_000)))
-            })
+        bench(name, 10, || {
+            let mut m = Machine::new(SystemConfig::new(Technique::Agile(opts)));
+            black_box(m.run_spec(&spec(20_000)))
         });
     }
-    group.finish();
 }
 
-fn bench_page_sizes(c: &mut Criterion) {
+fn bench_page_sizes() {
     // 4K vs 2M simulation (the two halves of Figure 5).
-    let mut group = c.benchmark_group("page_sizes");
-    group.sample_size(10);
-    for (name, thp) in [("4k", false), ("2m", true)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cfg = SystemConfig::new(Technique::Agile(AgileOptions::default()));
-                if thp {
-                    cfg = cfg.with_thp();
-                }
-                let mut m = Machine::new(cfg);
-                black_box(m.run_spec(&spec(20_000)))
-            })
+    for (name, thp) in [("pages_4k", false), ("pages_2m", true)] {
+        bench(name, 10, || {
+            let mut cfg = SystemConfig::new(Technique::Agile(AgileOptions::default()));
+            if thp {
+                cfg = cfg.with_thp();
+            }
+            let mut m = Machine::new(cfg);
+            black_box(m.run_spec(&spec(20_000)))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_modes, bench_hw_opts, bench_page_sizes);
-criterion_main!(benches);
+fn main() {
+    bench_modes();
+    bench_hw_opts();
+    bench_page_sizes();
+}

@@ -1,14 +1,15 @@
-//! Criterion micro-benchmarks over the counted hardware walker: one
-//! benchmark per degree of nesting (the Table II ladder), so the simulator's
-//! walk costs scale with the paper's reference counts.
+//! Timing micro-benchmarks over the counted hardware walker: one case per
+//! degree of nesting (the Table II ladder), so the simulator's walk costs
+//! scale with the paper's reference counts. Plain loop-and-time harness —
+//! run with `cargo bench --bench walks`.
 
+use agile_bench::timing::bench;
 use agile_core::types::{
     AccessKind, Asid, GuestFrame, HostFrame, Level, PageSize, Pte, PteFlags, VmId,
 };
 use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
 use agile_tlb::{NestedTlb, PageWalkCaches, PwcConfig};
 use agile_walk::{AgileCr3, WalkHw, WalkStats};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 struct Fixture {
@@ -29,16 +30,37 @@ fn fixture() -> Fixture {
     let spt = RadixTable::new(&mut mem, &mut host);
     let gva = 0x7fab_cdef_0000u64;
     let data = gmap.alloc_data(&mut mem);
-    gpt.map(&mut mem, &mut gmap, gva, data.raw(), PageSize::Size4K, PteFlags::WRITABLE)
-        .unwrap();
+    gpt.map(
+        &mut mem,
+        &mut gmap,
+        gva,
+        data.raw(),
+        PageSize::Size4K,
+        PteFlags::WRITABLE,
+    )
+    .unwrap();
     let pairs: Vec<_> = gmap.frames().collect();
     for (g, h) in pairs {
-        hpt.map(&mut mem, &mut host, g.base().raw(), h.raw(), PageSize::Size4K, PteFlags::WRITABLE)
-            .unwrap();
+        hpt.map(
+            &mut mem,
+            &mut host,
+            g.base().raw(),
+            h.raw(),
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
     }
     let backing = gmap.backing(data).unwrap();
-    spt.map(&mut mem, &mut host, gva, backing.raw(), PageSize::Size4K, PteFlags::WRITABLE)
-        .unwrap();
+    spt.map(
+        &mut mem,
+        &mut host,
+        gva,
+        backing.raw(),
+        PageSize::Size4K,
+        PteFlags::WRITABLE,
+    )
+    .unwrap();
     Fixture {
         mem,
         gmap,
@@ -68,8 +90,7 @@ fn set_switch(fx: &mut Fixture, level: Level) {
         .unwrap();
 }
 
-fn bench_walk_degrees(c: &mut Criterion) {
-    let mut group = c.benchmark_group("walk_degrees");
+fn bench_walk_degrees() {
     let cfg = PwcConfig::disabled();
     let asid = Asid::new(1);
     let gva = agile_core::types::GuestVirtAddr::new(0x7fab_cdef_0000);
@@ -94,59 +115,53 @@ fn bench_walk_degrees(c: &mut Criterion) {
         } else {
             AgileCr3::Shadow { spt_root: sptr }
         };
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut stats = WalkStats::default();
-                let mut pwc = PageWalkCaches::new(&cfg);
-                let mut ntlb = NestedTlb::new(&cfg);
-                let mut hw = WalkHw {
-                    mem: &mut fx.mem,
-                    pwc: &mut pwc,
-                    ntlb: &mut ntlb,
-                    vm: VmId::new(0),
-                    stats: &mut stats,
-                };
-                black_box(
-                    hw.agile_walk(asid, gva, cr3, gptr, hptr, AccessKind::Read)
-                        .unwrap(),
-                )
-            })
+        bench(name, 50_000, || {
+            let mut stats = WalkStats::default();
+            let mut pwc = PageWalkCaches::new(&cfg);
+            let mut ntlb = NestedTlb::new(&cfg);
+            let mut hw = WalkHw {
+                mem: &mut fx.mem,
+                pwc: &mut pwc,
+                ntlb: &mut ntlb,
+                vm: VmId::new(0),
+                stats: &mut stats,
+            };
+            black_box(
+                hw.agile_walk(asid, gva, cr3, gptr, hptr, AccessKind::Read)
+                    .unwrap(),
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_pwc(c: &mut Criterion) {
+fn bench_pwc() {
     // The page-walk-cache ablation at micro scale: warm walk with and
     // without translation caches.
-    let mut group = c.benchmark_group("pwc");
     let asid = Asid::new(1);
     let gva = agile_core::types::GuestVirtAddr::new(0x7fab_cdef_0000);
-    for (name, cfg) in [("on", PwcConfig::default()), ("off", PwcConfig::disabled())] {
+    for (name, cfg) in [
+        ("pwc_on", PwcConfig::default()),
+        ("pwc_off", PwcConfig::disabled()),
+    ] {
         let mut fx = fixture();
         let sptr = HostFrame::new(fx.spt.root_raw());
         let mut stats = WalkStats::default();
         let mut pwc = PageWalkCaches::new(&cfg);
         let mut ntlb = NestedTlb::new(&cfg);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut hw = WalkHw {
-                    mem: &mut fx.mem,
-                    pwc: &mut pwc,
-                    ntlb: &mut ntlb,
-                    vm: VmId::new(0),
-                    stats: &mut stats,
-                };
-                black_box(hw.shadow_walk(asid, gva, sptr, AccessKind::Read).unwrap())
-            })
+        bench(name, 50_000, || {
+            let mut hw = WalkHw {
+                mem: &mut fx.mem,
+                pwc: &mut pwc,
+                ntlb: &mut ntlb,
+                vm: VmId::new(0),
+                stats: &mut stats,
+            };
+            black_box(hw.shadow_walk(asid, gva, sptr, AccessKind::Read).unwrap())
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_walk_degrees, bench_pwc
+fn main() {
+    bench_walk_degrees();
+    bench_pwc();
 }
-criterion_main!(benches);

@@ -1,5 +1,8 @@
 //! Ablation (extension): sensitivity to the policy interval length.
 fn main() {
-    let accesses = agile_bench::accesses_from_args(400_000);
-    println!("{}", agile_core::experiments::ablate_interval(accesses));
+    let cli = agile_bench::BenchCli::from_env(400_000);
+    cli.finish(&agile_core::experiments::ablate_interval(
+        cli.accesses,
+        cli.threads,
+    ));
 }

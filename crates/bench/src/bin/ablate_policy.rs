@@ -1,5 +1,8 @@
 //! Ablation: nested=>shadow policy choice (Section III-C).
 fn main() {
-    let accesses = agile_bench::accesses_from_args(200_000);
-    println!("{}", agile_core::experiments::ablate_policy(accesses));
+    let cli = agile_bench::BenchCli::from_env(200_000);
+    cli.finish(&agile_core::experiments::ablate_policy(
+        cli.accesses,
+        cli.threads,
+    ));
 }

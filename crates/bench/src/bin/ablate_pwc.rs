@@ -1,5 +1,8 @@
 //! Ablation: page walk caches (Section III-A).
 fn main() {
-    let accesses = agile_bench::accesses_from_args(200_000);
-    println!("{}", agile_core::experiments::ablate_pwc(accesses));
+    let cli = agile_bench::BenchCli::from_env(200_000);
+    cli.finish(&agile_core::experiments::ablate_pwc(
+        cli.accesses,
+        cli.threads,
+    ));
 }

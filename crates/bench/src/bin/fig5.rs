@@ -1,16 +1,17 @@
 //! Regenerates the paper's Figure 5 (execution-time overheads for all
 //! workloads under 4K/2M x {Base, Nested, Shadow, Agile}).
 fn main() {
-    let accesses = agile_bench::accesses_from_args(1_000_000);
-    let (text, rows) = agile_core::experiments::fig5(accesses, None);
-    println!("{text}");
+    let cli = agile_bench::BenchCli::from_env(1_000_000);
+    let run = agile_core::experiments::fig5(cli.accesses, None, cli.threads);
+    cli.finish(&run);
     // Headline claims (paper Section VII-A).
     let mut improvements = Vec::new();
     for wl in agile_core::Profile::ALL {
         for thp in [false, true] {
             let best =
-                agile_core::experiments::fig5::best_of_constituents(&rows, wl.name(), thp);
-            let agile = rows
+                agile_core::experiments::fig5::best_of_constituents(&run.rows, wl.name(), thp);
+            let agile = run
+                .rows
                 .iter()
                 .find(|r| {
                     r.workload == wl.name()

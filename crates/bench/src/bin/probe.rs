@@ -1,3 +1,4 @@
+//! Scratch probe: a single instrumented run through the runner API.
 fn main() {
     use agile_core::*;
     let spec = WorkloadSpec {
@@ -7,14 +8,26 @@ fn main() {
         write_fraction: 0.3,
         accesses: 50_000,
         accesses_per_tick: 5_000,
-        churn: ChurnSpec { ctx_switch_every: Some(200), processes: 4, ..ChurnSpec::none() },
+        churn: ChurnSpec {
+            ctx_switch_every: Some(200),
+            processes: 4,
+            ..ChurnSpec::none()
+        },
         prefault: true,
         prefault_writes: true,
         seed: 0xAB1,
     };
-    let opts = AgileOptions { hw_ad_bits: true, ..AgileOptions::without_hw_opts() };
-    let mut m = Machine::new(SystemConfig::new(Technique::Agile(opts)));
-    let stats = m.run_spec(&spec);
-    println!("adwalks={} shadowfrac={:.3} misses={}", stats.ad_walks,
-        stats.kinds.fraction(WalkKind::FullShadow), stats.tlb.misses);
+    let opts = AgileOptions {
+        hw_ad_bits: true,
+        ..AgileOptions::without_hw_opts()
+    };
+    let artifact = RunRequest::new(SystemConfig::new(Technique::Agile(opts)), spec).run();
+    let stats = &artifact.stats;
+    println!(
+        "adwalks={} shadowfrac={:.3} misses={}",
+        stats.ad_walks,
+        stats.kinds.fraction(WalkKind::FullShadow),
+        stats.tlb.misses
+    );
+    println!("{}", artifact.to_json().pretty());
 }

@@ -1,6 +1,8 @@
 //! Regenerates the Section VII-C SHSP comparison.
 fn main() {
-    let accesses = agile_bench::accesses_from_args(300_000);
-    let (text, _) = agile_core::experiments::shsp_compare(accesses);
-    println!("{text}");
+    let cli = agile_bench::BenchCli::from_env(300_000);
+    cli.finish(&agile_core::experiments::shsp_compare(
+        cli.accesses,
+        cli.threads,
+    ));
 }

@@ -2,7 +2,7 @@
 //! command-line flags. `simulate --help` prints the flag reference.
 
 use agile_bench::SimArgs;
-use agile_core::Machine;
+use agile_core::RunRequest;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,12 +13,21 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut machine = Machine::new(sim.config);
-    let stats = machine.run_spec_measured(&sim.spec, sim.warmup);
+    let artifact = RunRequest::new(sim.config, sim.spec.clone())
+        .with_warmup(sim.warmup)
+        .run();
+    let stats = &artifact.stats;
     let o = stats.overheads();
     println!("configuration : {}", sim.config.label());
-    println!("accesses      : {} (measured after {} warm-up)", stats.accesses, sim.warmup);
-    println!("TLB misses    : {} (MPKA {:.1})", stats.tlb.misses, stats.mpka());
+    println!(
+        "accesses      : {} (measured after {} warm-up)",
+        stats.accesses, sim.warmup
+    );
+    println!(
+        "TLB misses    : {} (MPKA {:.1})",
+        stats.tlb.misses,
+        stats.mpka()
+    );
     println!("avg refs/miss : {:.2}", stats.avg_refs_per_miss());
     println!("page-walk     : {:>7.1}%", o.page_walk * 100.0);
     println!("vmtrap        : {:>7.1}%", o.vmm * 100.0);
@@ -30,4 +39,5 @@ fn main() {
         stats.vmm.to_shadow,
         stats.vmm.unsyncs
     );
+    sim.emit(&artifact);
 }

@@ -1,5 +1,5 @@
 //! Regenerates the paper's Table I (technique trade-off matrix).
 fn main() {
-    let accesses = agile_bench::accesses_from_args(60_000);
-    println!("{}", agile_core::experiments::table1(accesses));
+    let cli = agile_bench::BenchCli::from_env(60_000);
+    cli.finish(&agile_core::experiments::table1(cli.accesses, cli.threads));
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Table II (memory references per degree of nesting).
+//! Fixture-based: `--accesses` is accepted but has no effect.
 fn main() {
-    let (text, _) = agile_core::experiments::table2();
-    println!("{text}");
+    let cli = agile_bench::BenchCli::from_env(1);
+    cli.finish(&agile_core::experiments::table2(cli.threads));
 }

@@ -1,6 +1,9 @@
 //! Regenerates the paper's Table VI (TLB misses per agile mode, no PWCs).
 fn main() {
-    let accesses = agile_bench::accesses_from_args(1_000_000);
-    let (text, _) = agile_core::experiments::table6(accesses, None);
-    println!("{text}");
+    let cli = agile_bench::BenchCli::from_env(1_000_000);
+    cli.finish(&agile_core::experiments::table6(
+        cli.accesses,
+        None,
+        cli.threads,
+    ));
 }

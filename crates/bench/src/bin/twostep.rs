@@ -1,7 +1,10 @@
 //! Reproduces the paper's Section VI two-step trace-and-model methodology
 //! and cross-validates the projection against direct agile simulation.
 fn main() {
-    let accesses = agile_bench::accesses_from_args(400_000);
-    let (text, _) = agile_core::experiments::twostep(accesses, None);
-    println!("{text}");
+    let cli = agile_bench::BenchCli::from_env(400_000);
+    cli.finish(&agile_core::experiments::twostep(
+        cli.accesses,
+        None,
+        cli.threads,
+    ));
 }

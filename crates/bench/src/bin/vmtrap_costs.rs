@@ -1,6 +1,8 @@
 //! Regenerates the Section VI VMtrap-cost microbenchmark table.
 fn main() {
-    let accesses = agile_bench::accesses_from_args(40_000);
-    let (text, _) = agile_core::experiments::vmtrap_costs(accesses);
-    println!("{text}");
+    let cli = agile_bench::BenchCli::from_env(40_000);
+    cli.finish(&agile_core::experiments::vmtrap_costs(
+        cli.accesses,
+        cli.threads,
+    ));
 }

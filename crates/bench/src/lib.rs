@@ -3,32 +3,144 @@
 //! Binaries (one per paper table/figure — see `DESIGN.md`): `table1`,
 //! `table2`, `fig5`, `table6`, `vmtrap_costs`, `shsp_compare`, `twostep`,
 //! `ablate_hw`, `ablate_policy`, `ablate_pwc`, `ablate_interval`. Each
-//! accepts `--accesses N` (run length) and `--quick` (small preset).
+//! accepts the shared [`BenchCli`] flags: `--accesses N`, `--quick`,
+//! `--threads N`, `--json PATH`, `--csv PATH`, `--no-emit`. By default
+//! every binary writes its structured results to `results/<name>.json`
+//! and `results/<name>.csv` alongside the rendered text table.
+//!
 //! The `simulate` binary runs a fully custom workload/configuration from
 //! command-line flags (see [`SimArgs`]).
 //!
-//! Criterion micro-benchmarks live under `benches/`.
+//! Timing harnesses live under `benches/`.
 
 #![forbid(unsafe_code)]
 
+use agile_core::experiments::{ExperimentRun, JsonRow};
 use agile_core::{
     AgileOptions, ChurnSpec, Pattern, ShspOptions, SystemConfig, Technique, WorkloadSpec,
 };
+use std::path::PathBuf;
 
-/// Parses `--accesses N` / `--quick` from the process arguments, with a
-/// default for the full run.
-#[must_use]
-pub fn accesses_from_args(default_full: u64) -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--quick") {
-        return (default_full / 10).max(1_000);
+/// The shared command-line surface of every experiment binary.
+#[derive(Debug, Clone)]
+pub struct BenchCli {
+    /// Data accesses per run.
+    pub accesses: u64,
+    /// Worker threads for the run matrix (results are identical at any
+    /// value).
+    pub threads: usize,
+    /// JSON output override (`None` = `results/<name>.json`).
+    pub json: Option<PathBuf>,
+    /// CSV output override (`None` = `results/<name>.csv`).
+    pub csv: Option<PathBuf>,
+    /// Skip artifact emission entirely.
+    pub no_emit: bool,
+    /// Whether `--quick` was given.
+    pub quick: bool,
+}
+
+impl BenchCli {
+    /// Usage text for the shared flags.
+    pub const USAGE: &'static str = "\
+common flags (every experiment binary):
+
+  --accesses N    data accesses per run
+  --quick         small preset (default/10, at least 1000)
+  --threads N     worker threads (default: all cores; results identical)
+  --json PATH     write structured results JSON here (default results/<name>.json)
+  --csv PATH      write flattened rows CSV here (default results/<name>.csv)
+  --no-emit       do not write result files
+  --help          this text
+";
+
+    /// Parses an argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag or value; `--help`
+    /// returns the usage text.
+    pub fn parse(args: &[String], default_full: u64) -> Result<BenchCli, String> {
+        let mut cli = BenchCli {
+            accesses: default_full,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            json: None,
+            csv: None,
+            no_emit: false,
+            quick: false,
+        };
+        let mut explicit_accesses = false;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value =
+                || -> Result<&String, String> { it.next().ok_or(format!("{flag} needs a value")) };
+            match flag.as_str() {
+                "--accesses" => {
+                    cli.accesses = parse_num(flag, value()?)?;
+                    explicit_accesses = true;
+                }
+                "--quick" => cli.quick = true,
+                "--threads" => cli.threads = parse_num(flag, value()?)?.max(1) as usize,
+                "--json" => cli.json = Some(PathBuf::from(value()?)),
+                "--csv" => cli.csv = Some(PathBuf::from(value()?)),
+                "--no-emit" => cli.no_emit = true,
+                "--help" | "-h" => return Err(Self::USAGE.to_string()),
+                other => return Err(format!("unknown flag {other}\n\n{}", Self::USAGE)),
+            }
+        }
+        if cli.quick && !explicit_accesses {
+            cli.accesses = (default_full / 10).max(1_000);
+        }
+        Ok(cli)
     }
-    if let Some(i) = args.iter().position(|a| a == "--accesses") {
-        if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-            return v;
+
+    /// Parses the process arguments; prints usage/errors and exits on
+    /// failure.
+    #[must_use]
+    pub fn from_env(default_full: u64) -> BenchCli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args, default_full) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                let help = args.iter().any(|a| a == "--help" || a == "-h");
+                eprintln!("{msg}");
+                std::process::exit(if help { 0 } else { 2 });
+            }
         }
     }
-    default_full
+
+    /// Prints the experiment's text table and writes its JSON/CSV
+    /// artifacts (unless `--no-emit`).
+    pub fn finish<R: JsonRow>(&self, run: &ExperimentRun<R>) {
+        println!("{}", run.text);
+        if self.no_emit {
+            return;
+        }
+        let json_path = self
+            .json
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("results/{}.json", run.name)));
+        let csv_path = self
+            .csv
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("results/{}.csv", run.name)));
+        write_artifact(&json_path, &format!("{}\n", run.to_json().pretty()));
+        write_artifact(&csv_path, &run.to_csv());
+    }
+}
+
+fn write_artifact(path: &PathBuf, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+    }
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
 }
 
 /// Parsed arguments for the `simulate` binary: a custom workload and
@@ -41,6 +153,8 @@ pub struct SimArgs {
     pub spec: WorkloadSpec,
     /// Accesses excluded from measurement at the start.
     pub warmup: u64,
+    /// Write the run's artifact JSON here.
+    pub json: Option<PathBuf>,
 }
 
 impl SimArgs {
@@ -66,6 +180,7 @@ simulate — run a custom workload on the agile-paging simulator
   --no-prefault      skip the population sweep
   --warmup N         warm-up accesses excluded         (default accesses/4)
   --seed N           RNG seed                          (default 1)
+  --json PATH        write the run artifact JSON here
 ";
 
     /// Parses an argument vector (without the program name).
@@ -90,12 +205,12 @@ simulate — run a custom workload on the agile-paging simulator
         let mut prefault = true;
         let mut warmup: Option<u64> = None;
         let mut seed: u64 = 1;
+        let mut json: Option<PathBuf> = None;
 
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut value = || -> Result<&String, String> {
-                it.next().ok_or(format!("{flag} needs a value"))
-            };
+            let mut value =
+                || -> Result<&String, String> { it.next().ok_or(format!("{flag} needs a value")) };
             match flag.as_str() {
                 "--technique" => {
                     technique = match value()?.as_str() {
@@ -126,6 +241,7 @@ simulate — run a custom workload on the agile-paging simulator
                 "--no-prefault" => prefault = false,
                 "--warmup" => warmup = Some(parse_num(flag, value()?)?),
                 "--seed" => seed = parse_num(flag, value()?)?,
+                "--json" => json = Some(PathBuf::from(value()?)),
                 "--help" | "-h" => return Err(Self::USAGE.to_string()),
                 other => return Err(format!("unknown flag {other}\n\n{}", Self::USAGE)),
             }
@@ -156,16 +272,44 @@ simulate — run a custom workload on the agile-paging simulator
             config,
             spec,
             warmup: warmup.unwrap_or(accesses / 4),
+            json,
         })
+    }
+
+    /// Writes the run artifact JSON when `--json` was given.
+    pub fn emit(&self, artifact: &agile_core::RunArtifact) {
+        if let Some(path) = &self.json {
+            write_artifact(path, &format!("{}\n", artifact.to_json().pretty()));
+        }
+    }
+}
+
+/// Minimal timing harness for the `benches/` targets (no external
+/// dependencies): warm up once, loop, report mean ns/iter.
+pub mod timing {
+    use std::time::Instant;
+
+    /// Times `iters` calls of `f` and prints one `name  iters  ns/iter`
+    /// line.
+    pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..iters.max(1) {
+            std::hint::black_box(f());
+        }
+        let per = start.elapsed().as_nanos() / u128::from(iters.max(1));
+        println!("{name:<24} {:>6} iters  {per:>12} ns/iter", iters.max(1));
     }
 }
 
 fn parse_num(flag: &str, v: &str) -> Result<u64, String> {
-    v.parse().map_err(|e| format!("{flag}: bad number {v}: {e}"))
+    v.parse()
+        .map_err(|e| format!("{flag}: bad number {v}: {e}"))
 }
 
 fn parse_float(flag: &str, v: &str) -> Result<f64, String> {
-    v.parse().map_err(|e| format!("{flag}: bad number {v}: {e}"))
+    v.parse()
+        .map_err(|e| format!("{flag}: bad number {v}: {e}"))
 }
 
 fn parse_pattern(v: &str) -> Result<Pattern, String> {
@@ -197,7 +341,67 @@ mod tests {
     use super::*;
 
     fn parse(words: &str) -> Result<SimArgs, String> {
-        SimArgs::parse(&words.split_whitespace().map(String::from).collect::<Vec<_>>())
+        SimArgs::parse(
+            &words
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn parse_cli(words: &str, default: u64) -> Result<BenchCli, String> {
+        BenchCli::parse(
+            &words
+                .split_whitespace()
+                .map(String::from)
+                .collect::<Vec<_>>(),
+            default,
+        )
+    }
+
+    #[test]
+    fn cli_defaults_to_full_run() {
+        let cli = parse_cli("", 1_000_000).unwrap();
+        assert_eq!(cli.accesses, 1_000_000);
+        assert!(cli.threads >= 1);
+        assert!(!cli.quick);
+        assert!(cli.json.is_none());
+    }
+
+    #[test]
+    fn cli_quick_scales_down_but_defers_to_explicit_accesses() {
+        let cli = parse_cli("--quick", 1_000_000).unwrap();
+        assert_eq!(cli.accesses, 100_000);
+        let cli = parse_cli("--quick --accesses 777", 1_000_000).unwrap();
+        assert_eq!(cli.accesses, 777);
+        let cli = parse_cli("--quick", 5_000).unwrap();
+        assert_eq!(cli.accesses, 1_000, "quick floor");
+    }
+
+    #[test]
+    fn cli_full_flag_set_parses() {
+        let cli = parse_cli(
+            "--accesses 42 --threads 8 --json out/a.json --csv out/a.csv --no-emit",
+            100,
+        )
+        .unwrap();
+        assert_eq!(cli.accesses, 42);
+        assert_eq!(cli.threads, 8);
+        assert_eq!(
+            cli.json.as_deref(),
+            Some(std::path::Path::new("out/a.json"))
+        );
+        assert_eq!(cli.csv.as_deref(), Some(std::path::Path::new("out/a.csv")));
+        assert!(cli.no_emit);
+    }
+
+    #[test]
+    fn cli_rejects_bad_input() {
+        assert!(parse_cli("--bogus", 100).is_err());
+        assert!(parse_cli("--accesses", 100).is_err());
+        assert!(parse_cli("--threads zero", 100).is_err());
+        let help = parse_cli("--help", 100).unwrap_err();
+        assert!(help.contains("--threads"));
     }
 
     #[test]
@@ -206,6 +410,7 @@ mod tests {
         assert_eq!(a.spec.accesses, 200_000);
         assert_eq!(a.warmup, 50_000);
         assert!(matches!(a.config.technique, Technique::Agile(_)));
+        assert!(a.json.is_none());
     }
 
     #[test]
@@ -214,7 +419,7 @@ mod tests {
             "--technique shadow --pattern zipf:0.9 --footprint-mb 32 --accesses 1000 \
              --writes 0.5 --remap-every 100 --remap-pages 4 --cow-every 200 --cow-pages 2 \
              --zone 0.2 --procs 3 --ctx-every 50 --thp --no-pwc --no-prefault \
-             --warmup 250 --seed 9",
+             --warmup 250 --seed 9 --json run.json",
         )
         .unwrap();
         assert!(matches!(a.config.technique, Technique::Shadow));
@@ -228,6 +433,7 @@ mod tests {
         assert!(!a.spec.prefault);
         assert_eq!(a.warmup, 250);
         assert_eq!(a.spec.seed, 9);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("run.json")));
     }
 
     #[test]

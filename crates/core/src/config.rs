@@ -64,6 +64,59 @@ impl SystemConfig {
         self
     }
 
+    /// Same configuration under a different technique. The VMtrap cost
+    /// model is reset to that technique's defaults (override it afterwards
+    /// with [`SystemConfig::with_vmm`] if needed).
+    #[must_use]
+    pub fn with_technique(mut self, technique: Technique) -> Self {
+        self.technique = technique;
+        self.vmm = VmmConfig::new(technique);
+        self
+    }
+
+    /// Same configuration with a custom TLB hierarchy geometry.
+    #[must_use]
+    pub fn with_tlb(mut self, tlb: TlbConfig) -> Self {
+        self.tlb = tlb;
+        self
+    }
+
+    /// Same configuration with a custom page-walk-cache geometry.
+    #[must_use]
+    pub fn with_pwc(mut self, pwc: PwcConfig) -> Self {
+        self.pwc = pwc;
+        self
+    }
+
+    /// Same configuration with a custom VMM cost model.
+    #[must_use]
+    pub fn with_vmm(mut self, vmm: VmmConfig) -> Self {
+        self.vmm = vmm;
+        self
+    }
+
+    /// Same configuration with a different guest/shadow walk-reference
+    /// cost.
+    #[must_use]
+    pub fn with_walk_ref_cycles(mut self, cycles: u64) -> Self {
+        self.walk_ref_cycles = cycles;
+        self
+    }
+
+    /// Same configuration with a different host (EPT) walk-reference cost.
+    #[must_use]
+    pub fn with_host_ref_cycles(mut self, cycles: u64) -> Self {
+        self.host_ref_cycles = cycles;
+        self
+    }
+
+    /// Same configuration with a different per-access ideal-work cost.
+    #[must_use]
+    pub fn with_base_cycles_per_access(mut self, cycles: u64) -> Self {
+        self.base_cycles_per_access = cycles;
+        self
+    }
+
     /// Label like "4K:S" / "2M:A" used in Figure 5 column headers.
     #[must_use]
     pub fn label(&self) -> String {
@@ -82,13 +135,42 @@ mod tests {
     #[test]
     fn labels_match_figure_5() {
         assert_eq!(SystemConfig::new(Technique::Native).label(), "4K:B");
-        assert_eq!(SystemConfig::new(Technique::Shadow).with_thp().label(), "2M:S");
+        assert_eq!(
+            SystemConfig::new(Technique::Shadow).with_thp().label(),
+            "2M:S"
+        );
     }
 
     #[test]
     fn builders_compose() {
-        let c = SystemConfig::new(Technique::Nested).with_thp().without_pwc();
+        let c = SystemConfig::new(Technique::Nested)
+            .with_thp()
+            .without_pwc();
         assert!(c.thp);
         assert!(!c.pwc.enabled);
+    }
+
+    #[test]
+    fn full_builder_surface_sets_every_knob() {
+        let c = SystemConfig::new(Technique::Native)
+            .with_technique(Technique::Shadow)
+            .with_tlb(TlbConfig::default())
+            .with_pwc(PwcConfig::disabled())
+            .with_vmm(VmmConfig::new(Technique::Shadow))
+            .with_walk_ref_cycles(55)
+            .with_host_ref_cycles(7)
+            .with_base_cycles_per_access(200);
+        assert_eq!(c.technique, Technique::Shadow);
+        assert!(!c.pwc.enabled);
+        assert_eq!(c.walk_ref_cycles, 55);
+        assert_eq!(c.host_ref_cycles, 7);
+        assert_eq!(c.base_cycles_per_access, 200);
+        assert_eq!(c.label(), "4K:S");
+    }
+
+    #[test]
+    fn with_technique_resets_trap_costs() {
+        let c = SystemConfig::new(Technique::Nested).with_technique(Technique::Shadow);
+        assert_eq!(c.vmm, VmmConfig::new(Technique::Shadow));
     }
 }

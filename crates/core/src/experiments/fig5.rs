@@ -1,9 +1,10 @@
 //! Figure 5: execution-time overheads (page walks + VMM interventions)
 //! for every workload under 4K/2M × {Base, Nested, Shadow, Agile}.
 
+use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
-use crate::machine::Machine;
 use crate::report::{pct, Table};
+use crate::runner::{Json, RunPlan, RunRequest};
 use crate::stats::RunStats;
 use agile_vmm::{AgileOptions, Technique};
 use agile_workloads::{profile, Profile};
@@ -31,6 +32,23 @@ impl Fig5Row {
     }
 }
 
+impl JsonRow for Fig5Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("page_walk", Json::Num(self.page_walk)),
+            ("vmm", Json::Num(self.vmm)),
+            ("total", Json::Num(self.total())),
+            (
+                "avg_refs_per_miss",
+                Json::Num(self.stats.avg_refs_per_miss()),
+            ),
+            ("mpka", Json::Num(self.stats.mpka())),
+        ])
+    }
+}
+
 /// The four techniques of Figure 5 in bar order.
 fn techniques() -> [Technique; 4] {
     [
@@ -41,12 +59,17 @@ fn techniques() -> [Technique; 4] {
     ]
 }
 
-/// Runs the Figure 5 sweep with `accesses` data accesses per run.
-/// `workloads` defaults to all eight paper profiles when `None`.
+/// Runs the Figure 5 sweep with `accesses` data accesses per run across
+/// `threads` workers. `workloads` defaults to all eight paper profiles
+/// when `None`.
 #[must_use]
-pub fn fig5(accesses: u64, workloads: Option<&[Profile]>) -> (String, Vec<Fig5Row>) {
+pub fn fig5(
+    accesses: u64,
+    workloads: Option<&[Profile]>,
+    threads: usize,
+) -> ExperimentRun<Fig5Row> {
     let list = workloads.unwrap_or(&Profile::ALL);
-    let mut rows = Vec::new();
+    let mut plan = RunPlan::new().with_threads(threads);
     for &wl in list {
         for thp in [false, true] {
             for technique in techniques() {
@@ -56,20 +79,30 @@ pub fn fig5(accesses: u64, workloads: Option<&[Profile]>) -> (String, Vec<Fig5Ro
                 }
                 // Warm-up exclusion: the first third of the run populates
                 // memory and tables; measurement covers the rest.
-                let spec = profile(wl, accesses);
-                let stats = Machine::new(cfg).run_spec_measured(&spec, accesses / 3);
-                let o = stats.overheads();
-                rows.push(Fig5Row {
-                    workload: wl.name().to_string(),
-                    config: cfg.label(),
-                    page_walk: o.page_walk,
-                    vmm: o.vmm,
-                    stats,
-                });
+                plan.push(RunRequest::new(cfg, profile(wl, accesses)).with_warmup(accesses / 3));
             }
         }
     }
-    (render(&rows, accesses), rows)
+    let artifacts = plan.execute();
+    let rows = artifacts
+        .iter()
+        .map(|a| {
+            let o = a.stats.overheads();
+            Fig5Row {
+                workload: a.workload.clone(),
+                config: a.config.label(),
+                page_walk: o.page_walk,
+                vmm: o.vmm,
+                stats: a.stats.clone(),
+            }
+        })
+        .collect::<Vec<_>>();
+    ExperimentRun {
+        name: "fig5",
+        text: render(&rows, accesses),
+        rows,
+        artifacts,
+    }
 }
 
 fn render(rows: &[Fig5Row], accesses: u64) -> String {
@@ -124,25 +157,28 @@ mod tests {
     /// shape assertions live in the integration tests with more accesses.
     #[test]
     fn quick_sweep_produces_all_bars() {
-        let (text, rows) = fig5(4_000, Some(&[Profile::Mcf, Profile::Dedup]));
-        assert_eq!(rows.len(), 2 * 2 * 4);
-        assert!(text.contains("4K:B"));
-        assert!(text.contains("2M:A"));
-        for r in &rows {
+        let run = fig5(4_000, Some(&[Profile::Mcf, Profile::Dedup]), 2);
+        assert_eq!(run.rows.len(), 2 * 2 * 4);
+        assert_eq!(run.artifacts.len(), run.rows.len());
+        assert!(run.text.contains("4K:B"));
+        assert!(run.text.contains("2M:A"));
+        for r in &run.rows {
             assert!(r.total() >= 0.0);
         }
     }
 
     #[test]
     fn best_of_constituents_picks_minimum() {
-        let (_, rows) = fig5(3_000, Some(&[Profile::Mcf]));
-        let best = best_of_constituents(&rows, "mcf", false).unwrap();
-        let nested = rows
+        let run = fig5(3_000, Some(&[Profile::Mcf]), 1);
+        let best = best_of_constituents(&run.rows, "mcf", false).unwrap();
+        let nested = run
+            .rows
             .iter()
             .find(|r| r.config == "4K:N")
             .unwrap()
             .total();
-        let shadow = rows
+        let shadow = run
+            .rows
             .iter()
             .find(|r| r.config == "4K:S")
             .unwrap()

@@ -7,9 +7,10 @@
 //! latency everywhere or pay wholesale shadow rebuilds, while agile paging
 //! nests only the churning subtree.
 
+use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
-use crate::machine::Machine;
 use crate::report::{pct, Table};
+use crate::runner::{Json, RunPlan, RunRequest};
 use crate::stats::RunStats;
 use agile_vmm::{AgileOptions, ShspOptions, Technique};
 use agile_workloads::{ChurnSpec, Pattern, WorkloadSpec};
@@ -23,6 +24,22 @@ pub struct ShspRow {
     pub total_overhead: f64,
     /// Full stats.
     pub stats: RunStats,
+}
+
+impl JsonRow for ShspRow {
+    fn to_json(&self) -> Json {
+        let o = self.stats.overheads();
+        Json::obj(vec![
+            ("technique", Json::Str(self.technique.clone())),
+            ("page_walk", Json::Num(o.page_walk)),
+            ("vmm", Json::Num(o.vmm)),
+            ("total", Json::Num(self.total_overhead)),
+            (
+                "avg_refs_per_miss",
+                Json::Num(self.stats.avg_refs_per_miss()),
+            ),
+        ])
+    }
 }
 
 /// The phase workload: a large mostly-static footprint with a small
@@ -50,26 +67,39 @@ pub fn phase_spec(accesses: u64) -> WorkloadSpec {
     }
 }
 
-/// Runs the comparison.
+/// Runs the comparison across `threads` workers.
 #[must_use]
-pub fn shsp_compare(accesses: u64) -> (String, Vec<ShspRow>) {
+pub fn shsp_compare(accesses: u64, threads: usize) -> ExperimentRun<ShspRow> {
     let techniques = [
         ("Nested", Technique::Nested),
         ("Shadow", Technique::Shadow),
         ("SHSP", Technique::Shsp(ShspOptions::default())),
         ("Agile", Technique::Agile(AgileOptions::default())),
     ];
-    let mut rows = Vec::new();
+    let mut plan = RunPlan::new().with_threads(threads);
     for (name, t) in techniques {
-        let stats =
-            Machine::new(SystemConfig::new(t)).run_spec_measured(&phase_spec(accesses), accesses / 4);
-        rows.push(ShspRow {
-            technique: name.to_string(),
-            total_overhead: stats.overheads().total(),
-            stats,
-        });
+        plan.push(
+            RunRequest::new(SystemConfig::new(t), phase_spec(accesses))
+                .with_warmup(accesses / 4)
+                .with_label(name),
+        );
     }
-    (render(&rows, accesses), rows)
+    let artifacts = plan.execute();
+    let rows: Vec<ShspRow> = techniques
+        .iter()
+        .zip(&artifacts)
+        .map(|((name, _), a)| ShspRow {
+            technique: (*name).to_string(),
+            total_overhead: a.stats.overheads().total(),
+            stats: a.stats.clone(),
+        })
+        .collect();
+    ExperimentRun {
+        name: "shsp",
+        text: render(&rows, accesses),
+        rows,
+        artifacts,
+    }
 }
 
 fn render(rows: &[ShspRow], accesses: u64) -> String {
@@ -102,9 +132,10 @@ mod tests {
 
     #[test]
     fn all_four_techniques_report() {
-        let (text, rows) = shsp_compare(6_000);
-        assert_eq!(rows.len(), 4);
-        assert!(text.contains("SHSP"));
-        assert!(text.contains("Agile"));
+        let run = shsp_compare(6_000, 2);
+        assert_eq!(run.rows.len(), 4);
+        assert!(run.text.contains("SHSP"));
+        assert!(run.text.contains("Agile"));
+        assert_eq!(run.artifacts.len(), 4);
     }
 }

@@ -5,11 +5,52 @@
 //! the "page table updates fast/slow" row comes from counting VMtraps on an
 //! update-heavy probe.
 
+use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
-use crate::machine::Machine;
 use crate::report::Table;
+use crate::runner::{Json, RunPlan, RunRequest};
 use agile_vmm::{AgileOptions, Technique, VmtrapKind};
 use agile_workloads::{ChurnSpec, Pattern, WorkloadSpec};
+
+/// One technique's measured Table I column.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Technique display name ("Base Native" … "Agile Paging").
+    pub technique: String,
+    /// Maximum memory references on a TLB miss (from the most expensive
+    /// observed walk kind).
+    pub max_refs: u32,
+    /// Average memory references per TLB miss.
+    pub avg_refs: f64,
+    /// VMM cycles of page-table maintenance per guest page-table update.
+    pub cycles_per_update: f64,
+}
+
+impl Table1Row {
+    /// The paper's qualitative "fast/slow" verdict for updates.
+    #[must_use]
+    pub fn update_label(&self) -> String {
+        if self.cycles_per_update < 100.0 {
+            format!("fast: direct ({:.0} cyc/update)", self.cycles_per_update)
+        } else {
+            format!(
+                "slow: VMM-mediated ({:.0} cyc/update)",
+                self.cycles_per_update
+            )
+        }
+    }
+}
+
+impl JsonRow for Table1Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("technique", Json::Str(self.technique.clone())),
+            ("max_refs", Json::UInt(u64::from(self.max_refs))),
+            ("avg_refs", Json::Num(self.avg_refs)),
+            ("cycles_per_update", Json::Num(self.cycles_per_update)),
+        ])
+    }
+}
 
 fn probe_spec(accesses: u64) -> WorkloadSpec {
     WorkloadSpec {
@@ -31,52 +72,63 @@ fn probe_spec(accesses: u64) -> WorkloadSpec {
     }
 }
 
-/// Regenerates Table I. Returns the rendered table.
+/// Regenerates Table I on an update-heavy probe across `threads` workers.
 #[must_use]
-pub fn table1(accesses: u64) -> String {
+pub fn table1(accesses: u64, threads: usize) -> ExperimentRun<Table1Row> {
     let techniques = [
         ("Base Native", Technique::Native),
         ("Nested Paging", Technique::Nested),
         ("Shadow Paging", Technique::Shadow),
         ("Agile Paging", Technique::Agile(AgileOptions::default())),
     ];
-    let mut max_refs = Vec::new();
-    let mut avg_refs = Vec::new();
-    let mut updates = Vec::new();
+    let mut plan = RunPlan::new().with_threads(threads);
     for (_, t) in techniques {
         let cfg = SystemConfig::new(t).without_pwc();
-        let stats = Machine::new(cfg).run_spec_measured(&probe_spec(accesses), accesses / 4);
-        // Max refs per miss: derive from the most expensive observed kind.
-        let max = crate::stats::KindCounts::TABLE6_ORDER
-            .iter()
-            .chain([&agile_walk::WalkKind::Native])
-            .filter(|k| stats.kinds.count(**k) > 0)
-            .map(|k| k.expected_refs_4k())
-            .max()
-            .unwrap_or(0);
-        max_refs.push(max);
-        avg_refs.push(stats.avg_refs_per_miss());
-        // VMM cycles attributable to page-table maintenance, per update.
-        let maintenance = stats.traps.cycles(VmtrapKind::GptWrite)
-            + stats.traps.cycles(VmtrapKind::HiddenPageFault)
-            + stats.traps.cycles(VmtrapKind::TlbFlush)
-            + stats.traps.cycles(VmtrapKind::AdBitSync);
-        let per_update = maintenance as f64 / stats.vmm.gpt_writes_total.max(1) as f64;
-        let update_label = if per_update < 100.0 {
-            format!("fast: direct ({per_update:.0} cyc/update)")
-        } else {
-            format!("slow: VMM-mediated ({per_update:.0} cyc/update)")
-        };
-        updates.push(update_label);
+        plan.push(RunRequest::new(cfg, probe_spec(accesses)).with_warmup(accesses / 4));
     }
+    let artifacts = plan.execute();
+    let rows: Vec<Table1Row> = techniques
+        .iter()
+        .zip(&artifacts)
+        .map(|((name, _), a)| {
+            let stats = &a.stats;
+            // Max refs per miss: derive from the most expensive observed
+            // kind.
+            let max_refs = crate::stats::KindCounts::TABLE6_ORDER
+                .iter()
+                .chain([&agile_walk::WalkKind::Native])
+                .filter(|k| stats.kinds.count(**k) > 0)
+                .map(|k| k.expected_refs_4k())
+                .max()
+                .unwrap_or(0);
+            // VMM cycles attributable to page-table maintenance, per
+            // update.
+            let maintenance = stats.traps.cycles(VmtrapKind::GptWrite)
+                + stats.traps.cycles(VmtrapKind::HiddenPageFault)
+                + stats.traps.cycles(VmtrapKind::TlbFlush)
+                + stats.traps.cycles(VmtrapKind::AdBitSync);
+            Table1Row {
+                technique: (*name).to_string(),
+                max_refs,
+                avg_refs: stats.avg_refs_per_miss(),
+                cycles_per_update: maintenance as f64 / stats.vmm.gpt_writes_total.max(1) as f64,
+            }
+        })
+        .collect();
+    ExperimentRun {
+        name: "table1",
+        text: render(&rows, accesses),
+        rows,
+        artifacts,
+    }
+}
 
-    let mut table = Table::new(vec![
-        "".into(),
-        "Base Native".into(),
-        "Nested Paging".into(),
-        "Shadow Paging".into(),
-        "Agile Paging".into(),
-    ]);
+fn render(rows: &[Table1Row], accesses: u64) -> String {
+    let mut table = Table::new(
+        std::iter::once(String::new())
+            .chain(rows.iter().map(|r| r.technique.clone()))
+            .collect(),
+    );
     table.row(vec![
         "TLB hit".into(),
         "fast (VA=>PA)".into(),
@@ -86,17 +138,17 @@ pub fn table1(accesses: u64) -> String {
     ]);
     table.row(
         std::iter::once("max refs on TLB miss".to_string())
-            .chain(max_refs.iter().map(u32::to_string))
+            .chain(rows.iter().map(|r| r.max_refs.to_string()))
             .collect(),
     );
     table.row(
         std::iter::once("avg refs on TLB miss".to_string())
-            .chain(avg_refs.iter().map(|a| format!("{a:.2}")))
+            .chain(rows.iter().map(|r| format!("{:.2}", r.avg_refs)))
             .collect(),
     );
     table.row(
         std::iter::once("page table updates".to_string())
-            .chain(updates)
+            .chain(rows.iter().map(Table1Row::update_label))
             .collect(),
     );
     table.row(vec![
@@ -119,10 +171,12 @@ mod tests {
 
     #[test]
     fn table_has_paper_claims() {
-        let text = table1(6_000);
+        let run = table1(6_000, 2);
         // Native/shadow max 4; nested max 24.
-        assert!(text.contains("max refs on TLB miss  4"), "{text}");
-        assert!(text.contains("24"), "{text}");
-        assert!(text.contains("switching"), "{text}");
+        assert!(run.text.contains("max refs on TLB miss  4"), "{}", run.text);
+        assert!(run.text.contains("24"), "{}", run.text);
+        assert!(run.text.contains("switching"), "{}", run.text);
+        assert_eq!(run.rows.len(), 4);
+        assert_eq!(run.artifacts.len(), 4);
     }
 }

@@ -5,7 +5,9 @@
 //! (walk caches off, 4 KiB pages), reproducing the paper's 4 / 8 / 12 / 16
 //! / 20 / 24 ladder.
 
+use super::{ExperimentRun, JsonRow};
 use crate::report::Table;
+use crate::runner::{parallel_map, Json};
 use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
 use agile_tlb::{NestedTlb, PageWalkCaches, PwcConfig};
 use agile_types::{
@@ -26,6 +28,18 @@ pub struct Table2Row {
     pub guest_refs: u64,
     /// Measured host-table references.
     pub host_refs: u64,
+}
+
+impl JsonRow for Table2Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("refs", Json::UInt(u64::from(self.refs))),
+            ("shadow_refs", Json::UInt(self.shadow_refs)),
+            ("guest_refs", Json::UInt(self.guest_refs)),
+            ("host_refs", Json::UInt(self.host_refs)),
+        ])
+    }
 }
 
 struct Fixture {
@@ -164,7 +178,9 @@ impl Fixture {
                 hw.agile_walk(
                     asid,
                     self.gva,
-                    AgileCr3::NestedFromRoot { gpt_root: gpt_root_h },
+                    AgileCr3::NestedFromRoot {
+                        gpt_root: gpt_root_h,
+                    },
                     gptr,
                     hptr,
                     AccessKind::Read,
@@ -186,6 +202,7 @@ impl Fixture {
     }
 }
 
+#[derive(Clone, Copy)]
 enum Cr3Kind {
     Native,
     Shadow,
@@ -194,19 +211,27 @@ enum Cr3Kind {
     Nested,
 }
 
-/// Runs the Table II measurement. Returns the rendered table plus the rows.
+/// Runs the Table II measurement across `threads` workers; each walk
+/// configuration builds its own fixture (real guest/host/shadow tables)
+/// so the measurements are independent.
 #[must_use]
-pub fn table2() -> (String, Vec<Table2Row>) {
-    let mut rows = Vec::new();
-    rows.push(Fixture::new().measure(Cr3Kind::Native));
-    rows.push(Fixture::new().measure(Cr3Kind::Shadow));
-    for level in [Level::L2, Level::L3, Level::L4] {
+pub fn table2(threads: usize) -> ExperimentRun<Table2Row> {
+    let configs = vec![
+        Cr3Kind::Native,
+        Cr3Kind::Shadow,
+        Cr3Kind::SwitchAt(Level::L2),
+        Cr3Kind::SwitchAt(Level::L3),
+        Cr3Kind::SwitchAt(Level::L4),
+        Cr3Kind::NestedFromRoot,
+        Cr3Kind::Nested,
+    ];
+    let rows = parallel_map(threads, configs, |_, kind| {
         let mut fx = Fixture::new();
-        fx.set_switch(level);
-        rows.push(fx.measure(Cr3Kind::SwitchAt(level)));
-    }
-    rows.push(Fixture::new().measure(Cr3Kind::NestedFromRoot));
-    rows.push(Fixture::new().measure(Cr3Kind::Nested));
+        if let Cr3Kind::SwitchAt(level) = kind {
+            fx.set_switch(level);
+        }
+        fx.measure(kind)
+    });
 
     let mut table = Table::new(vec![
         "configuration".into(),
@@ -229,7 +254,12 @@ pub fn table2() -> (String, Vec<Table2Row>) {
     }
     let header = "Table II: memory references per TLB miss by degree of nesting\n\
                   (4 KiB pages, page walk caches disabled)\n\n";
-    (format!("{header}{}", table.render()), rows)
+    ExperimentRun {
+        name: "table2",
+        text: format!("{header}{}", table.render()),
+        rows,
+        artifacts: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -238,15 +268,15 @@ mod tests {
 
     #[test]
     fn ladder_matches_paper() {
-        let (_, rows) = table2();
-        let refs: Vec<u32> = rows.iter().map(|r| r.refs).collect();
+        let run = table2(2);
+        let refs: Vec<u32> = run.rows.iter().map(|r| r.refs).collect();
         assert_eq!(refs, vec![4, 4, 8, 12, 16, 20, 24]);
     }
 
     #[test]
     fn breakdowns_are_consistent() {
-        let (_, rows) = table2();
-        for row in &rows {
+        let run = table2(1);
+        for row in &run.rows {
             assert_eq!(
                 u64::from(row.refs),
                 row.shadow_refs + row.guest_refs + row.host_refs,
@@ -255,16 +285,16 @@ mod tests {
             );
         }
         // Full nested: 4 guest + 20 host.
-        let nested = rows.last().unwrap();
+        let nested = run.rows.last().unwrap();
         assert_eq!(nested.guest_refs, 4);
         assert_eq!(nested.host_refs, 20);
     }
 
     #[test]
     fn render_contains_all_rows() {
-        let (text, rows) = table2();
-        for row in &rows {
-            assert!(text.contains(&row.label), "{}", row.label);
+        let run = table2(1);
+        for row in &run.rows {
+            assert!(run.text.contains(&row.label), "{}", row.label);
         }
     }
 }

@@ -1,9 +1,10 @@
 //! Table VI: percentage of TLB misses served by each agile-paging mode
 //! (4 KiB pages, no page walk caches).
 
+use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
-use crate::machine::Machine;
 use crate::report::Table;
+use crate::runner::{Json, RunPlan, RunRequest};
 use crate::stats::KindCounts;
 use agile_vmm::{AgileOptions, Technique};
 use agile_workloads::{profile, Profile};
@@ -20,27 +21,56 @@ pub struct Table6Row {
     pub avg_refs: f64,
 }
 
+impl JsonRow for Table6Row {
+    fn to_json(&self) -> Json {
+        let modes = KindCounts::TABLE6_ORDER
+            .iter()
+            .zip(self.fractions)
+            .map(|(kind, f)| (kind.table6_label().to_string(), Json::Num(f)))
+            .collect();
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("fractions", Json::Obj(modes)),
+            ("avg_refs", Json::Num(self.avg_refs)),
+        ])
+    }
+}
+
 /// Runs the Table VI measurement: agile paging, 4 KiB pages, walk caches
-/// disabled, `accesses` accesses per workload.
+/// disabled, `accesses` accesses per workload, across `threads` workers.
 #[must_use]
-pub fn table6(accesses: u64, workloads: Option<&[Profile]>) -> (String, Vec<Table6Row>) {
+pub fn table6(
+    accesses: u64,
+    workloads: Option<&[Profile]>,
+    threads: usize,
+) -> ExperimentRun<Table6Row> {
     let list = workloads.unwrap_or(&Profile::ALL);
-    let mut rows = Vec::new();
+    let mut plan = RunPlan::new().with_threads(threads);
     for &wl in list {
         let cfg = SystemConfig::new(Technique::Agile(AgileOptions::default())).without_pwc();
-        let spec = profile(wl, accesses);
-        let stats = Machine::new(cfg).run_spec_measured(&spec, accesses / 3);
-        let mut fractions = [0.0; 6];
-        for (i, kind) in KindCounts::TABLE6_ORDER.iter().enumerate() {
-            fractions[i] = stats.kinds.fraction(*kind);
-        }
-        rows.push(Table6Row {
-            workload: wl.name().to_string(),
-            fractions,
-            avg_refs: stats.avg_refs_per_miss(),
-        });
+        plan.push(RunRequest::new(cfg, profile(wl, accesses)).with_warmup(accesses / 3));
     }
-    (render(&rows, accesses), rows)
+    let artifacts = plan.execute();
+    let rows: Vec<Table6Row> = artifacts
+        .iter()
+        .map(|a| {
+            let mut fractions = [0.0; 6];
+            for (i, kind) in KindCounts::TABLE6_ORDER.iter().enumerate() {
+                fractions[i] = a.stats.kinds.fraction(*kind);
+            }
+            Table6Row {
+                workload: a.workload.clone(),
+                fractions,
+                avg_refs: a.stats.avg_refs_per_miss(),
+            }
+        })
+        .collect();
+    ExperimentRun {
+        name: "table6",
+        text: render(&rows, accesses),
+        rows,
+        artifacts,
+    }
 }
 
 fn render(rows: &[Table6Row], accesses: u64) -> String {
@@ -75,8 +105,8 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one_when_misses_exist() {
-        let (_, rows) = table6(5_000, Some(&[Profile::Mcf]));
-        let sum: f64 = rows[0].fractions.iter().sum();
+        let run = table6(5_000, Some(&[Profile::Mcf]), 1);
+        let sum: f64 = run.rows[0].fractions.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
     }
 
@@ -106,6 +136,10 @@ mod tests {
         let stats = Machine::new(cfg).run_spec(&spec);
         let shadow = stats.kinds.fraction(agile_walk::WalkKind::FullShadow);
         assert!(shadow > 0.8, "shadow fraction {shadow}");
-        assert!(stats.avg_refs_per_miss() < 6.0, "avg refs {}", stats.avg_refs_per_miss());
+        assert!(
+            stats.avg_refs_per_miss() < 6.0,
+            "avg refs {}",
+            stats.avg_refs_per_miss()
+        );
     }
 }

@@ -9,9 +9,10 @@
 //! the authors could not: run the projection *and* the real thing, and
 //! compare.
 
+use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
-use crate::machine::Machine;
 use crate::report::{pct, Table};
+use crate::runner::{Json, RunArtifact, RunPlan, RunRequest};
 use agile_trace::{LinearModel, Step1Analysis, Step2Analysis};
 use agile_vmm::{AgileOptions, Technique};
 use agile_workloads::{profile, Profile, WorkloadSpec};
@@ -31,72 +32,112 @@ pub struct TwoStepRow {
     pub simulated_overhead: f64,
 }
 
+impl JsonRow for TwoStepRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::Str(self.workload.clone())),
+            ("fv", Json::Num(self.fv)),
+            ("shadow_fraction", Json::Num(self.shadow_fraction)),
+            ("projected_overhead", Json::Num(self.projected_overhead)),
+            ("simulated_overhead", Json::Num(self.simulated_overhead)),
+        ])
+    }
+}
+
+/// The three runs behind one workload's row: shadow and nested with the
+/// instrumented (tracing) VMM, plus the direct agile simulation as ground
+/// truth.
+fn requests_for(spec: &WorkloadSpec, warmup: u64) -> [RunRequest; 3] {
+    [
+        RunRequest::new(SystemConfig::new(Technique::Shadow), spec.clone())
+            .with_warmup(warmup)
+            .with_trace(),
+        RunRequest::new(SystemConfig::new(Technique::Nested), spec.clone())
+            .with_warmup(warmup)
+            .with_trace(),
+        RunRequest::new(
+            SystemConfig::new(Technique::Agile(AgileOptions::default())),
+            spec.clone(),
+        )
+        .with_warmup(warmup),
+    ]
+}
+
+/// Combines a workload's (shadow, nested, agile) artifacts into the
+/// projection row.
+fn row_from(shadow: &RunArtifact, nested: &RunArtifact, agile: &RunArtifact) -> TwoStepRow {
+    // Step 1: switching policy emulated offline from the shadow trace.
+    let step1 = Step1Analysis::from_trace(shadow.trace.as_ref().expect("shadow run traced"));
+    // Step 2: BadgerTrap-style classification of the nested run's misses.
+    let step2 =
+        Step2Analysis::from_trace(nested.trace.as_ref().expect("nested run traced"), &step1);
+    // Table IV linear model from the measured shadow/nested runs.
+    let per_miss = |stats: &crate::stats::RunStats| {
+        if stats.tlb.misses == 0 {
+            0.0
+        } else {
+            stats.walk_cycles as f64 / stats.tlb.misses as f64
+        }
+    };
+    let model = LinearModel {
+        ideal_cycles: shadow.stats.ideal_cycles,
+        shadow_vmm_cycles: shadow.stats.traps.total_cycles(),
+        tlb_misses: shadow.stats.tlb.misses,
+        shadow_cycles_per_miss: per_miss(&shadow.stats),
+        nested_cycles_per_miss: per_miss(&nested.stats),
+    };
+    let projection = model.project(step1.fv(), step2.fn_fractions());
+    TwoStepRow {
+        workload: shadow.workload.clone(),
+        fv: step1.fv(),
+        shadow_fraction: step2.shadow_fraction(),
+        projected_overhead: projection.total_overhead(),
+        simulated_overhead: agile.stats.overheads().total(),
+    }
+}
+
 /// Runs the two-step methodology for `workloads` (default: dedup, memcached,
-/// gcc, mcf — the paper's spread of update intensity) at `accesses`.
+/// gcc, mcf — the paper's spread of update intensity) at `accesses`, with
+/// all 3×W constituent runs fanned across `threads` workers.
 #[must_use]
-pub fn twostep(accesses: u64, workloads: Option<&[Profile]>) -> (String, Vec<TwoStepRow>) {
-    let default = [Profile::Mcf, Profile::Gcc, Profile::Memcached, Profile::Dedup];
+pub fn twostep(
+    accesses: u64,
+    workloads: Option<&[Profile]>,
+    threads: usize,
+) -> ExperimentRun<TwoStepRow> {
+    let default = [
+        Profile::Mcf,
+        Profile::Gcc,
+        Profile::Memcached,
+        Profile::Dedup,
+    ];
     let list = workloads.unwrap_or(&default);
     let warmup = accesses / 3;
-    let mut rows = Vec::new();
+    let mut plan = RunPlan::new().with_threads(threads);
     for &wl in list {
-        let spec = profile(wl, accesses);
-        rows.push(twostep_spec(&spec, warmup));
+        for req in requests_for(&profile(wl, accesses), warmup) {
+            plan.push(req);
+        }
     }
-    (render(&rows, accesses), rows)
+    let artifacts = plan.execute();
+    let rows: Vec<TwoStepRow> = artifacts
+        .chunks_exact(3)
+        .map(|triple| row_from(&triple[0], &triple[1], &triple[2]))
+        .collect();
+    ExperimentRun {
+        name: "twostep",
+        text: render(&rows, accesses),
+        rows,
+        artifacts,
+    }
 }
 
 /// Runs the two-step methodology for one workload spec with an explicit
-/// warm-up boundary.
+/// warm-up boundary (serial).
 #[must_use]
 pub fn twostep_spec(spec: &WorkloadSpec, warmup: u64) -> TwoStepRow {
-    {
-        let spec = spec.clone();
-
-        // Step 1: shadow run with the instrumented VMM.
-        let mut shadow = Machine::new(SystemConfig::new(Technique::Shadow));
-        shadow.enable_tracing();
-        let shadow_stats = shadow.run_spec_measured(&spec, warmup);
-        let step1 = Step1Analysis::from_trace(&shadow.take_trace());
-
-        // Step 2: nested run with BadgerTrap-style miss recording.
-        let mut nested = Machine::new(SystemConfig::new(Technique::Nested));
-        nested.enable_tracing();
-        let nested_stats = nested.run_spec_measured(&spec, warmup);
-        let step2 = Step2Analysis::from_trace(&nested.take_trace(), &step1);
-
-        // Table IV linear model from the measured shadow/nested runs.
-        let cfg = SystemConfig::new(Technique::Shadow);
-        let per_miss = |stats: &crate::stats::RunStats| {
-            if stats.tlb.misses == 0 {
-                0.0
-            } else {
-                stats.walk_cycles as f64 / stats.tlb.misses as f64
-            }
-        };
-        let model = LinearModel {
-            ideal_cycles: shadow_stats.ideal_cycles,
-            shadow_vmm_cycles: shadow_stats.traps.total_cycles(),
-            tlb_misses: shadow_stats.tlb.misses,
-            shadow_cycles_per_miss: per_miss(&shadow_stats),
-            nested_cycles_per_miss: per_miss(&nested_stats),
-        };
-        let projection = model.project(step1.fv(), step2.fn_fractions());
-        let _ = cfg;
-
-        // Ground truth: direct simulation of agile paging.
-        let mut agile =
-            Machine::new(SystemConfig::new(Technique::Agile(AgileOptions::default())));
-        let agile_stats = agile.run_spec_measured(&spec, warmup);
-
-        TwoStepRow {
-            workload: spec.name.clone(),
-            fv: step1.fv(),
-            shadow_fraction: step2.shadow_fraction(),
-            projected_overhead: projection.total_overhead(),
-            simulated_overhead: agile_stats.overheads().total(),
-        }
-    }
+    let [shadow, nested, agile] = requests_for(spec, warmup).map(|req| req.run());
+    row_from(&shadow, &nested, &agile)
 }
 
 fn render(rows: &[TwoStepRow], accesses: u64) -> String {
@@ -157,7 +198,11 @@ mod tests {
         let row = twostep_spec(&mini(false), 13_000);
         // Churn-free: the model should project ~shadow behaviour and land
         // close to the direct simulation.
-        assert!(row.shadow_fraction > 0.8, "shadow fraction {}", row.shadow_fraction);
+        assert!(
+            row.shadow_fraction > 0.8,
+            "shadow fraction {}",
+            row.shadow_fraction
+        );
         let gap = (row.projected_overhead - row.simulated_overhead).abs();
         assert!(
             gap < 0.25,

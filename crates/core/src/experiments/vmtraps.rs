@@ -6,9 +6,10 @@
 //! latencies — the analogue of the paper measuring its platform's VMexit
 //! costs before plugging them into the linear model.
 
+use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
-use crate::machine::Machine;
 use crate::report::Table;
+use crate::runner::{Json, RunPlan, RunRequest};
 use agile_vmm::{Technique, VmtrapKind};
 use agile_workloads::micro_benches;
 
@@ -27,32 +28,61 @@ pub struct VmtrapRow {
     pub total_vmm_cycles: u64,
 }
 
-/// Runs the microbenchmark suite under shadow paging.
-#[must_use]
-pub fn vmtrap_costs(accesses: u64) -> (String, Vec<VmtrapRow>) {
-    let mut rows = Vec::new();
-    for micro in micro_benches(accesses) {
-        let cfg = SystemConfig::new(Technique::Shadow);
-        let stats = Machine::new(cfg).run_spec(&micro.spec);
-        let dominant = VmtrapKind::ALL
-            .into_iter()
-            .max_by_key(|k| stats.traps.cycles(*k))
-            .expect("kinds non-empty");
-        let count = stats.traps.count(dominant);
-        let cycles_each = if count == 0 {
-            0.0
-        } else {
-            stats.traps.cycles(dominant) as f64 / count as f64
-        };
-        rows.push(VmtrapRow {
-            micro: micro.name.to_string(),
-            dominant,
-            count,
-            cycles_each,
-            total_vmm_cycles: stats.traps.total_cycles(),
-        });
+impl JsonRow for VmtrapRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("micro", Json::Str(self.micro.clone())),
+            ("dominant", Json::Str(self.dominant.label().into())),
+            ("count", Json::UInt(self.count)),
+            ("cycles_each", Json::Num(self.cycles_each)),
+            ("total_vmm_cycles", Json::UInt(self.total_vmm_cycles)),
+        ])
     }
-    (render(&rows, accesses), rows)
+}
+
+/// Runs the microbenchmark suite under shadow paging across `threads`
+/// workers.
+#[must_use]
+pub fn vmtrap_costs(accesses: u64, threads: usize) -> ExperimentRun<VmtrapRow> {
+    let micros = micro_benches(accesses);
+    let mut plan = RunPlan::new().with_threads(threads);
+    for micro in &micros {
+        plan.push(
+            RunRequest::new(SystemConfig::new(Technique::Shadow), micro.spec.clone())
+                .with_label(micro.name),
+        );
+    }
+    let artifacts = plan.execute();
+    let rows: Vec<VmtrapRow> = micros
+        .iter()
+        .zip(&artifacts)
+        .map(|(micro, a)| {
+            let stats = &a.stats;
+            let dominant = VmtrapKind::ALL
+                .into_iter()
+                .max_by_key(|k| stats.traps.cycles(*k))
+                .expect("kinds non-empty");
+            let count = stats.traps.count(dominant);
+            let cycles_each = if count == 0 {
+                0.0
+            } else {
+                stats.traps.cycles(dominant) as f64 / count as f64
+            };
+            VmtrapRow {
+                micro: micro.name.to_string(),
+                dominant,
+                count,
+                cycles_each,
+                total_vmm_cycles: stats.traps.total_cycles(),
+            }
+        })
+        .collect();
+    ExperimentRun {
+        name: "vmtraps",
+        text: render(&rows, accesses),
+        rows,
+        artifacts,
+    }
 }
 
 fn render(rows: &[VmtrapRow], accesses: u64) -> String {
@@ -84,9 +114,9 @@ mod tests {
 
     #[test]
     fn every_micro_produces_traps_in_the_thousands_of_cycles() {
-        let (_, rows) = vmtrap_costs(3_000);
-        assert_eq!(rows.len(), 4);
-        for r in &rows {
+        let run = vmtrap_costs(3_000, 2);
+        assert_eq!(run.rows.len(), 4);
+        for r in &run.rows {
             assert!(r.count > 0, "{} produced no traps", r.micro);
             assert!(
                 r.cycles_each >= 1000.0,
@@ -99,8 +129,12 @@ mod tests {
 
     #[test]
     fn context_switch_micro_is_dominated_by_switch_traps() {
-        let (_, rows) = vmtrap_costs(3_000);
-        let ctx = rows.iter().find(|r| r.micro == "context-switch").unwrap();
+        let run = vmtrap_costs(3_000, 1);
+        let ctx = run
+            .rows
+            .iter()
+            .find(|r| r.micro == "context-switch")
+            .unwrap();
         assert_eq!(ctx.dominant, VmtrapKind::ContextSwitch);
     }
 }

@@ -40,19 +40,21 @@ mod config;
 pub mod experiments;
 mod machine;
 mod report;
+pub mod runner;
 mod stats;
 
 pub use config::SystemConfig;
 pub use machine::Machine;
 pub use report::Table;
+pub use runner::{parallel_map, Json, RunArtifact, RunPlan, RunRequest};
 pub use stats::{KindCounts, Overheads, RunStats};
 
 pub use agile_guest::{GuestOs, OsStats, SegFault};
 pub use agile_tlb::{PwcConfig, TlbConfig};
 pub use agile_types as types;
 pub use agile_vmm::{
-    AgileOptions, NestedToShadowPolicy, ShspOptions, Technique, VmmConfig, VmtrapCosts,
-    VmtrapKind, VmtrapStats,
+    AgileOptions, NestedToShadowPolicy, ShspOptions, Technique, VmmConfig, VmtrapCosts, VmtrapKind,
+    VmtrapStats,
 };
 pub use agile_walk::{WalkKind, WalkStats};
 pub use agile_workloads::{

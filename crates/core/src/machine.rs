@@ -268,7 +268,8 @@ impl Machine {
         self.os
             .handle_page_fault(&mut self.mem, &mut self.vmm, pid, va, access)?;
         self.drain_flushes();
-        self.tlb.invalidate_page(Asid::from(pid), GuestVirtAddr::new(va));
+        self.tlb
+            .invalidate_page(Asid::from(pid), GuestVirtAddr::new(va));
         Ok(())
     }
 
@@ -291,9 +292,7 @@ impl Machine {
             HwRoots::Native { root } => hw.native_walk(asid, gva, root, access),
             HwRoots::Nested { gptr, hptr } => hw.nested_walk(asid, gva, gptr, hptr, access),
             HwRoots::Shadow { sptr } => hw.shadow_walk(asid, gva, sptr, access),
-            HwRoots::Agile { cr3, gptr, hptr } => {
-                hw.agile_walk(asid, gva, cr3, gptr, hptr, access)
-            }
+            HwRoots::Agile { cr3, gptr, hptr } => hw.agile_walk(asid, gva, cr3, gptr, hptr, access),
         }
     }
 
@@ -346,9 +345,7 @@ impl Machine {
                     return;
                 }
                 Err(fault @ Fault::HostPageFault { .. }) => {
-                    if self.vmm.handle_fault(&mut self.mem, pid, fault)
-                        != FaultOutcome::Fixed
-                    {
+                    if self.vmm.handle_fault(&mut self.mem, pid, fault) != FaultOutcome::Fixed {
                         return;
                     }
                     self.drain_flushes();
@@ -379,7 +376,8 @@ impl Machine {
                 self.os.mmap(pid, start, len, writable);
             }
             Event::Munmap { start, len } => {
-                self.os.munmap(&mut self.mem, &mut self.vmm, pid, start, len);
+                self.os
+                    .munmap(&mut self.mem, &mut self.vmm, pid, start, len);
                 self.drain_flushes();
                 self.tlb.flush_asid(Asid::from(pid));
             }
@@ -530,8 +528,7 @@ mod tests {
 
     #[test]
     fn thp_reduces_tlb_misses() {
-        let base = Machine::new(SystemConfig::new(Technique::Native))
-            .run_spec(&small_spec(4_000));
+        let base = Machine::new(SystemConfig::new(Technique::Native)).run_spec(&small_spec(4_000));
         let thp = Machine::new(SystemConfig::new(Technique::Native).with_thp())
             .run_spec(&small_spec(4_000));
         assert!(

@@ -1,0 +1,562 @@
+//! The run engine: a unified simulation API with parallel execution and
+//! structured artifacts.
+//!
+//! Every experiment is a matrix of independent simulations. This module
+//! gives that shape a first-class API:
+//!
+//! * [`RunRequest`] — one simulation: a [`SystemConfig`], a
+//!   [`WorkloadSpec`], a warm-up boundary, and an optional seed override.
+//! * [`RunArtifact`] — the structured result: the full [`RunStats`], a
+//!   configuration echo, wall-clock timing, and (optionally) the §VI
+//!   trace. Serializes to JSON via [`RunArtifact::to_json`].
+//! * [`RunPlan`] — a batch of requests fanned across `std::thread`
+//!   workers. Results are returned in request order and are **bit-identical
+//!   at any thread count**: each run owns its machine and derives its seed
+//!   from the request alone, never from scheduling.
+//!
+//! [`parallel_map`] is the underlying order-preserving pool, exposed for
+//! experiments (like Table II) whose unit of work is not a full machine
+//! run.
+//!
+//! # Example
+//!
+//! ```
+//! use agile_core::runner::{RunPlan, RunRequest};
+//! use agile_core::{SystemConfig, Technique};
+//! use agile_workloads::{profile, Profile};
+//!
+//! let mut plan = RunPlan::new().with_threads(2);
+//! for technique in [Technique::Nested, Technique::Shadow] {
+//!     plan.push(RunRequest::new(
+//!         SystemConfig::new(technique),
+//!         profile(Profile::Mcf, 2_000),
+//!     ));
+//! }
+//! let artifacts = plan.execute();
+//! assert_eq!(artifacts.len(), 2);
+//! assert!(artifacts[0].stats.tlb.misses > 0);
+//! ```
+
+pub mod json;
+
+pub use json::{to_csv, Json};
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use crate::stats::{KindCounts, RunStats};
+use agile_trace::TraceLog;
+use agile_types::SplitMix64;
+use agile_vmm::VmtrapKind;
+use agile_walk::WalkKind;
+use agile_workloads::WorkloadSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Schema tag embedded in every serialized artifact.
+pub const ARTIFACT_SCHEMA: &str = "agile-paging/run/v1";
+
+/// One simulation to execute: configuration, workload, measurement
+/// boundary, and provenance knobs.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Display label (defaults to `"<workload>/<config>"`).
+    pub label: String,
+    /// System configuration.
+    pub config: SystemConfig,
+    /// Workload to run.
+    pub spec: WorkloadSpec,
+    /// Data accesses excluded from measurement at the start.
+    pub warmup: u64,
+    /// Seed override; `None` uses the spec's own seed.
+    pub seed: Option<u64>,
+    /// Record the §VI trace (guest page-table writes + TLB misses).
+    pub capture_trace: bool,
+}
+
+impl RunRequest {
+    /// A request with no warm-up, no seed override, and a label derived
+    /// from the workload and configuration.
+    #[must_use]
+    pub fn new(config: SystemConfig, spec: WorkloadSpec) -> Self {
+        RunRequest {
+            label: format!("{}/{}", spec.name, config.label()),
+            config,
+            spec,
+            warmup: 0,
+            seed: None,
+            capture_trace: false,
+        }
+    }
+
+    /// Sets the display label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Excludes the first `accesses` data accesses from measurement.
+    #[must_use]
+    pub fn with_warmup(mut self, accesses: u64) -> Self {
+        self.warmup = accesses;
+        self
+    }
+
+    /// Overrides the workload seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Enables §VI trace capture for this run.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.capture_trace = true;
+        self
+    }
+
+    /// Executes this request on a fresh machine.
+    #[must_use]
+    pub fn run(&self) -> RunArtifact {
+        let mut spec = self.spec.clone();
+        if let Some(seed) = self.seed {
+            spec.seed = seed;
+        }
+        let started = Instant::now();
+        let mut machine = Machine::new(self.config);
+        if self.capture_trace {
+            machine.enable_tracing();
+        }
+        let stats = machine.run_spec_measured(&spec, self.warmup);
+        let wall_nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        RunArtifact {
+            label: self.label.clone(),
+            config: self.config,
+            workload: spec.name.clone(),
+            seed: spec.seed,
+            warmup: self.warmup,
+            wall_nanos,
+            stats,
+            trace: self.capture_trace.then(|| machine.take_trace()),
+        }
+    }
+}
+
+/// The structured result of one run: statistics, configuration echo,
+/// timing, and optional trace.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// Request label.
+    pub label: String,
+    /// Configuration echo.
+    pub config: SystemConfig,
+    /// Workload name.
+    pub workload: String,
+    /// Seed the run actually used.
+    pub seed: u64,
+    /// Warm-up accesses excluded from the statistics.
+    pub warmup: u64,
+    /// Host wall-clock time of the simulation in nanoseconds. Timing is
+    /// provenance, not measurement — it is excluded from
+    /// [`RunArtifact::fingerprint`].
+    pub wall_nanos: u64,
+    /// Everything the simulated run measured.
+    pub stats: RunStats,
+    /// The §VI trace, when requested.
+    pub trace: Option<TraceLog>,
+}
+
+impl RunArtifact {
+    /// Full JSON form: deterministic payload plus timing provenance.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = match self.deterministic_json() {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!("deterministic_json returns an object"),
+        };
+        obj.push((
+            "timing".into(),
+            Json::obj(vec![("wall_nanos", Json::UInt(self.wall_nanos))]),
+        ));
+        Json::Obj(obj)
+    }
+
+    /// The deterministic portion of the artifact (no wall-clock timing, no
+    /// trace payload): identical across thread counts and across hosts.
+    #[must_use]
+    pub fn deterministic_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(ARTIFACT_SCHEMA.into())),
+            ("label", Json::Str(self.label.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("seed", Json::UInt(self.seed)),
+            ("warmup", Json::UInt(self.warmup)),
+            ("config", config_json(&self.config)),
+            ("stats", stats_json(&self.stats)),
+            (
+                "trace_events",
+                match &self.trace {
+                    Some(t) => Json::UInt(t.len() as u64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Canonical string of the deterministic payload, for byte-equality
+    /// assertions across thread counts.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        self.deterministic_json().render()
+    }
+}
+
+/// JSON echo of a [`SystemConfig`].
+#[must_use]
+pub fn config_json(cfg: &SystemConfig) -> Json {
+    Json::obj(vec![
+        ("label", Json::Str(cfg.label())),
+        ("technique", Json::Str(cfg.technique.label().into())),
+        ("thp", Json::Bool(cfg.thp)),
+        ("pwc", Json::Bool(cfg.pwc.enabled)),
+        ("walk_ref_cycles", Json::UInt(cfg.walk_ref_cycles)),
+        ("host_ref_cycles", Json::UInt(cfg.host_ref_cycles)),
+        (
+            "base_cycles_per_access",
+            Json::UInt(cfg.base_cycles_per_access),
+        ),
+    ])
+}
+
+/// JSON form of a full [`RunStats`], including the derived Figure 5
+/// overhead split.
+#[must_use]
+pub fn stats_json(stats: &RunStats) -> Json {
+    let o = stats.overheads();
+    let kinds = KindCounts::TABLE6_ORDER
+        .iter()
+        .chain([&WalkKind::Native])
+        .map(|kind| {
+            (
+                kind.table6_label().to_string(),
+                Json::obj(vec![
+                    ("walks", Json::UInt(stats.kinds.count(*kind))),
+                    ("refs", Json::UInt(stats.kinds.refs(*kind))),
+                ]),
+            )
+        })
+        .collect();
+    let traps = VmtrapKind::ALL
+        .into_iter()
+        .filter(|k| stats.traps.count(*k) > 0)
+        .map(|k| {
+            (
+                k.label().to_string(),
+                Json::obj(vec![
+                    ("count", Json::UInt(stats.traps.count(k))),
+                    ("cycles", Json::UInt(stats.traps.cycles(k))),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj(vec![
+        ("accesses", Json::UInt(stats.accesses)),
+        ("ideal_cycles", Json::UInt(stats.ideal_cycles)),
+        ("walk_cycles", Json::UInt(stats.walk_cycles)),
+        ("ad_walks", Json::UInt(stats.ad_walks)),
+        (
+            "tlb",
+            Json::obj(vec![
+                ("l1_hits", Json::UInt(stats.tlb.l1_hits)),
+                ("l2_hits", Json::UInt(stats.tlb.l2_hits)),
+                ("misses", Json::UInt(stats.tlb.misses)),
+                ("fills", Json::UInt(stats.tlb.fills)),
+                ("invalidations", Json::UInt(stats.tlb.invalidations)),
+            ]),
+        ),
+        (
+            "walks",
+            Json::obj(vec![
+                ("completed", Json::UInt(stats.walks.walks)),
+                ("faulted", Json::UInt(stats.walks.faulted_walks)),
+                ("memory_refs", Json::UInt(stats.walks.memory_refs)),
+                ("refs_shadow", Json::UInt(stats.walks.refs_shadow)),
+                ("refs_guest", Json::UInt(stats.walks.refs_guest)),
+                ("refs_host", Json::UInt(stats.walks.refs_host)),
+            ]),
+        ),
+        ("kinds", Json::Obj(kinds)),
+        ("traps", Json::Obj(traps)),
+        (
+            "os",
+            Json::obj(vec![
+                ("minor_faults", Json::UInt(stats.os.minor_faults)),
+                ("cow_breaks", Json::UInt(stats.os.cow_breaks)),
+                ("pages_mapped", Json::UInt(stats.os.pages_mapped)),
+                ("huge_mappings", Json::UInt(stats.os.huge_mappings)),
+                ("pages_unmapped", Json::UInt(stats.os.pages_unmapped)),
+                ("clock_scans", Json::UInt(stats.os.clock_scans)),
+                ("pages_reclaimed", Json::UInt(stats.os.pages_reclaimed)),
+                ("cow_marked", Json::UInt(stats.os.cow_marked)),
+            ]),
+        ),
+        (
+            "vmm",
+            Json::obj(vec![
+                ("to_nested", Json::UInt(stats.vmm.to_nested)),
+                ("to_shadow", Json::UInt(stats.vmm.to_shadow)),
+                ("unsyncs", Json::UInt(stats.vmm.unsyncs)),
+                ("resyncs", Json::UInt(stats.vmm.resyncs)),
+                (
+                    "shadow_leaves_built",
+                    Json::UInt(stats.vmm.shadow_leaves_built),
+                ),
+                ("ctx_cache_hits", Json::UInt(stats.vmm.ctx_cache_hits)),
+                ("gpt_writes_total", Json::UInt(stats.vmm.gpt_writes_total)),
+                ("gpt_writes_direct", Json::UInt(stats.vmm.gpt_writes_direct)),
+            ]),
+        ),
+        (
+            "derived",
+            Json::obj(vec![
+                ("page_walk_overhead", Json::Num(o.page_walk)),
+                ("vmm_overhead", Json::Num(o.vmm)),
+                ("total_overhead", Json::Num(o.total())),
+                ("mpka", Json::Num(stats.mpka())),
+                ("avg_refs_per_miss", Json::Num(stats.avg_refs_per_miss())),
+            ]),
+        ),
+    ])
+}
+
+/// A batch of [`RunRequest`]s executed across worker threads.
+///
+/// Results come back in request order, bit-identical at any `threads`
+/// value: workers race only over *which* request they pick up next, and
+/// every request is self-contained.
+#[derive(Debug, Clone, Default)]
+pub struct RunPlan {
+    requests: Vec<RunRequest>,
+    threads: usize,
+    seed_base: Option<u64>,
+}
+
+impl RunPlan {
+    /// An empty serial plan.
+    #[must_use]
+    pub fn new() -> Self {
+        RunPlan {
+            requests: Vec::new(),
+            threads: 1,
+            seed_base: None,
+        }
+    }
+
+    /// Sets the worker count (clamped to ≥ 1 at execution).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Derives a deterministic per-run seed from `base` for every request
+    /// without an explicit override: request *i* gets
+    /// `SplitMix64::derive(base, i)`, independent of thread count and
+    /// execution order.
+    #[must_use]
+    pub fn with_seed_stream(mut self, base: u64) -> Self {
+        self.seed_base = Some(base);
+        self
+    }
+
+    /// Appends a request.
+    pub fn push(&mut self, request: RunRequest) -> &mut Self {
+        self.requests.push(request);
+        self
+    }
+
+    /// Number of queued requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when no requests are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Executes every request and returns artifacts in request order.
+    #[must_use]
+    pub fn execute(&self) -> Vec<RunArtifact> {
+        let seed_base = self.seed_base;
+        let requests: Vec<RunRequest> = self
+            .requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let mut req = req.clone();
+                if req.seed.is_none() {
+                    if let Some(base) = seed_base {
+                        req.seed = Some(SplitMix64::derive(base, i as u64));
+                    }
+                }
+                req
+            })
+            .collect();
+        parallel_map(self.threads, requests, |_, req| req.run())
+    }
+}
+
+/// Runs `f` over `items` on up to `threads` workers, returning results in
+/// item order. `f` receives `(index, item)`. With `threads <= 1` this is a
+/// plain serial map with zero thread overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("queue lock")
+                    .take()
+                    .expect("each item is claimed once");
+                let result = f(i, item);
+                *results[i].lock().expect("result lock") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("every slot is filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agile_vmm::Technique;
+    use agile_workloads::{ChurnSpec, Pattern};
+
+    fn spec(accesses: u64, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "runner-unit".into(),
+            footprint: 8 << 20,
+            pattern: Pattern::Uniform,
+            write_fraction: 0.3,
+            accesses,
+            accesses_per_tick: (accesses / 4).max(1),
+            churn: ChurnSpec::none(),
+            prefault: false,
+            prefault_writes: true,
+            seed,
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let doubled = parallel_map(4, (0..100).collect::<Vec<u64>>(), |i, x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn plan_results_are_thread_count_invariant() {
+        let build = |threads| {
+            let mut plan = RunPlan::new().with_threads(threads);
+            for (i, technique) in [Technique::Nested, Technique::Shadow, Technique::Native]
+                .into_iter()
+                .enumerate()
+            {
+                plan.push(
+                    RunRequest::new(SystemConfig::new(technique), spec(1_500, i as u64 + 1))
+                        .with_warmup(300),
+                );
+            }
+            plan.execute()
+        };
+        let serial = build(1);
+        let parallel = build(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn seed_stream_is_deterministic_and_respects_overrides() {
+        let mut plan = RunPlan::new().with_seed_stream(7);
+        plan.push(RunRequest::new(
+            SystemConfig::new(Technique::Native),
+            spec(500, 1),
+        ));
+        plan.push(
+            RunRequest::new(SystemConfig::new(Technique::Native), spec(500, 1)).with_seed(42),
+        );
+        let artifacts = plan.execute();
+        assert_eq!(artifacts[0].seed, SplitMix64::derive(7, 0));
+        assert_eq!(artifacts[1].seed, 42);
+    }
+
+    #[test]
+    fn artifact_json_round_trips() {
+        let artifact = RunRequest::new(
+            SystemConfig::new(Technique::Agile(agile_vmm::AgileOptions::default())),
+            spec(1_000, 3),
+        )
+        .with_trace()
+        .run();
+        let rendered = artifact.to_json().render();
+        let parsed = Json::parse(&rendered).expect("valid JSON");
+        assert_eq!(parsed, artifact.to_json());
+        assert_eq!(
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("accesses"))
+                .and_then(Json::as_u64),
+            Some(artifact.stats.accesses)
+        );
+        assert!(parsed.get("trace_events").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn fingerprint_excludes_timing() {
+        let req = RunRequest::new(SystemConfig::new(Technique::Shadow), spec(800, 9));
+        let a = req.run();
+        let b = req.run();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

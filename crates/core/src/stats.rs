@@ -57,6 +57,12 @@ impl KindCounts {
         self.counts[Self::index(kind)]
     }
 
+    /// Memory references performed by completed walks of `kind`.
+    #[must_use]
+    pub fn refs(&self, kind: WalkKind) -> u64 {
+        self.refs[Self::index(kind)]
+    }
+
     /// All completed walks.
     #[must_use]
     pub fn total(&self) -> u64 {

@@ -210,7 +210,14 @@ impl GuestOs {
     /// overlap (like a real `munmap`), then issues one guest TLB flush
     /// (batched shootdown). Huge pages intersecting the range are unmapped
     /// whole.
-    pub fn munmap(&mut self, mem: &mut PhysMem, vmm: &mut Vmm, pid: ProcessId, start: u64, len: u64) {
+    pub fn munmap(
+        &mut self,
+        mem: &mut PhysMem,
+        vmm: &mut Vmm,
+        pid: ProcessId,
+        start: u64,
+        len: u64,
+    ) {
         let end = start + len;
         // Split/remove overlapping VMAs.
         let overlapping: Vec<Vma> = self
@@ -263,14 +270,7 @@ impl GuestOs {
                             } else {
                                 PteFlags::empty()
                             };
-                            vmm.gpt_map(
-                                mem,
-                                pid,
-                                page_va,
-                                frame.add(i),
-                                PageSize::Size4K,
-                                flags,
-                            );
+                            vmm.gpt_map(mem, pid, page_va, frame.add(i), PageSize::Size4K, flags);
                         }
                     }
                     va = base + size.bytes();
@@ -566,8 +566,14 @@ mod tests {
         os.mmap(pid, BASE, 64 << 10, true);
         // Touch 4 pages (dirty them so they are writable + shadowed).
         for i in 0..4u64 {
-            os.handle_page_fault(&mut mem, &mut vmm, pid, BASE + i * 0x1000, AccessKind::Write)
-                .unwrap();
+            os.handle_page_fault(
+                &mut mem,
+                &mut vmm,
+                pid,
+                BASE + i * 0x1000,
+                AccessKind::Write,
+            )
+            .unwrap();
         }
         // Shadow the region by building shadow state: simulate hardware use.
         // (Shadow leaves are built lazily; marking COW still costs guest
@@ -575,7 +581,10 @@ mod tests {
         let flush_before = vmm.trap_stats().count(VmtrapKind::TlbFlush);
         os.mark_region_cow(&mut mem, &mut vmm, pid, BASE, 64 << 10);
         assert_eq!(os.stats().cow_marked, 4);
-        assert_eq!(vmm.trap_stats().count(VmtrapKind::TlbFlush), flush_before + 4);
+        assert_eq!(
+            vmm.trap_stats().count(VmtrapKind::TlbFlush),
+            flush_before + 4
+        );
     }
 
     #[test]

@@ -64,8 +64,7 @@ impl GuestMemMap {
         self.next_gframe = start + frames;
         let h = mem.alloc_frames(frames, frames);
         for i in 0..frames {
-            self.backing
-                .insert(GuestFrame::new(start + i), h.add(i));
+            self.backing.insert(GuestFrame::new(start + i), h.add(i));
         }
         self.huge_runs.insert(GuestFrame::new(start), size);
         GuestFrame::new(start)
@@ -145,7 +144,7 @@ impl TableSpace for GuestMemMap {
 mod tests {
     use super::*;
     use crate::RadixTable;
-    use agile_types::{PteFlags, Level};
+    use agile_types::{Level, PteFlags};
 
     #[test]
     fn data_frames_get_backing() {
@@ -168,10 +167,7 @@ mod tests {
         let h = gmap.backing(g).unwrap();
         assert_eq!(h.raw() % 512, 0);
         // Contiguity on both sides.
-        assert_eq!(
-            gmap.backing(g.add(511)).unwrap().raw(),
-            h.raw() + 511
-        );
+        assert_eq!(gmap.backing(g.add(511)).unwrap().raw(), h.raw() + 511);
     }
 
     #[test]

@@ -475,11 +475,25 @@ mod tests {
     #[test]
     fn huge_under_4k_conflicts() {
         let (mut mem, mut space, t) = setup();
-        t.map(&mut mem, &mut space, 0, 1, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0,
+            1,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         // L2 entry for VA 0 is now an interior table; a 2M map must conflict.
         let err = t
-            .map(&mut mem, &mut space, 0, 0x200, PageSize::Size2M, PteFlags::empty())
+            .map(
+                &mut mem,
+                &mut space,
+                0,
+                0x200,
+                PageSize::Size2M,
+                PteFlags::empty(),
+            )
             .unwrap_err();
         assert_eq!(err, MapError::Conflict(Level::L2));
     }
@@ -487,10 +501,24 @@ mod tests {
     #[test]
     fn four_k_under_huge_conflicts() {
         let (mut mem, mut space, t) = setup();
-        t.map(&mut mem, &mut space, 0, 0x200, PageSize::Size2M, PteFlags::empty())
-            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0,
+            0x200,
+            PageSize::Size2M,
+            PteFlags::empty(),
+        )
+        .unwrap();
         let err = t
-            .map(&mut mem, &mut space, 0x1000, 7, PageSize::Size4K, PteFlags::empty())
+            .map(
+                &mut mem,
+                &mut space,
+                0x1000,
+                7,
+                PageSize::Size4K,
+                PteFlags::empty(),
+            )
             .unwrap_err();
         assert_eq!(err, MapError::Conflict(Level::L2));
     }
@@ -498,25 +526,54 @@ mod tests {
     #[test]
     fn unmap_clears_only_matching_leaf() {
         let (mut mem, mut space, t) = setup();
-        t.map(&mut mem, &mut space, 0x1000, 3, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
-        assert!(t.unmap(&mut mem, &space, 0x1000, PageSize::Size2M).is_none());
+        t.map(
+            &mut mem,
+            &mut space,
+            0x1000,
+            3,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        assert!(t
+            .unmap(&mut mem, &space, 0x1000, PageSize::Size2M)
+            .is_none());
         let old = t.unmap(&mut mem, &space, 0x1000, PageSize::Size4K).unwrap();
         assert_eq!(old.frame_raw(), 3);
         assert!(t.lookup(&mem, &space, 0x1000).is_none());
-        assert!(t.unmap(&mut mem, &space, 0x1000, PageSize::Size4K).is_none());
+        assert!(t
+            .unmap(&mut mem, &space, 0x1000, PageSize::Size4K)
+            .is_none());
     }
 
     #[test]
     fn entry_reads_any_level() {
         let (mut mem, mut space, t) = setup();
-        t.map(&mut mem, &mut space, 0x1000, 3, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
-        assert!(t.entry(&mem, &space, 0x1000, Level::L4).unwrap().is_present());
-        assert!(t.entry(&mem, &space, 0x1000, Level::L3).unwrap().is_present());
-        assert!(t.entry(&mem, &space, 0x1000, Level::L2).unwrap().is_present());
+        t.map(
+            &mut mem,
+            &mut space,
+            0x1000,
+            3,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        assert!(t
+            .entry(&mem, &space, 0x1000, Level::L4)
+            .unwrap()
+            .is_present());
+        assert!(t
+            .entry(&mem, &space, 0x1000, Level::L3)
+            .unwrap()
+            .is_present());
+        assert!(t
+            .entry(&mem, &space, 0x1000, Level::L2)
+            .unwrap()
+            .is_present());
         assert_eq!(
-            t.entry(&mem, &space, 0x1000, Level::L1).unwrap().frame_raw(),
+            t.entry(&mem, &space, 0x1000, Level::L1)
+                .unwrap()
+                .frame_raw(),
             3
         );
         // Unmapped region: path missing below L4.
@@ -527,8 +584,15 @@ mod tests {
     #[test]
     fn update_entry_applies_closure() {
         let (mut mem, mut space, t) = setup();
-        t.map(&mut mem, &mut space, 0x1000, 3, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0x1000,
+            3,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         let new = t
             .update_entry(&mut mem, &space, 0x1000, Level::L1, |p| {
                 p.with_flags(PteFlags::DIRTY)
@@ -578,8 +642,15 @@ mod tests {
     fn zap_subtree_frees_pages_and_clears_entry() {
         let (mut mem, mut space, t) = setup();
         // Two 4K pages under the same L3 subtree.
-        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0x1000,
+            1,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         t.map(
             &mut mem,
             &mut space,
@@ -603,8 +674,15 @@ mod tests {
     #[test]
     fn zap_subtree_does_not_follow_switching_entries() {
         let (mut mem, mut space, t) = setup();
-        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0x1000,
+            1,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         // Pretend the L2 entry switched to nested mode: points at a guest
         // table page we do not own.
         let foreign = mem.alloc_table_page();
@@ -625,10 +703,24 @@ mod tests {
     #[test]
     fn destroy_frees_everything() {
         let (mut mem, mut space, t) = setup();
-        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
-        t.map(&mut mem, &mut space, 1 << 40, 2, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0x1000,
+            1,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            1 << 40,
+            2,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         let live = mem.table_page_count();
         let freed = t.destroy(&mut mem, &mut space);
         assert_eq!(freed as usize, live);
@@ -639,18 +731,35 @@ mod tests {
     fn table_page_total_counts_interior_pages() {
         let (mut mem, mut space, t) = setup();
         assert_eq!(t.table_page_total(&mem, &space), 1);
-        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0x1000,
+            1,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         // Root + L3 + L2 + L1 pages.
         assert_eq!(t.table_page_total(&mem, &space), 4);
-        assert_eq!(t.table_page_total(&mem, &space) as usize, mem.table_page_count());
+        assert_eq!(
+            t.table_page_total(&mem, &space) as usize,
+            mem.table_page_count()
+        );
     }
 
     #[test]
     fn table_frame_matches_phys_layout() {
         let (mut mem, mut space, t) = setup();
-        t.map(&mut mem, &mut space, 0x1000, 1, PageSize::Size4K, PteFlags::empty())
-            .unwrap();
+        t.map(
+            &mut mem,
+            &mut space,
+            0x1000,
+            1,
+            PageSize::Size4K,
+            PteFlags::empty(),
+        )
+        .unwrap();
         let l1_frame = t.table_frame(&mem, &space, 0x1000, Level::L1).unwrap();
         let pte = mem.read_pte(HostSpace.resolve(l1_frame), 1);
         assert_eq!(pte.frame_raw(), 1);

@@ -1,90 +1,137 @@
-//! Property-based tests for the radix page-table operations.
+//! Randomized tests for the radix page-table operations, driven by seeded
+//! SplitMix64 streams so every run covers the same cases.
 
 use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
-use agile_types::{Level, PageSize, PteFlags};
-use proptest::prelude::*;
-use std::collections::BTreeMap;
+use agile_types::{Level, PageSize, PteFlags, SplitMix64};
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Strategy: a list of distinct 4 KiB-aligned VAs in a 1 TiB space.
-fn va_set(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::btree_set(0u64..(1 << 28), 1..max_len)
-        .prop_map(|s| s.into_iter().map(|v| v << 12).collect())
+const CASES: u64 = 64;
+
+/// A list of distinct 4 KiB-aligned VAs in a 1 TiB space.
+fn va_set(rng: &mut SplitMix64, max_len: u64) -> Vec<u64> {
+    let n = rng.range(1, max_len);
+    let mut set = BTreeSet::new();
+    while (set.len() as u64) < n {
+        set.insert(rng.below(1 << 28));
+    }
+    set.into_iter().map(|v| v << 12).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Everything mapped is found by lookup with the right frame; everything
-    /// else misses.
-    #[test]
-    fn mapped_pages_are_found(vas in va_set(64)) {
+/// Everything mapped is found by lookup with the right frame; everything
+/// else misses.
+#[test]
+fn mapped_pages_are_found() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x3e3_0001, case));
+        let vas = va_set(&mut rng, 64);
         let mut mem = PhysMem::new();
         let mut space = HostSpace;
         let t = RadixTable::new(&mut mem, &mut space);
         let mut expect = BTreeMap::new();
         for (i, va) in vas.iter().enumerate() {
             let frame = i as u64 + 100;
-            t.map(&mut mem, &mut space, *va, frame, PageSize::Size4K, PteFlags::WRITABLE)
-                .unwrap();
+            t.map(
+                &mut mem,
+                &mut space,
+                *va,
+                frame,
+                PageSize::Size4K,
+                PteFlags::WRITABLE,
+            )
+            .unwrap();
             expect.insert(*va, frame);
         }
         for (va, frame) in &expect {
             let (pte, level) = t.lookup(&mem, &space, *va + 0xabc).unwrap();
-            prop_assert_eq!(level, Level::L1);
-            prop_assert_eq!(pte.frame_raw(), *frame);
+            assert_eq!(level, Level::L1);
+            assert_eq!(pte.frame_raw(), *frame);
         }
         // A VA outside the touched 1 TiB window always misses.
-        prop_assert!(t.lookup(&mem, &space, 1 << 45).is_none());
+        assert!(t.lookup(&mem, &space, 1 << 45).is_none());
     }
+}
 
-    /// Unmapping removes exactly the unmapped pages.
-    #[test]
-    fn unmap_is_precise(vas in va_set(48), keep_mod in 2u64..5) {
+/// Unmapping removes exactly the unmapped pages.
+#[test]
+fn unmap_is_precise() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x3e3_0002, case));
+        let vas = va_set(&mut rng, 48);
+        let keep_mod = rng.range(2, 5);
         let mut mem = PhysMem::new();
         let mut space = HostSpace;
         let t = RadixTable::new(&mut mem, &mut space);
         for (i, va) in vas.iter().enumerate() {
-            t.map(&mut mem, &mut space, *va, i as u64 + 1, PageSize::Size4K, PteFlags::empty())
-                .unwrap();
+            t.map(
+                &mut mem,
+                &mut space,
+                *va,
+                i as u64 + 1,
+                PageSize::Size4K,
+                PteFlags::empty(),
+            )
+            .unwrap();
         }
         for (i, va) in vas.iter().enumerate() {
             if (i as u64).is_multiple_of(keep_mod) {
-                prop_assert!(t.unmap(&mut mem, &space, *va, PageSize::Size4K).is_some());
+                assert!(t.unmap(&mut mem, &space, *va, PageSize::Size4K).is_some());
             }
         }
         for (i, va) in vas.iter().enumerate() {
             let found = t.lookup(&mem, &space, *va).is_some();
-            prop_assert_eq!(found, !(i as u64).is_multiple_of(keep_mod));
+            assert_eq!(found, !(i as u64).is_multiple_of(keep_mod));
         }
     }
+}
 
-    /// destroy() frees exactly the pages the table owns: the global table
-    /// page count returns to what it was before the table was built.
-    #[test]
-    fn destroy_frees_all_owned_pages(vas in va_set(48)) {
+/// destroy() frees exactly the pages the table owns: the global table
+/// page count returns to what it was before the table was built.
+#[test]
+fn destroy_frees_all_owned_pages() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x3e3_0003, case));
+        let vas = va_set(&mut rng, 48);
         let mut mem = PhysMem::new();
         let mut space = HostSpace;
         let before = mem.table_page_count();
         let t = RadixTable::new(&mut mem, &mut space);
         for (i, va) in vas.iter().enumerate() {
-            t.map(&mut mem, &mut space, *va, i as u64 + 1, PageSize::Size4K, PteFlags::empty())
-                .unwrap();
+            t.map(
+                &mut mem,
+                &mut space,
+                *va,
+                i as u64 + 1,
+                PageSize::Size4K,
+                PteFlags::empty(),
+            )
+            .unwrap();
         }
         let owned = t.table_page_total(&mem, &space);
         let freed = t.destroy(&mut mem, &mut space);
-        prop_assert_eq!(freed, owned);
-        prop_assert_eq!(mem.table_page_count(), before);
+        assert_eq!(freed, owned);
+        assert_eq!(mem.table_page_count(), before);
     }
+}
 
-    /// for_each_present visits every mapped leaf exactly once.
-    #[test]
-    fn traversal_matches_mappings(vas in va_set(48)) {
+/// for_each_present visits every mapped leaf exactly once.
+#[test]
+fn traversal_matches_mappings() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x3e3_0004, case));
+        let vas = va_set(&mut rng, 48);
         let mut mem = PhysMem::new();
         let mut space = HostSpace;
         let t = RadixTable::new(&mut mem, &mut space);
         for (i, va) in vas.iter().enumerate() {
-            t.map(&mut mem, &mut space, *va, i as u64 + 1, PageSize::Size4K, PteFlags::empty())
-                .unwrap();
+            t.map(
+                &mut mem,
+                &mut space,
+                *va,
+                i as u64 + 1,
+                PageSize::Size4K,
+                PteFlags::empty(),
+            )
+            .unwrap();
         }
         let mut seen = Vec::new();
         t.for_each_present(&mem, &space, |va, level, pte| {
@@ -95,49 +142,80 @@ proptest! {
         seen.sort_unstable();
         let mut want = vas.clone();
         want.sort_unstable();
-        prop_assert_eq!(seen, want);
+        assert_eq!(seen, want);
     }
+}
 
-    /// The same properties hold for a guest table resolved through backing.
-    #[test]
-    fn guest_table_behaves_like_host_table(vas in va_set(32)) {
+/// The same properties hold for a guest table resolved through backing.
+#[test]
+fn guest_table_behaves_like_host_table() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x3e3_0005, case));
+        let vas = va_set(&mut rng, 32);
         let mut mem = PhysMem::new();
         let mut gmap = GuestMemMap::new();
         let t = RadixTable::new(&mut mem, &mut gmap);
         for (i, va) in vas.iter().enumerate() {
-            t.map(&mut mem, &mut gmap, *va, i as u64 + 1, PageSize::Size4K, PteFlags::empty())
-                .unwrap();
+            t.map(
+                &mut mem,
+                &mut gmap,
+                *va,
+                i as u64 + 1,
+                PageSize::Size4K,
+                PteFlags::empty(),
+            )
+            .unwrap();
         }
         for (i, va) in vas.iter().enumerate() {
             let (pte, _) = t.lookup(&mem, &gmap, *va).unwrap();
-            prop_assert_eq!(pte.frame_raw(), i as u64 + 1);
+            assert_eq!(pte.frame_raw(), i as u64 + 1);
         }
         // Every table page is a tracked guest table frame with table backing.
         for g in gmap.table_gframes().collect::<Vec<_>>() {
-            prop_assert!(mem.is_table(gmap.resolve(g.raw())));
+            assert!(mem.is_table(gmap.resolve(g.raw())));
         }
     }
+}
 
-    /// Huge and 4K mappings in disjoint regions coexist.
-    #[test]
-    fn mixed_sizes_coexist(n in 1usize..16) {
+/// Huge and 4K mappings in disjoint regions coexist.
+#[test]
+fn mixed_sizes_coexist() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x3e3_0006, case));
+        let n = rng.range(1, 16);
         let mut mem = PhysMem::new();
         let mut space = HostSpace;
         let t = RadixTable::new(&mut mem, &mut space);
-        for i in 0..n as u64 {
+        for i in 0..n {
             // 2M pages in one 1G region, 4K pages in another.
-            t.map(&mut mem, &mut space, i * PageSize::Size2M.bytes(), 512 * (i + 1),
-                  PageSize::Size2M, PteFlags::empty()).unwrap();
-            t.map(&mut mem, &mut space, (1 << 30) + i * 0x1000, i + 1,
-                  PageSize::Size4K, PteFlags::empty()).unwrap();
+            t.map(
+                &mut mem,
+                &mut space,
+                i * PageSize::Size2M.bytes(),
+                512 * (i + 1),
+                PageSize::Size2M,
+                PteFlags::empty(),
+            )
+            .unwrap();
+            t.map(
+                &mut mem,
+                &mut space,
+                (1 << 30) + i * 0x1000,
+                i + 1,
+                PageSize::Size4K,
+                PteFlags::empty(),
+            )
+            .unwrap();
         }
-        for i in 0..n as u64 {
-            let (pte, level) = t.lookup(&mem, &space, i * PageSize::Size2M.bytes() + 7).unwrap();
-            prop_assert_eq!(level, Level::L2);
-            prop_assert_eq!(pte.frame_raw(), 512 * (i + 1));
+        for i in 0..n {
+            let (pte, level) = t
+                .lookup(&mem, &space, i * PageSize::Size2M.bytes() + 7)
+                .unwrap();
+            assert_eq!(level, Level::L2);
+            assert_eq!(pte.frame_raw(), 512 * (i + 1));
             let (pte, level) = t.lookup(&mem, &space, (1 << 30) + i * 0x1000).unwrap();
-            prop_assert_eq!(level, Level::L1);
-            prop_assert_eq!(pte.frame_raw(), i + 1);
+            assert_eq!(level, Level::L1);
+            assert_eq!(pte.frame_raw(), i + 1);
         }
     }
 }

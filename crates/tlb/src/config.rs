@@ -14,7 +14,10 @@ impl SizedTlbConfig {
     /// A disabled partition.
     #[must_use]
     pub const fn disabled() -> Self {
-        SizedTlbConfig { entries: 0, ways: 1 }
+        SizedTlbConfig {
+            entries: 0,
+            ways: 1,
+        }
     }
 
     /// Number of sets implied by the geometry (at least 1 when enabled).
@@ -53,12 +56,30 @@ impl Default for TlbConfig {
     /// Table III geometry.
     fn default() -> Self {
         TlbConfig {
-            l1d_4k: SizedTlbConfig { entries: 64, ways: 4 },
-            l1d_2m: SizedTlbConfig { entries: 32, ways: 4 },
-            l1d_1g: SizedTlbConfig { entries: 4, ways: 4 },
-            l1i_4k: SizedTlbConfig { entries: 128, ways: 4 },
-            l1i_2m: SizedTlbConfig { entries: 8, ways: 8 },
-            l2_4k: SizedTlbConfig { entries: 512, ways: 4 },
+            l1d_4k: SizedTlbConfig {
+                entries: 64,
+                ways: 4,
+            },
+            l1d_2m: SizedTlbConfig {
+                entries: 32,
+                ways: 4,
+            },
+            l1d_1g: SizedTlbConfig {
+                entries: 4,
+                ways: 4,
+            },
+            l1i_4k: SizedTlbConfig {
+                entries: 128,
+                ways: 4,
+            },
+            l1i_2m: SizedTlbConfig {
+                entries: 8,
+                ways: 8,
+            },
+            l2_4k: SizedTlbConfig {
+                entries: 512,
+                ways: 4,
+            },
             l2_2m: SizedTlbConfig::disabled(),
         }
     }
@@ -70,13 +91,34 @@ impl TlbConfig {
     #[must_use]
     pub fn tiny() -> Self {
         TlbConfig {
-            l1d_4k: SizedTlbConfig { entries: 4, ways: 2 },
-            l1d_2m: SizedTlbConfig { entries: 2, ways: 2 },
-            l1d_1g: SizedTlbConfig { entries: 1, ways: 1 },
-            l1i_4k: SizedTlbConfig { entries: 4, ways: 2 },
-            l1i_2m: SizedTlbConfig { entries: 2, ways: 2 },
-            l2_4k: SizedTlbConfig { entries: 16, ways: 4 },
-            l2_2m: SizedTlbConfig { entries: 8, ways: 4 },
+            l1d_4k: SizedTlbConfig {
+                entries: 4,
+                ways: 2,
+            },
+            l1d_2m: SizedTlbConfig {
+                entries: 2,
+                ways: 2,
+            },
+            l1d_1g: SizedTlbConfig {
+                entries: 1,
+                ways: 1,
+            },
+            l1i_4k: SizedTlbConfig {
+                entries: 4,
+                ways: 2,
+            },
+            l1i_2m: SizedTlbConfig {
+                entries: 2,
+                ways: 2,
+            },
+            l2_4k: SizedTlbConfig {
+                entries: 16,
+                ways: 4,
+            },
+            l2_2m: SizedTlbConfig {
+                entries: 8,
+                ways: 4,
+            },
         }
     }
 }
@@ -137,9 +179,30 @@ mod tests {
 
     #[test]
     fn sets_math() {
-        assert_eq!(SizedTlbConfig { entries: 64, ways: 4 }.sets(), 16);
-        assert_eq!(SizedTlbConfig { entries: 4, ways: 4 }.sets(), 1);
-        assert_eq!(SizedTlbConfig { entries: 4, ways: 8 }.sets(), 1);
+        assert_eq!(
+            SizedTlbConfig {
+                entries: 64,
+                ways: 4
+            }
+            .sets(),
+            16
+        );
+        assert_eq!(
+            SizedTlbConfig {
+                entries: 4,
+                ways: 4
+            }
+            .sets(),
+            1
+        );
+        assert_eq!(
+            SizedTlbConfig {
+                entries: 4,
+                ways: 8
+            }
+            .sets(),
+            1
+        );
         assert_eq!(SizedTlbConfig::disabled().sets(), 0);
     }
 

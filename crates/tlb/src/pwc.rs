@@ -112,13 +112,16 @@ impl PageWalkCaches {
         }
         match level_read {
             Level::L4 => {
-                self.skip1.insert(0, (asid, Self::prefix(va, Level::L4)), entry);
+                self.skip1
+                    .insert(0, (asid, Self::prefix(va, Level::L4)), entry);
             }
             Level::L3 => {
-                self.skip2.insert(0, (asid, Self::prefix(va, Level::L3)), entry);
+                self.skip2
+                    .insert(0, (asid, Self::prefix(va, Level::L3)), entry);
             }
             Level::L2 => {
-                self.skip3.insert(0, (asid, Self::prefix(va, Level::L2)), entry);
+                self.skip3
+                    .insert(0, (asid, Self::prefix(va, Level::L2)), entry);
             }
             Level::L1 => {}
         }

@@ -151,7 +151,10 @@ impl SizedTlb {
     }
 
     fn stats(&self) -> CacheStats {
-        self.cache.as_ref().map(SetAssocCache::stats).unwrap_or_default()
+        self.cache
+            .as_ref()
+            .map(SetAssocCache::stats)
+            .unwrap_or_default()
     }
 }
 
@@ -355,7 +358,11 @@ mod tests {
         let mut tlb = TlbHierarchy::new(&TlbConfig::default());
         let asid = Asid::new(1);
         let va = GuestVirtAddr::new(0x2000);
-        tlb.fill(asid, va, TlbEntry::new(HostFrame::new(9), PageSize::Size4K, false));
+        tlb.fill(
+            asid,
+            va,
+            TlbEntry::new(HostFrame::new(9), PageSize::Size4K, false),
+        );
         assert!(tlb.lookup(asid, va, AccessKind::Read).is_some());
         assert!(tlb.lookup(asid, va, AccessKind::Write).is_none());
         // The stale read-only entry must be gone so the refill sticks.
@@ -369,7 +376,11 @@ mod tests {
         let asid = Asid::new(1);
         let va = GuestVirtAddr::new(0x9000);
         // Read walk installed a clean, writable entry.
-        tlb.fill(asid, va, TlbEntry::new(HostFrame::new(3), PageSize::Size4K, true));
+        tlb.fill(
+            asid,
+            va,
+            TlbEntry::new(HostFrame::new(3), PageSize::Size4K, true),
+        );
         assert!(tlb.lookup(asid, va, AccessKind::Read).is_some());
         // First store misses so hardware can set dirty bits.
         assert!(tlb.lookup(asid, va, AccessKind::Write).is_none());
@@ -392,7 +403,8 @@ mod tests {
         assert!(got.is_some());
         assert_eq!(tlb.stats().l2_hits, 1);
         // Immediately again: now an L1 hit thanks to promotion.
-        tlb.lookup(asid, GuestVirtAddr::new(0), AccessKind::Read).unwrap();
+        tlb.lookup(asid, GuestVirtAddr::new(0), AccessKind::Read)
+            .unwrap();
         assert_eq!(tlb.stats().l1_hits, 1);
     }
 
@@ -415,7 +427,11 @@ mod tests {
         let mut tlb = TlbHierarchy::new(&TlbConfig::default());
         let asid = Asid::new(1);
         let base = GuestVirtAddr::new(4 * PageSize::Size2M.bytes());
-        tlb.fill(asid, base, TlbEntry::new(HostFrame::new(0x800), PageSize::Size2M, true));
+        tlb.fill(
+            asid,
+            base,
+            TlbEntry::new(HostFrame::new(0x800), PageSize::Size2M, true),
+        );
         // Any VA within the 2M page hits.
         let inside = GuestVirtAddr::new(4 * PageSize::Size2M.bytes() + 0x12_3456);
         let e = tlb.lookup(asid, inside, AccessKind::Read).unwrap();

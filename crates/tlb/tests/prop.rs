@@ -1,20 +1,24 @@
-//! Property-based tests for the TLB hierarchy and the generic cache.
+//! Randomized tests for the TLB hierarchy and the generic cache, driven by
+//! seeded SplitMix64 streams so every run covers the same cases.
 
 use agile_tlb::{SetAssocCache, TlbConfig, TlbEntry, TlbHierarchy};
-use agile_types::{AccessKind, Asid, GuestVirtAddr, HostFrame, PageSize};
-use proptest::prelude::*;
+use agile_types::{AccessKind, Asid, GuestVirtAddr, HostFrame, PageSize, SplitMix64};
 use std::collections::HashMap;
+
+const CASES: u64 = 64;
 
 fn entry(frame: u64) -> TlbEntry {
     TlbEntry::new(HostFrame::new(frame), PageSize::Size4K, true).with_dirty(true)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A hit always returns the most recently filled value for the page.
-    #[test]
-    fn hits_return_latest_fill(ops in proptest::collection::vec((0u64..64, 1u64..1000), 1..200)) {
+/// A hit always returns the most recently filled value for the page.
+#[test]
+fn hits_return_latest_fill() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x71b_0001, case));
+        let ops: Vec<(u64, u64)> = (0..rng.range(1, 200))
+            .map(|_| (rng.below(64), rng.range(1, 1000)))
+            .collect();
         let mut tlb = TlbHierarchy::new(&TlbConfig::default());
         let asid = Asid::new(1);
         let mut model: HashMap<u64, u64> = HashMap::new();
@@ -24,76 +28,98 @@ proptest! {
             tlb.fill(asid, va, entry(frame));
             model.insert(page, frame);
             if let Some(e) = tlb.lookup(asid, va, AccessKind::Read) {
-                prop_assert_eq!(e.frame.raw(), model[&page]);
+                assert_eq!(e.frame.raw(), model[&page]);
             }
         }
         // Every model entry, if present in the TLB, matches.
         for (page, frame) in &model {
             if let Some(e) = tlb.lookup(asid, GuestVirtAddr::new(page << 12), AccessKind::Read) {
-                prop_assert_eq!(e.frame.raw(), *frame);
+                assert_eq!(e.frame.raw(), *frame);
             }
         }
     }
+}
 
-    /// The TLB never returns an entry for a different ASID.
-    #[test]
-    fn asid_isolation(pages in proptest::collection::vec(0u64..256, 1..64)) {
+/// The TLB never returns an entry for a different ASID.
+#[test]
+fn asid_isolation() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x71b_0002, case));
+        let pages: Vec<u64> = (0..rng.range(1, 64)).map(|_| rng.below(256)).collect();
         let mut tlb = TlbHierarchy::new(&TlbConfig::default());
         for (i, page) in pages.iter().enumerate() {
             let asid = Asid::new((i % 4) as u32);
-            tlb.fill(asid, GuestVirtAddr::new(page << 12), entry(*page * 4 + (i as u64 % 4)));
+            tlb.fill(
+                asid,
+                GuestVirtAddr::new(page << 12),
+                entry(*page * 4 + (i as u64 % 4)),
+            );
         }
         // Look up every page under every asid: a hit must carry the frame
         // encoding that asid.
         for page in 0..256u64 {
             for a in 0..4u32 {
-                if let Some(e) =
-                    tlb.lookup(Asid::new(a), GuestVirtAddr::new(page << 12), AccessKind::Read)
-                {
-                    prop_assert_eq!(e.frame.raw() % 4, u64::from(a));
-                    prop_assert_eq!(e.frame.raw() / 4, page);
+                if let Some(e) = tlb.lookup(
+                    Asid::new(a),
+                    GuestVirtAddr::new(page << 12),
+                    AccessKind::Read,
+                ) {
+                    assert_eq!(e.frame.raw() % 4, u64::from(a));
+                    assert_eq!(e.frame.raw() / 4, page);
                 }
             }
         }
     }
+}
 
-    /// Capacity invariant: the generic cache never exceeds sets × ways, and
-    /// flush empties it.
-    #[test]
-    fn cache_capacity_invariant(
-        sets in 1usize..8,
-        ways in 1usize..8,
-        keys in proptest::collection::vec(0u64..512, 1..300),
-    ) {
+/// Capacity invariant: the generic cache never exceeds sets × ways, and
+/// flush empties it.
+#[test]
+fn cache_capacity_invariant() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x71b_0003, case));
+        let sets = rng.range(1, 8) as usize;
+        let ways = rng.range(1, 8) as usize;
+        let keys: Vec<u64> = (0..rng.range(1, 300)).map(|_| rng.below(512)).collect();
         let mut c: SetAssocCache<u64, u64> = SetAssocCache::new(sets, ways);
         for k in &keys {
             c.insert(*k as usize, *k, *k * 2);
-            prop_assert!(c.len() <= c.capacity());
+            assert!(c.len() <= c.capacity());
         }
         // Whatever remains must be internally consistent.
         for k in &keys {
             if let Some(v) = c.lookup(*k as usize, k) {
-                prop_assert_eq!(v, *k * 2);
+                assert_eq!(v, *k * 2);
             }
         }
         c.flush();
-        prop_assert!(c.is_empty());
+        assert!(c.is_empty());
     }
+}
 
-    /// Stats identity: lookups == hits + misses.
-    #[test]
-    fn stats_identity(ops in proptest::collection::vec((0u64..32, any::<bool>()), 1..200)) {
+/// Stats identity: lookups == hits + misses.
+#[test]
+fn stats_identity() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x71b_0004, case));
+        let ops: Vec<(u64, bool)> = (0..rng.range(1, 200))
+            .map(|_| (rng.below(32), rng.next_bool(0.5)))
+            .collect();
         let mut tlb = TlbHierarchy::new(&TlbConfig::tiny());
         let asid = Asid::new(9);
         for (page, write) in ops {
             let va = GuestVirtAddr::new(page << 12);
-            let access = if write { AccessKind::Write } else { AccessKind::Read };
+            let access = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             if tlb.lookup(asid, va, access).is_none() {
                 tlb.fill_for(asid, va, entry(page), access);
             }
         }
         let s = tlb.stats();
-        prop_assert_eq!(s.lookups(), s.l1_hits + s.l2_hits + s.misses);
-        prop_assert!(s.miss_ratio() <= 1.0);
+        assert_eq!(s.lookups(), s.l1_hits + s.l2_hits + s.misses);
+        assert!(s.miss_ratio() <= 1.0);
     }
 }

@@ -60,8 +60,7 @@ impl Step1Analysis {
                     let nested_levels = level.number();
                     if let Some(covering) = out.classify(*pid, *gva) {
                         out.eliminated_writes += 1;
-                        touched_nested
-                            .insert((covering, (pid.raw(), prefix(*gva, covering))));
+                        touched_nested.insert((covering, (pid.raw(), prefix(*gva, covering))));
                         continue;
                     }
                     let key = (pid.raw(), nested_levels, prefix(*gva, nested_levels));
@@ -223,8 +222,16 @@ mod tests {
         log.push(w(1, 0x20_2000, Level::L1)); // now eliminated
         let s1 = Step1Analysis::from_trace(&log);
         assert_eq!(s1.classify(ProcessId::new(1), 0x20_3000), Some(1));
-        assert_eq!(s1.classify(ProcessId::new(1), 0x40_0000), None, "other region");
-        assert_eq!(s1.classify(ProcessId::new(2), 0x20_0000), None, "other process");
+        assert_eq!(
+            s1.classify(ProcessId::new(1), 0x40_0000),
+            None,
+            "other region"
+        );
+        assert_eq!(
+            s1.classify(ProcessId::new(2), 0x20_0000),
+            None,
+            "other process"
+        );
         assert_eq!(s1.region_counts(), [1, 0, 0, 0]);
         assert!((s1.fv() - 1.0 / 3.0).abs() < 1e-9);
     }
@@ -236,7 +243,11 @@ mod tests {
         log.push(w(1, 0x5000_0000, Level::L2)); // same 1 GiB region (prefix >>30 differs!)
         let s1 = Step1Analysis::from_trace(&log);
         // 0x4000_0000 >> 30 = 1, 0x5000_0000 >> 30 = 1 — same region.
-        assert_eq!(s1.classify(ProcessId::new(1), 0x2000_0000), None, "outside the region");
+        assert_eq!(
+            s1.classify(ProcessId::new(1), 0x2000_0000),
+            None,
+            "outside the region"
+        );
         assert_eq!(s1.classify(ProcessId::new(1), 0x4000_0000), Some(2));
         assert_eq!(s1.classify(ProcessId::new(1), 0x5fff_f000), Some(2));
     }

@@ -34,6 +34,7 @@ mod ids;
 mod level;
 mod page;
 mod pte;
+mod rng;
 
 pub use access::AccessKind;
 pub use addr::{GuestFrame, GuestPhysAddr, GuestVirtAddr, HostFrame, HostPhysAddr};
@@ -42,6 +43,7 @@ pub use ids::{Asid, ProcessId, VmId};
 pub use level::Level;
 pub use page::PageSize;
 pub use pte::{Pte, PteFlags};
+pub use rng::SplitMix64;
 
 /// Number of page-table entries per page-table page (512 for x86-64).
 pub const ENTRIES_PER_TABLE: usize = 512;

@@ -60,7 +60,10 @@ impl VmtrapKind {
     }
 
     fn index(self) -> usize {
-        VmtrapKind::ALL.iter().position(|k| *k == self).expect("in ALL")
+        VmtrapKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("in ALL")
     }
 }
 

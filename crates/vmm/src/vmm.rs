@@ -9,7 +9,7 @@ use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
 use agile_tlb::SetAssocCache;
 use agile_types::{
     AccessKind, Asid, Fault, FaultCause, GuestFrame, GuestVirtAddr, HostFrame, Level, PageSize,
-    Pte, PteFlags, ProcessId, VmId,
+    ProcessId, Pte, PteFlags, VmId,
 };
 use agile_walk::AgileCr3;
 use std::collections::HashMap;
@@ -150,7 +150,10 @@ impl Vmm {
 
     /// Drains the recorded `(process, gva, level)` update tuples.
     pub fn take_write_trace(&mut self) -> Vec<(ProcessId, u64, Level)> {
-        self.write_trace.as_mut().map(std::mem::take).unwrap_or_default()
+        self.write_trace
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     // ------------------------------------------------------------------
@@ -208,7 +211,13 @@ impl Vmm {
     /// Mode of the guest page-table page holding `gva`'s entry at `level`
     /// (diagnostics / tests).
     #[must_use]
-    pub fn page_mode(&self, mem: &PhysMem, pid: ProcessId, gva: u64, level: Level) -> Option<GptPageMode> {
+    pub fn page_mode(
+        &self,
+        mem: &PhysMem,
+        pid: ProcessId,
+        gva: u64,
+        level: Level,
+    ) -> Option<GptPageMode> {
         let proc = self.procs.get(&pid)?;
         let frame = proc.gpt.table_frame(mem, &self.gmap, gva, level)?;
         proc.pages.get(&GuestFrame::new(frame)).map(|i| i.mode)
@@ -248,7 +257,10 @@ impl Vmm {
         let full_nested = match self.cfg.technique {
             Technique::Nested => true,
             Technique::Agile(o) => o.start_in_nested,
-            Technique::Shsp(_) => self.shsp.as_ref().is_some_and(|c| c.mode() == ShspMode::Nested),
+            Technique::Shsp(_) => self
+                .shsp
+                .as_ref()
+                .is_some_and(|c| c.mode() == ShspMode::Nested),
             _ => false,
         };
         let mut proc = ProcState {
@@ -490,9 +502,18 @@ impl Vmm {
                     writes_this_interval: 0,
                     shadowed: false,
                 });
-            (info.mode, info.writes_this_interval + 1, info.level, info.shadowed)
+            (
+                info.mode,
+                info.writes_this_interval + 1,
+                info.level,
+                info.shadowed,
+            )
         };
-        if let Some(info) = self.procs.get_mut(&pid).and_then(|p| p.pages.get_mut(&page)) {
+        if let Some(info) = self
+            .procs
+            .get_mut(&pid)
+            .and_then(|p| p.pages.get_mut(&page))
+        {
             info.writes_this_interval = writes;
         }
         let agile_threshold = match self.cfg.technique {
@@ -534,8 +555,10 @@ impl Vmm {
                             // and drop its shadow entries until the next
                             // synchronization point.
                             self.counters.unsyncs += 1;
-                            if let Some(info) =
-                                self.procs.get_mut(&pid).and_then(|p| p.pages.get_mut(&page))
+                            if let Some(info) = self
+                                .procs
+                                .get_mut(&pid)
+                                .and_then(|p| p.pages.get_mut(&page))
                             {
                                 info.mode = GptPageMode::Unsynced;
                             }
@@ -598,7 +621,8 @@ impl Vmm {
     }
 
     fn flush_asid(&mut self, pid: ProcessId) {
-        self.pending_flushes.push(FlushRequest::Asid(Asid::from(pid)));
+        self.pending_flushes
+            .push(FlushRequest::Asid(Asid::from(pid)));
     }
 
     // ------------------------------------------------------------------
@@ -870,7 +894,12 @@ impl Vmm {
     /// Moves the guest page-table subtree rooted at `page` to nested mode:
     /// installs the switching bit at the parent shadow entry, zaps the
     /// shadow subtree, and lifts write protection on all pages below.
-    pub(crate) fn convert_to_nested(&mut self, mem: &mut PhysMem, pid: ProcessId, page: GuestFrame) {
+    pub(crate) fn convert_to_nested(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        page: GuestFrame,
+    ) {
         let Some(info) = self.proc(pid).pages.get(&page).copied() else {
             return;
         };
@@ -923,7 +952,12 @@ impl Vmm {
     /// shower the following interval with per-page hidden faults. Parents
     /// must be converted before children (the interval-tick policy orders
     /// by level).
-    pub(crate) fn convert_to_shadow(&mut self, mem: &mut PhysMem, pid: ProcessId, page: GuestFrame) {
+    pub(crate) fn convert_to_shadow(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        page: GuestFrame,
+    ) {
         let Some(info) = self.proc(pid).pages.get(&page).copied() else {
             return;
         };
@@ -947,7 +981,8 @@ impl Vmm {
             // Clear a covering switching entry, if one exists at the parent.
             if let Some(e) = spt.entry(mem, &HostSpace, info.va_base, parent_level) {
                 if e.is_present() && e.is_switching() {
-                    let _ = spt.set_entry(mem, &HostSpace, info.va_base, parent_level, Pte::empty());
+                    let _ =
+                        spt.set_entry(mem, &HostSpace, info.va_base, parent_level, Pte::empty());
                 }
             }
             self.flush_range(pid, info.va_base, parent_level);
@@ -966,7 +1001,9 @@ impl Vmm {
         let Some(info) = self.proc(pid).pages.get(&page).copied() else {
             return;
         };
-        let Some(spt) = self.proc(pid).spt else { return };
+        let Some(spt) = self.proc(pid).spt else {
+            return;
+        };
         let hw_ad = matches!(self.cfg.technique, Technique::Agile(o) if o.hw_ad_bits);
         for i in 0..agile_types::ENTRIES_PER_TABLE as u64 {
             let va = info.va_base + i * PageSize::Size4K.bytes();
@@ -988,13 +1025,24 @@ impl Vmm {
                 spt.unmap(mem, &HostSpace, va, size);
             }
             if spt
-                .map(mem, &mut HostSpace, va, backing.raw(), PageSize::Size4K, flags)
+                .map(
+                    mem,
+                    &mut HostSpace,
+                    va,
+                    backing.raw(),
+                    PageSize::Size4K,
+                    flags,
+                )
                 .is_ok()
             {
                 self.counters.shadow_leaves_built += 1;
             }
         }
-        if let Some(i) = self.procs.get_mut(&pid).and_then(|p| p.pages.get_mut(&page)) {
+        if let Some(i) = self
+            .procs
+            .get_mut(&pid)
+            .and_then(|p| p.pages.get_mut(&page))
+        {
             i.shadowed = true;
         }
     }
@@ -1029,7 +1077,8 @@ impl Vmm {
                 reclaimed += 1;
             }
             // Remap the guest frame onto the shared copy, read-only.
-            self.hpt.unmap(mem, &HostSpace, gframe.base().raw(), PageSize::Size4K);
+            self.hpt
+                .unmap(mem, &HostSpace, gframe.base().raw(), PageSize::Size4K);
             self.hpt
                 .map(
                     mem,
@@ -1055,7 +1104,8 @@ impl Vmm {
             .gmap
             .backing(gframe)
             .unwrap_or_else(|| panic!("guest frame {gframe} not backed"));
-        self.hpt.unmap(mem, &HostSpace, gframe.base().raw(), PageSize::Size4K);
+        self.hpt
+            .unmap(mem, &HostSpace, gframe.base().raw(), PageSize::Size4K);
         self.hpt
             .map(
                 mem,
@@ -1077,12 +1127,19 @@ impl Vmm {
     ///
     /// Guest page faults in nested mode do not exit to the VMM — route them
     /// straight to the guest OS; this method asserts if given one.
-    pub fn handle_fault(&mut self, mem: &mut PhysMem, pid: ProcessId, fault: Fault) -> FaultOutcome {
+    pub fn handle_fault(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        fault: Fault,
+    ) -> FaultOutcome {
         match fault {
             Fault::GuestPageFault { .. } => {
                 unreachable!("guest faults are handled by the guest OS, not the VMM")
             }
-            Fault::HostPageFault { gpa, access, cause, .. } => {
+            Fault::HostPageFault {
+                gpa, access, cause, ..
+            } => {
                 self.trap(VmtrapKind::EptViolation, 1);
                 match cause {
                     FaultCause::WriteProtected if access.is_write() => {
@@ -1137,9 +1194,11 @@ impl Vmm {
                         self.trap(VmtrapKind::AdBitSync, 1);
                         {
                             let proc = self.procs.get_mut(&pid).expect("unknown process");
-                            let _ = proc.gpt.update_entry(mem, &self.gmap, gva.raw(), glevel, |p| {
-                                p.with_flags(PteFlags::DIRTY | PteFlags::ACCESSED)
-                            });
+                            let _ =
+                                proc.gpt
+                                    .update_entry(mem, &self.gmap, gva.raw(), glevel, |p| {
+                                        p.with_flags(PteFlags::DIRTY | PteFlags::ACCESSED)
+                                    });
                         }
                         let spt = self.proc(pid).spt.expect("shadow technique");
                         for size in PageSize::ALL {
@@ -1151,7 +1210,9 @@ impl Vmm {
                                 |p| {
                                     if p.is_present() && p.is_leaf_at(size.leaf_level()) {
                                         p.with_flags(
-                                            PteFlags::WRITABLE | PteFlags::DIRTY | PteFlags::ACCESSED,
+                                            PteFlags::WRITABLE
+                                                | PteFlags::DIRTY
+                                                | PteFlags::ACCESSED,
                                         )
                                     } else {
                                         p
@@ -1175,22 +1236,20 @@ impl Vmm {
                     }
                 }
             }
-            FaultCause::NotPresent => {
-                match self.sync_shadow(mem, pid, gva, access) {
-                    Ok(()) => {
-                        if !matches!(self.cfg.technique, Technique::Native) {
-                            self.trap(VmtrapKind::HiddenPageFault, 1);
-                        }
-                        FaultOutcome::Fixed
+            FaultCause::NotPresent => match self.sync_shadow(mem, pid, gva, access) {
+                Ok(()) => {
+                    if !matches!(self.cfg.technique, Technique::Native) {
+                        self.trap(VmtrapKind::HiddenPageFault, 1);
                     }
-                    Err(guest_fault) => {
-                        if !matches!(self.cfg.technique, Technique::Native) {
-                            self.trap(VmtrapKind::GuestFaultReflection, 1);
-                        }
-                        FaultOutcome::ReflectToGuest(guest_fault)
-                    }
+                    FaultOutcome::Fixed
                 }
-            }
+                Err(guest_fault) => {
+                    if !matches!(self.cfg.technique, Technique::Native) {
+                        self.trap(VmtrapKind::GuestFaultReflection, 1);
+                    }
+                    FaultOutcome::ReflectToGuest(guest_fault)
+                }
+            },
         }
     }
 
@@ -1206,9 +1265,13 @@ impl Vmm {
         match self.cfg.technique {
             Technique::Native | Technique::Nested => return,
             Technique::Shsp(_)
-                if self.shsp.as_ref().is_some_and(|c| c.mode() == ShspMode::Nested) => {
-                    return;
-                }
+                if self
+                    .shsp
+                    .as_ref()
+                    .is_some_and(|c| c.mode() == ShspMode::Nested) =>
+            {
+                return;
+            }
             Technique::Agile(_) if self.proc(to).full_nested => return,
             _ => {}
         }
@@ -1291,7 +1354,11 @@ impl Vmm {
         for page in unsynced {
             self.counters.resyncs += 1;
             self.reconcile_page(mem, pid, page);
-            if let Some(i) = self.procs.get_mut(&pid).and_then(|p| p.pages.get_mut(&page)) {
+            if let Some(i) = self
+                .procs
+                .get_mut(&pid)
+                .and_then(|p| p.pages.get_mut(&page))
+            {
                 i.mode = GptPageMode::Synced;
                 i.shadowed = true;
             }
@@ -1307,7 +1374,9 @@ impl Vmm {
         if info.level != Level::L1 {
             return;
         }
-        let Some(spt) = self.proc(pid).spt else { return };
+        let Some(spt) = self.proc(pid).spt else {
+            return;
+        };
         let hw_ad = matches!(self.cfg.technique, Technique::Agile(o) if o.hw_ad_bits);
         for i in 0..agile_types::ENTRIES_PER_TABLE as u64 {
             let va = info.va_base + i * PageSize::Size4K.bytes();
@@ -1326,9 +1395,8 @@ impl Vmm {
                         continue;
                     }
                     let (backing, _, host_w) = self.hpt_ensure(mem, gframe);
-                    let writable = host_w
-                        && g.is_writable()
-                        && (hw_ad || g.flags().contains(PteFlags::DIRTY));
+                    let writable =
+                        host_w && g.is_writable() && (hw_ad || g.flags().contains(PteFlags::DIRTY));
                     let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::ACCESSED;
                     if writable {
                         flags |= PteFlags::WRITABLE;
@@ -1482,11 +1550,12 @@ impl Vmm {
         let leaves: Vec<(u64, Level)> = {
             let proc = self.proc(pid);
             let mut v = Vec::new();
-            proc.gpt.for_each_present(mem, &self.gmap, |va, level, pte| {
-                if pte.is_leaf_at(level) {
-                    v.push((va, level));
-                }
-            });
+            proc.gpt
+                .for_each_present(mem, &self.gmap, |va, level, pte| {
+                    if pte.is_leaf_at(level) {
+                        v.push((va, level));
+                    }
+                });
             v
         };
         let mut built = 0;

@@ -4,7 +4,9 @@
 
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, PwcConfig};
-use agile_types::{AccessKind, Asid, Fault, GuestVirtAddr, Level, PageSize, ProcessId, PteFlags, VmId};
+use agile_types::{
+    AccessKind, Asid, Fault, GuestVirtAddr, Level, PageSize, ProcessId, PteFlags, VmId,
+};
 use agile_vmm::{
     AgileOptions, FaultOutcome, FlushRequest, GptPageMode, HwRoots, ShspMode, ShspOptions,
     Technique, Vmm, VmmConfig, VmtrapKind,
@@ -39,8 +41,14 @@ impl Rig {
 
     fn map_page(&mut self, gva: u64) {
         let g = self.vmm.alloc_guest_frame(&mut self.mem);
-        self.vmm
-            .gpt_map(&mut self.mem, self.pid, gva, g, PageSize::Size4K, PteFlags::WRITABLE);
+        self.vmm.gpt_map(
+            &mut self.mem,
+            self.pid,
+            gva,
+            g,
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        );
     }
 
     fn access(&mut self, gva: u64, access: AccessKind) -> Result<WalkOk, Fault> {
@@ -78,9 +86,7 @@ impl Rig {
                                 FlushRequest::Range { asid, start, len } => {
                                     self.pwc.invalidate_range(asid, start, len)
                                 }
-                                FlushRequest::NtlbFrame(g) => {
-                                    self.ntlb.invalidate(VmId::new(0), g)
-                                }
+                                FlushRequest::NtlbFrame(g) => self.ntlb.invalidate(VmId::new(0), g),
                             }
                         }
                     }
@@ -136,7 +142,8 @@ fn ctx_cache_evicts_under_pressure() {
     // misses (LRU thrash).
     for _ in 0..3 {
         for p in 1..=6u32 {
-            rig.vmm.guest_context_switch(&mut rig.mem, ProcessId::new(p));
+            rig.vmm
+                .guest_context_switch(&mut rig.mem, ProcessId::new(p));
         }
     }
     assert_eq!(rig.vmm.counters().ctx_cache_hits, 0);
@@ -173,7 +180,9 @@ fn interior_revert_keeps_descendants_usable() {
     // Two interior (L2-page) edits nest the subtree at 2 levels.
     rig.map_page(GVA + 4 * PageSize::Size2M.bytes());
     rig.map_page(GVA + 5 * PageSize::Size2M.bytes());
-    let ok = rig.access(GVA + 4 * PageSize::Size2M.bytes(), AccessKind::Read).unwrap();
+    let ok = rig
+        .access(GVA + 4 * PageSize::Size2M.bytes(), AccessKind::Read)
+        .unwrap();
     assert_eq!(ok.kind, WalkKind::Switched { nested_levels: 2 });
     // Quiet interval: ticks revert parents before children; afterwards all
     // three addresses still translate and end in full shadow.
@@ -182,13 +191,15 @@ fn interior_revert_keeps_descendants_usable() {
     for req in rig.vmm.take_pending_flushes() {
         match req {
             FlushRequest::Asid(a) => rig.pwc.flush_asid(a),
-            FlushRequest::Range { asid, start, len } => {
-                rig.pwc.invalidate_range(asid, start, len)
-            }
+            FlushRequest::Range { asid, start, len } => rig.pwc.invalidate_range(asid, start, len),
             FlushRequest::NtlbFrame(g) => rig.ntlb.invalidate(VmId::new(0), g),
         }
     }
-    for gva in [GVA, GVA + 4 * PageSize::Size2M.bytes(), GVA + 5 * PageSize::Size2M.bytes()] {
+    for gva in [
+        GVA,
+        GVA + 4 * PageSize::Size2M.bytes(),
+        GVA + 5 * PageSize::Size2M.bytes(),
+    ] {
         let ok = rig.access(gva, AccessKind::Read).unwrap();
         let ok2 = rig.access(gva, AccessKind::Read).unwrap();
         assert_eq!(ok.frame, ok2.frame);
@@ -263,8 +274,14 @@ fn second_process_state_is_independent_under_agile() {
     assert_eq!(rig.vmm.page_mode(&rig.mem, p2, GVA, Level::L1), None);
     // And process 2 can build its own shadow state there.
     let g = rig.vmm.alloc_guest_frame(&mut rig.mem);
-    rig.vmm
-        .gpt_map(&mut rig.mem, p2, GVA, g, PageSize::Size4K, PteFlags::WRITABLE);
+    rig.vmm.gpt_map(
+        &mut rig.mem,
+        p2,
+        GVA,
+        g,
+        PageSize::Size4K,
+        PteFlags::WRITABLE,
+    );
     rig.vmm.guest_context_switch(&mut rig.mem, p2);
     let ok = rig.access_as(p2, GVA, AccessKind::Read).unwrap();
     assert_eq!(ok.kind, WalkKind::FullShadow);

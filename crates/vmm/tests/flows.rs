@@ -3,9 +3,7 @@
 
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, PwcConfig};
-use agile_types::{
-    AccessKind, Asid, Fault, Level, PageSize, ProcessId, PteFlags, VmId,
-};
+use agile_types::{AccessKind, Asid, Fault, Level, PageSize, ProcessId, PteFlags, VmId};
 use agile_vmm::{
     AgileOptions, FaultOutcome, GptPageMode, HwRoots, NestedToShadowPolicy, ShspMode, Technique,
     Vmm, VmmConfig, VmtrapKind,
@@ -43,8 +41,14 @@ impl Rig {
 
     fn map_page(&mut self, gva: u64) {
         let g = self.vmm.alloc_guest_frame(&mut self.mem);
-        self.vmm
-            .gpt_map(&mut self.mem, self.pid, gva, g, PageSize::Size4K, PteFlags::WRITABLE);
+        self.vmm.gpt_map(
+            &mut self.mem,
+            self.pid,
+            gva,
+            g,
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        );
     }
 
     /// One hardware access: walk, let the VMM fix faults, retry. Returns
@@ -296,7 +300,11 @@ fn agile_start_in_nested_engages_shadow_after_interval() {
     rig.map_page(GVA);
     let r = rig.access(GVA, AccessKind::Read).unwrap();
     assert_eq!(r.kind, WalkKind::FullNested);
-    assert_eq!(rig.traps(VmtrapKind::GptWrite), 0, "nested start is trap-free");
+    assert_eq!(
+        rig.traps(VmtrapKind::GptWrite),
+        0,
+        "nested start is trap-free"
+    );
     rig.vmm.interval_tick(&mut rig.mem, 10_000);
     // After engagement: shadow mode, lazy rebuild on next access.
     rig.access(GVA, AccessKind::Read).unwrap();
@@ -393,8 +401,8 @@ fn agile_interior_conversion_switches_higher() {
     rig.map_page(far); // write 1 to the L2 page (new L1 table installed)
     let far2 = GVA + 5 * PageSize::Size2M.bytes();
     rig.map_page(far2); // write 2 to the L2 page
-    // The L2 page went nested, so walks under it switch with 2 nested
-    // levels → 12 references.
+                        // The L2 page went nested, so walks under it switch with 2 nested
+                        // levels → 12 references.
     let r = rig.access(far2, AccessKind::Read).unwrap();
     assert_eq!(r.kind, WalkKind::Switched { nested_levels: 2 });
     assert_eq!(r.refs, 12);
@@ -410,7 +418,9 @@ fn huge_pages_flow_through_all_techniques() {
     ] {
         let mut rig = Rig::new(technique);
         let gva = 64 * PageSize::Size2M.bytes();
-        let g = rig.vmm.alloc_guest_frame_huge(&mut rig.mem, PageSize::Size2M);
+        let g = rig
+            .vmm
+            .alloc_guest_frame_huge(&mut rig.mem, PageSize::Size2M);
         rig.vmm.gpt_map(
             &mut rig.mem,
             rig.pid,

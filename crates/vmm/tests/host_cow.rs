@@ -5,12 +5,8 @@
 
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, PwcConfig};
-use agile_types::{
-    AccessKind, Asid, Fault, GuestVirtAddr, PageSize, ProcessId, PteFlags, VmId,
-};
-use agile_vmm::{
-    AgileOptions, FaultOutcome, FlushRequest, Technique, Vmm, VmmConfig, VmtrapKind,
-};
+use agile_types::{AccessKind, Asid, Fault, GuestVirtAddr, PageSize, ProcessId, PteFlags, VmId};
+use agile_vmm::{AgileOptions, FaultOutcome, FlushRequest, Technique, Vmm, VmmConfig, VmtrapKind};
 use agile_walk::{WalkHw, WalkOk, WalkStats};
 
 struct Rig {
@@ -41,8 +37,14 @@ impl Rig {
 
     fn map_page(&mut self, gva: u64) {
         let g = self.vmm.alloc_guest_frame(&mut self.mem);
-        self.vmm
-            .gpt_map(&mut self.mem, self.pid, gva, g, PageSize::Size4K, PteFlags::WRITABLE);
+        self.vmm.gpt_map(
+            &mut self.mem,
+            self.pid,
+            gva,
+            g,
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        );
         // The machine drains shootdowns after every OS operation; this rig
         // must too (the page walk caches are enabled here).
         self.drain();
@@ -144,7 +146,10 @@ fn write_breaks_sharing_with_an_ept_cow() {
         let ept_before = rig.vmm.trap_stats().count(VmtrapKind::EptViolation);
         // Write to one share: the VMM must break the sharing.
         let broken = rig.access(GVA + 0x1000, AccessKind::Write).unwrap().frame;
-        assert_ne!(broken, shared, "{technique:?}: write must get a private frame");
+        assert_ne!(
+            broken, shared,
+            "{technique:?}: write must get a private frame"
+        );
         assert!(
             rig.vmm.trap_stats().count(VmtrapKind::EptViolation) > ept_before,
             "{technique:?}: the break is an EPT-level VMexit"

@@ -49,7 +49,13 @@ pub struct WalkHw<'a> {
 }
 
 impl<'a> WalkHw<'a> {
-    fn read_counted(&mut self, tally: &mut Tally, frame: HostFrame, idx: usize, t: RefTarget) -> Pte {
+    fn read_counted(
+        &mut self,
+        tally: &mut Tally,
+        frame: HostFrame,
+        idx: usize,
+        t: RefTarget,
+    ) -> Pte {
         tally.refs += 1;
         match t {
             RefTarget::Shadow => tally.shadow += 1,
@@ -455,9 +461,8 @@ impl<'a> WalkHw<'a> {
                     let kind = WalkKind::Switched {
                         nested_levels: next.number(),
                     };
-                    return self.nested_from(
-                        tally, gva, next, e.frame, hptr, access, asid, kind, true,
-                    );
+                    return self
+                        .nested_from(tally, gva, next, e.frame, hptr, access, asid, kind, true);
                 }
             }
         }

@@ -170,10 +170,22 @@ mod tests {
     #[test]
     fn expected_refs_match_paper_table() {
         assert_eq!(WalkKind::FullShadow.expected_refs_4k(), 4);
-        assert_eq!(WalkKind::Switched { nested_levels: 1 }.expected_refs_4k(), 8);
-        assert_eq!(WalkKind::Switched { nested_levels: 2 }.expected_refs_4k(), 12);
-        assert_eq!(WalkKind::Switched { nested_levels: 3 }.expected_refs_4k(), 16);
-        assert_eq!(WalkKind::Switched { nested_levels: 4 }.expected_refs_4k(), 20);
+        assert_eq!(
+            WalkKind::Switched { nested_levels: 1 }.expected_refs_4k(),
+            8
+        );
+        assert_eq!(
+            WalkKind::Switched { nested_levels: 2 }.expected_refs_4k(),
+            12
+        );
+        assert_eq!(
+            WalkKind::Switched { nested_levels: 3 }.expected_refs_4k(),
+            16
+        );
+        assert_eq!(
+            WalkKind::Switched { nested_levels: 4 }.expected_refs_4k(),
+            20
+        );
         assert_eq!(WalkKind::FullNested.expected_refs_4k(), 24);
     }
 

@@ -195,7 +195,8 @@ fn nested_walk_is_24_refs() {
     let mut fx = Fixture::new(0x7f12_3456_7000, PageSize::Size4K);
     let (gptr, hptr, gva) = (fx.gptr(), fx.hptr(), fx.gva);
     let (r, stats) = fx.walk(&PwcConfig::disabled(), |hw| {
-        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read).unwrap()
+        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read)
+            .unwrap()
     });
     assert_eq!(r.refs, 24, "paper: 4x5+4 references");
     assert_eq!(r.kind, WalkKind::FullNested);
@@ -209,9 +210,9 @@ fn nested_walk_is_24_refs() {
 fn agile_walk_degrees_match_figure_3() {
     // (switch entry level, expected refs, expected nested levels)
     let cases = [
-        (Level::L2, 8u32, 1u8),  // "switched at 4th level"
-        (Level::L3, 12, 2),      // "switched at 3rd level"
-        (Level::L4, 16, 3),      // "switched at 2nd level"
+        (Level::L2, 8u32, 1u8), // "switched at 4th level"
+        (Level::L3, 12, 2),     // "switched at 3rd level"
+        (Level::L4, 16, 3),     // "switched at 2nd level"
     ];
     for (switch_level, want_refs, want_nested) in cases {
         let mut fx = Fixture::new(0x7f12_3456_7000, PageSize::Size4K);
@@ -265,8 +266,15 @@ fn agile_full_nested_is_24_refs() {
     let mut fx = Fixture::new(0x7f12_3456_7000, PageSize::Size4K);
     let (gptr, hptr, gva) = (fx.gptr(), fx.hptr(), fx.gva);
     let (r, _) = fx.walk(&PwcConfig::disabled(), |hw| {
-        hw.agile_walk(ASID, gva, AgileCr3::FullNested, gptr, hptr, AccessKind::Read)
-            .unwrap()
+        hw.agile_walk(
+            ASID,
+            gva,
+            AgileCr3::FullNested,
+            gptr,
+            hptr,
+            AccessKind::Read,
+        )
+        .unwrap()
     });
     assert_eq!(r.refs, 24);
     assert_eq!(r.kind, WalkKind::FullNested);
@@ -278,8 +286,15 @@ fn native_walk_is_4_refs_4k_and_3_refs_2m() {
     let mut mem = PhysMem::new();
     let mut host = HostSpace;
     let pt = RadixTable::new(&mut mem, &mut host);
-    pt.map(&mut mem, &mut host, 0x40_0000, 0x999, PageSize::Size4K, PteFlags::WRITABLE)
-        .unwrap();
+    pt.map(
+        &mut mem,
+        &mut host,
+        0x40_0000,
+        0x999,
+        PageSize::Size4K,
+        PteFlags::WRITABLE,
+    )
+    .unwrap();
     pt.map(
         &mut mem,
         &mut host,
@@ -323,7 +338,8 @@ fn nested_walk_with_2m_pages_shortens_both_dimensions() {
     let mut fx = Fixture::new(0x7f12_3400_0000, PageSize::Size2M);
     let (gptr, hptr, gva) = (fx.gptr(), fx.hptr(), fx.gva);
     let (r, _) = fx.walk(&PwcConfig::disabled(), |hw| {
-        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read).unwrap()
+        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read)
+            .unwrap()
     });
     // gptr translate: 4 (table gframes are 4K-mapped); guest levels L4..L2 =
     // 3 reads; interior translations 2x4; final data translate on the 2M
@@ -339,10 +355,7 @@ fn effective_size_is_min_of_stages() {
     let mut fx = Fixture::new(0x7f12_3400_0000, PageSize::Size2M);
     // Remove the 2M host mapping, remap the data run as 4K pages.
     let data_gframe_base = {
-        let (pte, level) = fx
-            .gpt
-            .lookup(&fx.mem, &fx.gmap, fx.gva.raw())
-            .unwrap();
+        let (pte, level) = fx.gpt.lookup(&fx.mem, &fx.gmap, fx.gva.raw()).unwrap();
         assert_eq!(level, Level::L2);
         GuestFrame::new(pte.frame_raw())
     };
@@ -371,7 +384,8 @@ fn effective_size_is_min_of_stages() {
     let (gptr, hptr) = (fx.gptr(), fx.hptr());
     let gva = GuestVirtAddr::new(fx.gva.raw() + 5 * 0x1000 + 0x123);
     let (r, _) = fx.walk(&PwcConfig::disabled(), |hw| {
-        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read).unwrap()
+        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read)
+            .unwrap()
     });
     assert_eq!(r.size, PageSize::Size4K);
     assert_eq!(
@@ -400,8 +414,12 @@ fn pwc_and_ntlb_cut_nested_walk_to_1_ref() {
     let mut fx = Fixture::new(0x7f12_3456_7000, PageSize::Size4K);
     let (gptr, hptr, gva) = (fx.gptr(), fx.hptr(), fx.gva);
     let (refs, _) = fx.walk(&PwcConfig::default(), |hw| {
-        let first = hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read).unwrap();
-        let second = hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read).unwrap();
+        let first = hw
+            .nested_walk(ASID, gva, gptr, hptr, AccessKind::Read)
+            .unwrap();
+        let second = hw
+            .nested_walk(ASID, gva, gptr, hptr, AccessKind::Read)
+            .unwrap();
         (first.refs, second.refs)
     });
     assert_eq!(refs.0, 24);
@@ -417,8 +435,12 @@ fn agile_pwc_resumes_in_correct_mode() {
     let (gptr, hptr, sptr, gva) = (fx.gptr(), fx.hptr(), fx.sptr(), fx.gva);
     let cr3 = AgileCr3::Shadow { spt_root: sptr };
     let (refs, _) = fx.walk(&PwcConfig::default(), |hw| {
-        let a = hw.agile_walk(ASID, gva, cr3, gptr, hptr, AccessKind::Read).unwrap();
-        let b = hw.agile_walk(ASID, gva, cr3, gptr, hptr, AccessKind::Read).unwrap();
+        let a = hw
+            .agile_walk(ASID, gva, cr3, gptr, hptr, AccessKind::Read)
+            .unwrap();
+        let b = hw
+            .agile_walk(ASID, gva, cr3, gptr, hptr, AccessKind::Read)
+            .unwrap();
         (a, b)
     });
     assert_eq!(refs.0.refs, 12);
@@ -435,12 +457,28 @@ fn faults_carry_level_and_space() {
     let (gptr, hptr, sptr) = (fx.gptr(), fx.hptr(), fx.sptr());
     let miss = GuestVirtAddr::new(0x1234_5000);
     let ((sf, nf), stats) = fx.walk(&PwcConfig::disabled(), |hw| {
-        let sf = hw.shadow_walk(ASID, miss, sptr, AccessKind::Read).unwrap_err();
-        let nf = hw.nested_walk(ASID, miss, gptr, hptr, AccessKind::Read).unwrap_err();
+        let sf = hw
+            .shadow_walk(ASID, miss, sptr, AccessKind::Read)
+            .unwrap_err();
+        let nf = hw
+            .nested_walk(ASID, miss, gptr, hptr, AccessKind::Read)
+            .unwrap_err();
         (sf, nf)
     });
-    assert!(matches!(sf, Fault::ShadowPageFault { level: Level::L4, .. }));
-    assert!(matches!(nf, Fault::GuestPageFault { level: Level::L4, .. }));
+    assert!(matches!(
+        sf,
+        Fault::ShadowPageFault {
+            level: Level::L4,
+            ..
+        }
+    ));
+    assert!(matches!(
+        nf,
+        Fault::GuestPageFault {
+            level: Level::L4,
+            ..
+        }
+    ));
     assert_eq!(stats.faulted_walks, 2);
     assert_eq!(stats.walks, 0);
     // The faulting nested walk still paid for translating gptr + 1 read.
@@ -458,7 +496,8 @@ fn write_to_readonly_guest_pte_faults_with_cause() {
         .unwrap();
     let (gptr, hptr, gva) = (fx.gptr(), fx.hptr(), fx.gva);
     let (err, _) = fx.walk(&PwcConfig::disabled(), |hw| {
-        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Write).unwrap_err()
+        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Write)
+            .unwrap_err()
     });
     assert!(matches!(
         err,
@@ -478,11 +517,17 @@ fn missing_host_mapping_is_a_vmexit() {
     let (pte, _) = fx.gpt.lookup(&fx.mem, &fx.gmap, fx.gva.raw()).unwrap();
     let data_gframe = GuestFrame::new(pte.frame_raw());
     fx.hpt
-        .unmap(&mut fx.mem, &HostSpace, data_gframe.base().raw(), PageSize::Size4K)
+        .unmap(
+            &mut fx.mem,
+            &HostSpace,
+            data_gframe.base().raw(),
+            PageSize::Size4K,
+        )
         .unwrap();
     let (gptr, hptr, gva) = (fx.gptr(), fx.hptr(), fx.gva);
     let (err, _) = fx.walk(&PwcConfig::disabled(), |hw| {
-        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read).unwrap_err()
+        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Read)
+            .unwrap_err()
     });
     match err {
         Fault::HostPageFault { gpa, .. } => assert_eq!(gpa, data_gframe.base()),
@@ -495,9 +540,13 @@ fn nested_walk_sets_guest_and_host_ad_bits() {
     let mut fx = Fixture::new(0x7f12_3456_7000, PageSize::Size4K);
     let (gptr, hptr, gva) = (fx.gptr(), fx.hptr(), fx.gva);
     fx.walk(&PwcConfig::disabled(), |hw| {
-        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Write).unwrap()
+        hw.nested_walk(ASID, gva, gptr, hptr, AccessKind::Write)
+            .unwrap()
     });
-    let leaf = fx.gpt.entry(&fx.mem, &fx.gmap, fx.gva.raw(), Level::L1).unwrap();
+    let leaf = fx
+        .gpt
+        .entry(&fx.mem, &fx.gmap, fx.gva.raw(), Level::L1)
+        .unwrap();
     assert!(leaf.flags().contains(PteFlags::ACCESSED));
     assert!(leaf.flags().contains(PteFlags::DIRTY));
     // Hardware A/D maintenance must NOT dirty the guest table's backing

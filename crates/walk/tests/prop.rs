@@ -1,14 +1,17 @@
-//! Property-based tests over the counted walkers: for arbitrary guest
+//! Randomized tests over the counted walkers: for seeded-random guest
 //! addresses and switch points, the reference counts obey the paper's
 //! closed-form ladder and translations resolve to the right frames.
+//! Deterministic (SplitMix64-driven), so every CI run covers the same
+//! cases.
 
 use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
 use agile_tlb::{NestedTlb, PageWalkCaches, PwcConfig};
 use agile_types::{
-    AccessKind, Asid, GuestFrame, GuestVirtAddr, HostFrame, Level, PageSize, Pte, PteFlags, VmId,
+    AccessKind, Asid, GuestFrame, GuestVirtAddr, HostFrame, Level, PageSize, Pte, PteFlags,
+    SplitMix64, VmId,
 };
 use agile_walk::{AgileCr3, WalkHw, WalkKind, WalkStats};
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 struct World {
     mem: PhysMem,
@@ -29,19 +32,40 @@ fn build(vas: &[u64]) -> World {
     let mut pages = Vec::new();
     for va in vas {
         let g = gmap.alloc_data(&mut mem);
-        gpt.map(&mut mem, &mut gmap, *va, g.raw(), PageSize::Size4K, PteFlags::WRITABLE)
-            .unwrap();
+        gpt.map(
+            &mut mem,
+            &mut gmap,
+            *va,
+            g.raw(),
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         pages.push((*va, g));
     }
     let frames: Vec<_> = gmap.frames().collect();
     for (g, h) in frames {
-        hpt.map(&mut mem, &mut host, g.base().raw(), h.raw(), PageSize::Size4K, PteFlags::WRITABLE)
-            .unwrap();
+        hpt.map(
+            &mut mem,
+            &mut host,
+            g.base().raw(),
+            h.raw(),
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
     }
     for (va, g) in &pages {
         let backing = gmap.backing(*g).unwrap();
-        spt.map(&mut mem, &mut host, *va, backing.raw(), PageSize::Size4K, PteFlags::WRITABLE)
-            .unwrap();
+        spt.map(
+            &mut mem,
+            &mut host,
+            *va,
+            backing.raw(),
+            PageSize::Size4K,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
     }
     World {
         mem,
@@ -53,19 +77,25 @@ fn build(vas: &[u64]) -> World {
     }
 }
 
-fn vas(count: usize) -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::btree_set(0u64..(1 << 27), 1..count)
-        .prop_map(|s| s.into_iter().map(|p| p << 12).collect())
+/// 1..count distinct page-aligned addresses below 2^39.
+fn vas(rng: &mut SplitMix64, count: u64) -> Vec<u64> {
+    let n = rng.range(1, count);
+    let mut set = BTreeSet::new();
+    while (set.len() as u64) < n {
+        set.insert(rng.below(1 << 27) << 12);
+    }
+    set.into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Shadow walks are always 4 references and hit the right frame; nested
-    /// walks are always 24 (4K, no caches); agile at a random switch level
-    /// follows (4 - k) + 5k.
-    #[test]
-    fn reference_ladder_holds_for_random_addresses(addr_set in vas(24), switch_idx in 0usize..3) {
+/// Shadow walks are always 4 references and hit the right frame; nested
+/// walks are always 24 (4K, no caches); agile at a random switch level
+/// follows (4 - k) + 5k.
+#[test]
+fn reference_ladder_holds_for_random_addresses() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0x1adde5, case));
+        let addr_set = vas(&mut rng, 24);
+        let switch_idx = rng.below(3) as usize;
         let mut w = build(&addr_set);
         let cfg = PwcConfig::disabled();
         let asid = Asid::new(1);
@@ -87,8 +117,8 @@ proptest! {
                 stats: &mut stats,
             };
             let s = hw.shadow_walk(asid, gva, sptr, AccessKind::Read).unwrap();
-            prop_assert_eq!(s.refs, 4);
-            prop_assert_eq!(s.frame, backing);
+            assert_eq!(s.refs, 4);
+            assert_eq!(s.frame, backing);
             let mut ntlb2 = NestedTlb::new(&cfg);
             let mut pwc2 = PageWalkCaches::new(&cfg);
             let mut hw = WalkHw {
@@ -98,9 +128,11 @@ proptest! {
                 vm: VmId::new(0),
                 stats: &mut stats,
             };
-            let n = hw.nested_walk(asid, gva, gptr, hptr, AccessKind::Read).unwrap();
-            prop_assert_eq!(n.refs, 24);
-            prop_assert_eq!(n.frame, backing);
+            let n = hw
+                .nested_walk(asid, gva, gptr, hptr, AccessKind::Read)
+                .unwrap();
+            assert_eq!(n.refs, 24);
+            assert_eq!(n.frame, backing);
         }
 
         // Pick one address and a switch level; the agile walk must follow
@@ -143,16 +175,25 @@ proptest! {
             )
             .unwrap();
         let nested_levels = level.child().unwrap().number() as u32;
-        prop_assert_eq!(a.refs, (4 - nested_levels) + 5 * nested_levels);
-        prop_assert_eq!(a.kind, WalkKind::Switched { nested_levels: nested_levels as u8 });
-        prop_assert_eq!(a.frame, w.gmap.backing(g).unwrap());
+        assert_eq!(a.refs, (4 - nested_levels) + 5 * nested_levels);
+        assert_eq!(
+            a.kind,
+            WalkKind::Switched {
+                nested_levels: nested_levels as u8
+            }
+        );
+        assert_eq!(a.frame, w.gmap.backing(g).unwrap());
     }
+}
 
-    /// With the walk caches enabled, repeated walks never cost more than
-    /// the first, never return a different frame, and classification stays
-    /// consistent.
-    #[test]
-    fn caches_preserve_correctness(addr_set in vas(16)) {
+/// With the walk caches enabled, repeated walks never cost more than
+/// the first, never return a different frame, and classification stays
+/// consistent.
+#[test]
+fn caches_preserve_correctness() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0xcac4e, case));
+        let addr_set = vas(&mut rng, 16);
         let mut w = build(&addr_set);
         let cfg = PwcConfig::default();
         let asid = Asid::new(1);
@@ -172,7 +213,9 @@ proptest! {
                 vm: VmId::new(0),
                 stats: &mut stats,
             };
-            let first = hw.nested_walk(asid, gva, gptr, hptr, AccessKind::Read).unwrap();
+            let first = hw
+                .nested_walk(asid, gva, gptr, hptr, AccessKind::Read)
+                .unwrap();
             let mut hw = WalkHw {
                 mem: &mut w.mem,
                 pwc: &mut pwc,
@@ -180,18 +223,24 @@ proptest! {
                 vm: VmId::new(0),
                 stats: &mut stats,
             };
-            let second = hw.nested_walk(asid, gva, gptr, hptr, AccessKind::Read).unwrap();
-            prop_assert!(second.refs <= first.refs);
-            prop_assert_eq!(first.frame, backing);
-            prop_assert_eq!(second.frame, backing);
+            let second = hw
+                .nested_walk(asid, gva, gptr, hptr, AccessKind::Read)
+                .unwrap();
+            assert!(second.refs <= first.refs);
+            assert_eq!(first.frame, backing);
+            assert_eq!(second.frame, backing);
         }
     }
+}
 
-    /// Walks of unmapped addresses always fault and never corrupt state:
-    /// mapped addresses still translate afterwards.
-    #[test]
-    fn faults_do_not_corrupt(addr_set in vas(8), probe in 0u64..(1 << 27)) {
-        let probe_va = (probe << 12) | (1 << 40); // far outside the mapped window
+/// Walks of unmapped addresses always fault and never corrupt state:
+/// mapped addresses still translate afterwards.
+#[test]
+fn faults_do_not_corrupt() {
+    for case in 0..32u64 {
+        let mut rng = SplitMix64::new(SplitMix64::derive(0xfa01, case));
+        let addr_set = vas(&mut rng, 8);
+        let probe_va = (rng.below(1 << 27) << 12) | (1 << 40); // far outside the mapped window
         let mut w = build(&addr_set);
         let cfg = PwcConfig::disabled();
         let asid = Asid::new(1);
@@ -206,7 +255,7 @@ proptest! {
             vm: VmId::new(0),
             stats: &mut stats,
         };
-        prop_assert!(hw
+        assert!(hw
             .shadow_walk(asid, GuestVirtAddr::new(probe_va), sptr, AccessKind::Read)
             .is_err());
         for (va, g) in &w.pages.clone() {
@@ -220,8 +269,8 @@ proptest! {
             let ok = hw
                 .shadow_walk(asid, GuestVirtAddr::new(*va), sptr, AccessKind::Read)
                 .unwrap();
-            prop_assert_eq!(ok.frame, w.gmap.backing(*g).unwrap());
+            assert_eq!(ok.frame, w.gmap.backing(*g).unwrap());
         }
-        prop_assert_eq!(stats.faulted_walks, 1);
+        assert_eq!(stats.faulted_walks, 1);
     }
 }

@@ -67,7 +67,11 @@ mod tests {
 
     #[test]
     fn access_predicate() {
-        assert!(Event::Access { va: 0, write: false }.is_access());
+        assert!(Event::Access {
+            va: 0,
+            write: false
+        }
+        .is_access());
         assert!(!Event::Tick.is_access());
     }
 }

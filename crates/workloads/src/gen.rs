@@ -3,9 +3,7 @@
 use crate::event::Event;
 use crate::pattern::PagePicker;
 use crate::spec::WorkloadSpec;
-use agile_types::PageSize;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use agile_types::{PageSize, SplitMix64};
 use std::collections::VecDeque;
 
 /// A deterministic stream of [`Event`]s generated from a [`WorkloadSpec`].
@@ -37,7 +35,7 @@ use std::collections::VecDeque;
 #[derive(Debug)]
 pub struct Workload {
     spec: WorkloadSpec,
-    rng: StdRng,
+    rng: SplitMix64,
     picker: PagePicker,
     emitted: u64,
     pending: VecDeque<Event>,
@@ -80,7 +78,7 @@ impl Workload {
         }
         pending.push_back(Event::ContextSwitch { to: 0 });
         let picker = PagePicker::new(spec.pattern.clone(), spec.pages());
-        let rng = StdRng::seed_from_u64(spec.seed);
+        let rng = SplitMix64::new(spec.seed);
         Workload {
             spec,
             rng,
@@ -110,8 +108,8 @@ impl Workload {
     /// not the hottest-for-access ones).
     fn next_window(&mut self, pages: u64) -> (u64, u64) {
         let total = self.spec.pages();
-        let zone = ((total as f64 * self.spec.churn.churn_zone.clamp(0.0, 1.0)) as u64)
-            .clamp(1, total);
+        let zone =
+            ((total as f64 * self.spec.churn.churn_zone.clamp(0.0, 1.0)) as u64).clamp(1, total);
         let zone_base = total - zone;
         let pages = pages.clamp(1, zone);
         let start_page = zone_base + (self.chunk_cursor as u64 * pages) % zone;
@@ -165,9 +163,9 @@ impl Iterator for Workload {
             return None;
         }
         let page = self.picker.next_page(&mut self.rng);
-        let offset = u64::from(self.rng.gen::<u16>() & 0xff8);
+        let offset = self.rng.next_u64() & 0xff8;
         let va = WorkloadSpec::REGION_BASE + page * PageSize::Size4K.bytes() + offset;
-        let write = self.rng.gen_bool(self.spec.write_fraction.clamp(0.0, 1.0));
+        let write = self.rng.next_bool(self.spec.write_fraction);
         self.emitted += 1;
         self.queue_churn();
         Some(Event::Access { va, write })

@@ -1,7 +1,6 @@
 //! Access patterns over a paged region.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use agile_types::SplitMix64;
 
 /// How a workload picks the next page to touch within its footprint.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,11 +79,11 @@ impl PagePicker {
     }
 
     /// Picks the next page index in `[0, pages)`.
-    pub fn next_page(&mut self, rng: &mut StdRng) -> u64 {
+    pub fn next_page(&mut self, rng: &mut SplitMix64) -> u64 {
         match &self.pattern {
-            Pattern::Uniform => rng.gen_range(0..self.pages),
+            Pattern::Uniform => rng.below(self.pages),
             Pattern::Zipf { .. } => {
-                let u: f64 = rng.gen();
+                let u: f64 = rng.next_f64();
                 let n = self.zipf_cdf.len();
                 let rank = match self
                     .zipf_cdf
@@ -94,7 +93,7 @@ impl PagePicker {
                 };
                 if rank as usize == n - 1 && self.pages > n as u64 {
                     // Tail mass: spread over the remaining pages.
-                    rng.gen_range(n as u64 - 1..self.pages)
+                    rng.range(n as u64 - 1, self.pages)
                 } else {
                     // Scatter ranks over the footprint deterministically so
                     // hot pages are not all physically adjacent.
@@ -121,10 +120,10 @@ impl PagePicker {
                 hot_probability,
             } => {
                 let hot_pages = ((self.pages as f64 * hot_fraction) as u64).max(1);
-                if rng.gen_bool(*hot_probability) {
-                    rng.gen_range(0..hot_pages)
+                if rng.next_bool(*hot_probability) {
+                    rng.below(hot_pages)
                 } else {
-                    rng.gen_range(0..self.pages)
+                    rng.below(self.pages)
                 }
             }
         }
@@ -134,10 +133,9 @@ impl PagePicker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(42)
     }
 
     #[test]
@@ -202,7 +200,10 @@ mod tests {
                 hot += 1;
             }
         }
-        assert!(hot > 8000, "hot set should absorb ~90% of accesses, got {hot}");
+        assert!(
+            hot > 8000,
+            "hot set should absorb ~90% of accesses, got {hot}"
+        );
     }
 
     #[test]

@@ -1,71 +1,70 @@
-//! Property-based tests over the workload generators.
+//! Randomized tests over the workload generators, driven by seeded
+//! SplitMix64 streams so every run covers the same cases.
 
+use agile_types::SplitMix64;
 use agile_workloads::{ChurnSpec, Event, Pattern, Workload, WorkloadSpec};
-use proptest::prelude::*;
 
-fn arb_pattern() -> impl Strategy<Value = Pattern> {
-    prop_oneof![
-        Just(Pattern::Uniform),
-        (0.3f64..1.5).prop_map(|theta| Pattern::Zipf { theta }),
-        (1u64..32).prop_map(|stride_pages| Pattern::Sequential { stride_pages }),
-        Just(Pattern::PointerChase),
-        ((0.01f64..0.5), (0.5f64..0.99)).prop_map(|(hot_fraction, hot_probability)| {
-            Pattern::Hotspot {
-                hot_fraction,
-                hot_probability,
-            }
-        }),
-    ]
+const CASES: u64 = 48;
+
+fn gen_pattern(rng: &mut SplitMix64) -> Pattern {
+    match rng.below(5) {
+        0 => Pattern::Uniform,
+        1 => Pattern::Zipf {
+            theta: 0.3 + 1.2 * rng.next_f64(),
+        },
+        2 => Pattern::Sequential {
+            stride_pages: rng.range(1, 32),
+        },
+        3 => Pattern::PointerChase,
+        _ => Pattern::Hotspot {
+            hot_fraction: 0.01 + 0.49 * rng.next_f64(),
+            hot_probability: 0.5 + 0.49 * rng.next_f64(),
+        },
+    }
 }
 
-fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        arb_pattern(),
-        2u64..32,            // footprint MiB
-        100u64..2_000,       // accesses
-        any::<u64>(),        // seed
-        proptest::option::of(50u64..400), // remap_every
-        1u64..64,            // remap_pages
-        proptest::option::of(50u64..400), // cow_every
-        1usize..4,           // processes
-        any::<bool>(),       // prefault
-    )
-        .prop_map(
-            |(pattern, mb, accesses, seed, remap_every, remap_pages, cow_every, processes, prefault)| {
-                WorkloadSpec {
-                    name: "prop".into(),
-                    footprint: mb << 20,
-                    pattern,
-                    write_fraction: 0.4,
-                    accesses,
-                    accesses_per_tick: (accesses / 4).max(1),
-                    churn: ChurnSpec {
-                        remap_every,
-                        remap_pages,
-                        cow_every,
-                        cow_pages: 8,
-                        churn_zone: 0.3,
-                        ctx_switch_every: Some(97),
-                        processes,
-                        ..ChurnSpec::none()
-                    },
-                    prefault,
-                    prefault_writes: true,
-                    seed,
-                }
-            },
-        )
+fn gen_spec(case: u64) -> WorkloadSpec {
+    let mut rng = SplitMix64::new(SplitMix64::derive(0x77a6_10ad, case));
+    let pattern = gen_pattern(&mut rng);
+    let mb = rng.range(2, 32);
+    let accesses = rng.range(100, 2_000);
+    let seed = rng.next_u64();
+    let remap_every = rng.next_bool(0.5).then(|| rng.range(50, 400));
+    let remap_pages = rng.range(1, 64);
+    let cow_every = rng.next_bool(0.5).then(|| rng.range(50, 400));
+    let processes = rng.range(1, 4) as usize;
+    let prefault = rng.next_bool(0.5);
+    WorkloadSpec {
+        name: "prop".into(),
+        footprint: mb << 20,
+        pattern,
+        write_fraction: 0.4,
+        accesses,
+        accesses_per_tick: (accesses / 4).max(1),
+        churn: ChurnSpec {
+            remap_every,
+            remap_pages,
+            cow_every,
+            cow_pages: 8,
+            churn_zone: 0.3,
+            ctx_switch_every: Some(97),
+            processes,
+            ..ChurnSpec::none()
+        },
+        prefault,
+        prefault_writes: true,
+        seed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The stream always contains exactly `accesses` pattern accesses (plus
-    /// the optional prefault sweep), every address inside the footprint,
-    /// every churn window inside the footprint, and every process index in
-    /// range.
-    #[test]
-    fn streams_are_well_formed(spec in arb_spec()) {
+/// The stream always contains exactly `accesses` pattern accesses (plus
+/// the optional prefault sweep), every address inside the footprint,
+/// every churn window inside the footprint, and every process index in
+/// range.
+#[test]
+fn streams_are_well_formed() {
+    for case in 0..CASES {
+        let spec = gen_spec(case);
         let footprint = spec.footprint;
         let pages = spec.pages();
         let procs = spec.churn.processes;
@@ -79,58 +78,68 @@ proptest! {
             match event {
                 Event::Access { va, .. } => {
                     accesses += 1;
-                    prop_assert!(va >= WorkloadSpec::REGION_BASE);
-                    prop_assert!(va < WorkloadSpec::REGION_BASE + pages * 4096);
+                    assert!(va >= WorkloadSpec::REGION_BASE);
+                    assert!(va < WorkloadSpec::REGION_BASE + pages * 4096);
                 }
                 Event::Mmap { start, len, .. }
                 | Event::Munmap { start, len }
                 | Event::MarkCow { start, len }
                 | Event::ClockScan { start, len } => {
-                    prop_assert!(start >= WorkloadSpec::REGION_BASE);
-                    prop_assert!(start + len <= WorkloadSpec::REGION_BASE + footprint);
-                    prop_assert!(len > 0);
+                    assert!(start >= WorkloadSpec::REGION_BASE);
+                    assert!(start + len <= WorkloadSpec::REGION_BASE + footprint);
+                    assert!(len > 0);
                 }
-                Event::ContextSwitch { to } => prop_assert!(to < procs.max(1)),
+                Event::ContextSwitch { to } => assert!(to < procs.max(1)),
                 Event::Tick => {}
             }
         }
-        prop_assert_eq!(accesses, spec.accesses + expected_prefault);
+        assert_eq!(accesses, spec.accesses + expected_prefault, "case {case}");
     }
+}
 
-    /// Identical specs yield identical streams; different seeds yield
-    /// different access sequences (for random patterns).
-    #[test]
-    fn determinism_and_seed_sensitivity(spec in arb_spec()) {
+/// Identical specs yield identical streams; different seeds yield
+/// different access sequences (for random patterns).
+#[test]
+fn determinism_and_seed_sensitivity() {
+    for case in 0..CASES {
+        let spec = gen_spec(case);
         let a: Vec<Event> = Workload::new(spec.clone()).collect();
         let b: Vec<Event> = Workload::new(spec.clone()).collect();
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         if matches!(spec.pattern, Pattern::Uniform | Pattern::Zipf { .. }) && spec.accesses > 200 {
             let mut other = spec.clone();
             other.seed = spec.seed.wrapping_add(1);
             let c: Vec<Event> = Workload::new(other).collect();
-            prop_assert_ne!(&a, &c);
+            assert_ne!(&a, &c, "case {case}");
         }
     }
+}
 
-    /// with_accesses keeps cadences *relative to run length*: the number of
-    /// churn events per run stays (approximately) constant when the run is
-    /// scaled, because the periods scale with it.
-    #[test]
-    fn rescaling_preserves_churn_event_count(spec in arb_spec(), factor in 2u64..5) {
-        prop_assume!(spec.churn.remap_every.is_some());
-        prop_assume!(spec.accesses >= 400);
+/// with_accesses keeps cadences *relative to run length*: the number of
+/// churn events per run stays (approximately) constant when the run is
+/// scaled, because the periods scale with it.
+#[test]
+fn rescaling_preserves_churn_event_count() {
+    for case in 0..CASES {
+        let spec = gen_spec(case);
+        if spec.churn.remap_every.is_none() || spec.accesses < 400 {
+            continue;
+        }
+        let factor = 2 + case % 3;
         let count = |s: &WorkloadSpec| {
             Workload::new(s.clone())
                 .filter(|e| matches!(e, Event::Munmap { .. }))
                 .count() as f64
         };
         let base = count(&spec);
-        prop_assume!(base >= 2.0);
+        if base < 2.0 {
+            continue;
+        }
         let scaled_spec = spec.clone().with_accesses(spec.accesses * factor);
         let scaled = count(&scaled_spec);
-        prop_assert!(
+        assert!(
             (scaled - base).abs() <= base * 0.34 + 2.0,
-            "scaled {scaled} vs base {base}"
+            "case {case}: scaled {scaled} vs base {base}"
         );
     }
 }

@@ -11,9 +11,7 @@
 //! cargo run --release --example cow_sharing
 //! ```
 
-use agile_paging::{
-    AgileOptions, Machine, SystemConfig, Technique, VmtrapKind,
-};
+use agile_paging::{AgileOptions, Machine, SystemConfig, Technique, VmtrapKind};
 
 const BASE: u64 = 0x6000_0000_0000;
 const PAGES: u64 = 4096;

@@ -13,9 +13,14 @@
 use agile_paging::experiments::shsp_compare;
 
 fn main() {
-    let (text, rows) = shsp_compare(300_000);
-    println!("{text}");
-    let agile = rows.iter().find(|r| r.technique == "Agile").expect("agile row");
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let run = shsp_compare(300_000, threads);
+    println!("{}", run.text);
+    let rows = run.rows;
+    let agile = rows
+        .iter()
+        .find(|r| r.technique == "Agile")
+        .expect("agile row");
     let best_other = rows
         .iter()
         .filter(|r| r.technique != "Agile")

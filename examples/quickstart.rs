@@ -31,7 +31,12 @@ fn main() {
         seed: 42,
     };
 
-    println!("workload: {} ({} MiB footprint, {} accesses)\n", spec.name, spec.footprint >> 20, spec.accesses);
+    println!(
+        "workload: {} ({} MiB footprint, {} accesses)\n",
+        spec.name,
+        spec.footprint >> 20,
+        spec.accesses
+    );
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>14}",
         "technique", "walk %", "vmtrap %", "total %", "avg refs/miss"

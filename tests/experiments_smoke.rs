@@ -6,18 +6,27 @@ use agile_paging::Profile;
 
 #[test]
 fn table1_renders_all_techniques() {
-    let text = experiments::table1(8_000);
-    for label in ["Base Native", "Nested Paging", "Shadow Paging", "Agile Paging"] {
-        assert!(text.contains(label), "missing {label} in:\n{text}");
+    let run = experiments::table1(8_000, 2);
+    for label in [
+        "Base Native",
+        "Nested Paging",
+        "Shadow Paging",
+        "Agile Paging",
+    ] {
+        assert!(
+            run.text.contains(label),
+            "missing {label} in:\n{}",
+            run.text
+        );
     }
 }
 
 #[test]
 fn table2_reports_reference_breakdowns() {
-    let (text, rows) = experiments::table2();
-    assert_eq!(rows.len(), 7);
-    assert!(text.contains("paper"));
-    for row in &rows {
+    let run = experiments::table2(2);
+    assert_eq!(run.rows.len(), 7);
+    assert!(run.text.contains("paper"));
+    for row in &run.rows {
         assert_eq!(
             u64::from(row.refs),
             row.shadow_refs + row.guest_refs + row.host_refs
@@ -27,21 +36,28 @@ fn table2_reports_reference_breakdowns() {
 
 #[test]
 fn fig5_covers_every_bar_for_selected_workloads() {
-    let (text, rows) = experiments::fig5(6_000, Some(&[Profile::Astar]));
-    assert_eq!(rows.len(), 8, "2 page sizes x 4 techniques");
-    for cfg in ["4K:B", "4K:N", "4K:S", "4K:A", "2M:B", "2M:N", "2M:S", "2M:A"] {
-        assert!(text.contains(cfg), "missing {cfg}");
+    let run = experiments::fig5(6_000, Some(&[Profile::Astar]), 2);
+    assert_eq!(run.rows.len(), 8, "2 page sizes x 4 techniques");
+    for cfg in [
+        "4K:B", "4K:N", "4K:S", "4K:A", "2M:B", "2M:N", "2M:S", "2M:A",
+    ] {
+        assert!(run.text.contains(cfg), "missing {cfg}");
     }
+    assert_eq!(run.artifacts.len(), 8);
 }
 
 #[test]
 fn table6_fractions_are_probabilities() {
-    let (text, rows) = experiments::table6(8_000, Some(&[Profile::Astar, Profile::Gcc]));
-    assert_eq!(rows.len(), 2);
-    assert!(text.contains("Shadow(4)"));
-    for row in &rows {
+    let run = experiments::table6(8_000, Some(&[Profile::Astar, Profile::Gcc]), 2);
+    assert_eq!(run.rows.len(), 2);
+    assert!(run.text.contains("Shadow(4)"));
+    for row in &run.rows {
         let sum: f64 = row.fractions.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6 || sum == 0.0, "{}: {sum}", row.workload);
+        assert!(
+            (sum - 1.0).abs() < 1e-6 || sum == 0.0,
+            "{}: {sum}",
+            row.workload
+        );
         for f in row.fractions {
             assert!((0.0..=1.0).contains(&f));
         }
@@ -52,27 +68,44 @@ fn table6_fractions_are_probabilities() {
 
 #[test]
 fn vmtrap_costs_recovers_configured_latencies() {
-    let (text, rows) = experiments::vmtrap_costs(4_000);
-    assert_eq!(rows.len(), 4);
-    assert!(text.contains("cycles/trap"));
-    for row in &rows {
+    let run = experiments::vmtrap_costs(4_000, 2);
+    assert_eq!(run.rows.len(), 4);
+    assert!(run.text.contains("cycles/trap"));
+    for row in &run.rows {
         assert!(row.count > 0, "{} produced no traps", row.micro);
     }
 }
 
 #[test]
 fn ablations_render() {
-    let hw = experiments::ablate_hw(4_000);
-    assert!(hw.contains("ad-sync traps"));
-    let policy = experiments::ablate_policy(4_000);
-    assert!(policy.contains("dirty-bit-scan"));
-    let pwc = experiments::ablate_pwc(4_000);
-    assert!(pwc.contains("avg refs/miss"));
+    let hw = experiments::ablate_hw(4_000, 2);
+    assert!(hw.text.contains("ad-sync traps"));
+    let policy = experiments::ablate_policy(4_000, 2);
+    assert!(policy.text.contains("dirty-bit-scan"));
+    let pwc = experiments::ablate_pwc(4_000, 2);
+    assert!(pwc.text.contains("avg refs/miss"));
 }
 
 #[test]
 fn shsp_compare_reports_four_rows() {
-    let (text, rows) = experiments::shsp_compare(6_000);
-    assert_eq!(rows.len(), 4);
-    assert!(text.contains("phase-mix"));
+    let run = experiments::shsp_compare(6_000, 2);
+    assert_eq!(run.rows.len(), 4);
+    assert!(run.text.contains("phase-mix"));
+}
+
+#[test]
+fn experiment_json_and_csv_are_well_formed() {
+    let run = experiments::table2(1);
+    let json = run.to_json();
+    assert_eq!(
+        json.get("schema").and_then(|s| s.as_str()),
+        Some(experiments::EXPERIMENT_SCHEMA)
+    );
+    assert_eq!(json.get("name").and_then(|s| s.as_str()), Some("table2"));
+    let reparsed = agile_paging::Json::parse(&json.render()).expect("valid JSON");
+    assert_eq!(reparsed.render(), json.render());
+    let csv = run.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + run.rows.len(), "header + one line per row");
+    assert!(lines[0].contains("label"));
 }

@@ -3,9 +3,7 @@
 //! translations, under protection violations, unmapping races, huge-page
 //! splits, and process interleavings.
 
-use agile_paging::{
-    AgileOptions, Event, Machine, ShspOptions, SystemConfig, Technique,
-};
+use agile_paging::{AgileOptions, Event, Machine, ShspOptions, SystemConfig, Technique};
 
 const BASE: u64 = 0x7000_0000_0000;
 
@@ -78,10 +76,19 @@ fn partial_munmap_splits_vma_and_huge_pages() {
             start: hole,
             len: 64 << 10,
         });
-        assert!(m.touch(hole, false).is_err(), "hole must be gone (thp={thp})");
-        assert!(m.touch(hole + (64 << 10), false).is_ok(), "after hole survives");
+        assert!(
+            m.touch(hole, false).is_err(),
+            "hole must be gone (thp={thp})"
+        );
+        assert!(
+            m.touch(hole + (64 << 10), false).is_ok(),
+            "after hole survives"
+        );
         assert!(m.touch(BASE, false).is_ok(), "before hole survives");
-        assert!(m.touch(BASE + (3 << 20), false).is_ok(), "other huge page survives");
+        assert!(
+            m.touch(BASE + (3 << 20), false).is_ok(),
+            "other huge page survives"
+        );
     }
 }
 
@@ -136,8 +143,14 @@ fn reclaim_then_retouch_refaults_cleanly() {
             m.touch(BASE + i * 0x1000, true).unwrap();
         }
         // Two full scans with no intervening accesses reclaim everything.
-        m.run_event(Event::ClockScan { start: BASE, len: 128 << 10 });
-        m.run_event(Event::ClockScan { start: BASE, len: 128 << 10 });
+        m.run_event(Event::ClockScan {
+            start: BASE,
+            len: 128 << 10,
+        });
+        m.run_event(Event::ClockScan {
+            start: BASE,
+            len: 128 << 10,
+        });
         assert!(m.os().stats().pages_reclaimed > 0, "{t:?}");
         // Re-touching demand-faults the pages back in.
         for i in 0..32u64 {
@@ -153,7 +166,8 @@ fn interval_ticks_are_harmless_everywhere() {
         let pid = m.current_pid();
         m.os_mut().mmap(pid, BASE, 64 << 10, true);
         for round in 0..8 {
-            m.touch(BASE + (round % 16) * 0x1000, round % 2 == 0).unwrap();
+            m.touch(BASE + (round % 16) * 0x1000, round % 2 == 0)
+                .unwrap();
             m.run_event(Event::Tick);
         }
         for i in 0..16u64 {

@@ -1,62 +1,66 @@
-//! Machine-level property tests: for arbitrary small workloads, every
+//! Machine-level property tests: for seeded-random small workloads, every
 //! technique completes without panicking, produces identical guest-visible
-//! state, and is deterministic.
+//! state, and is deterministic. Cases are derived from a SplitMix64 stream,
+//! so every run (and every CI machine) exercises the same workloads.
 
+use agile_paging::types::SplitMix64;
 use agile_paging::{
     AgileOptions, ChurnSpec, Machine, Pattern, ShspOptions, SystemConfig, Technique, WorkloadSpec,
 };
-use proptest::prelude::*;
 
-fn arb_pattern() -> impl Strategy<Value = Pattern> {
-    prop_oneof![
-        Just(Pattern::Uniform),
-        (0.5f64..1.2).prop_map(|theta| Pattern::Zipf { theta }),
-        (1u64..16).prop_map(|stride_pages| Pattern::Sequential { stride_pages }),
-        Just(Pattern::PointerChase),
-    ]
+const CASES: u64 = 12;
+
+fn gen_pattern(rng: &mut SplitMix64) -> Pattern {
+    match rng.below(4) {
+        0 => Pattern::Uniform,
+        1 => Pattern::Zipf {
+            theta: 0.5 + 0.7 * rng.next_f64(),
+        },
+        2 => Pattern::Sequential {
+            stride_pages: rng.range(1, 16),
+        },
+        _ => Pattern::PointerChase,
+    }
 }
 
-fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        arb_pattern(),
-        2u64..8,                              // footprint MiB
-        500u64..3_000,                        // accesses
-        any::<u64>(),                         // seed
-        proptest::option::of(100u64..500),    // remap_every
-        proptest::option::of(100u64..500),    // cow_every
-        proptest::option::of(300u64..900),    // clock_scan_every
-        1usize..3,                            // processes
-        any::<bool>(),                        // thp
-    )
-        .prop_map(
-            |(pattern, mb, accesses, seed, remap, cow, scan, processes, thp)| {
-                let mut spec = WorkloadSpec {
-                    name: format!("prop-thp{thp}"),
-                    footprint: mb << 20,
-                    pattern,
-                    write_fraction: 0.4,
-                    accesses,
-                    accesses_per_tick: (accesses / 5).max(1),
-                    churn: ChurnSpec {
-                        remap_every: remap,
-                        remap_pages: 8,
-                        cow_every: cow,
-                        cow_pages: 4,
-                        clock_scan_every: scan,
-                        scan_pages: 128,
-                        churn_zone: 0.3,
-                        ctx_switch_every: Some(333),
-                        processes,
-                    },
-                    prefault: true,
-                    prefault_writes: true,
-                    seed,
-                };
-                // Encode THP in the name so the fingerprint runner sees it.
-                spec.name = format!("{}|{}", spec.name, thp);
-                spec
-            },
-        )
+fn maybe(rng: &mut SplitMix64, lo: u64, hi: u64) -> Option<u64> {
+    rng.next_bool(0.5).then(|| rng.range(lo, hi))
+}
+
+fn gen_spec(case: u64) -> WorkloadSpec {
+    let mut rng = SplitMix64::new(SplitMix64::derive(0x4d5f_9e01, case));
+    let pattern = gen_pattern(&mut rng);
+    let mb = rng.range(2, 8);
+    let accesses = rng.range(500, 3_000);
+    let seed = rng.next_u64();
+    let remap = maybe(&mut rng, 100, 500);
+    let cow = maybe(&mut rng, 100, 500);
+    let scan = maybe(&mut rng, 300, 900);
+    let processes = rng.range(1, 3) as usize;
+    let thp = rng.next_bool(0.5);
+    WorkloadSpec {
+        // Encode THP in the name so the fingerprint runner sees it.
+        name: format!("prop-thp{thp}|{thp}"),
+        footprint: mb << 20,
+        pattern,
+        write_fraction: 0.4,
+        accesses,
+        accesses_per_tick: (accesses / 5).max(1),
+        churn: ChurnSpec {
+            remap_every: remap,
+            remap_pages: 8,
+            cow_every: cow,
+            cow_pages: 4,
+            clock_scan_every: scan,
+            scan_pages: 128,
+            churn_zone: 0.3,
+            ctx_switch_every: Some(333),
+            processes,
+        },
+        prefault: true,
+        prefault_writes: true,
+        seed,
+    }
 }
 
 fn fingerprint(spec: &WorkloadSpec, technique: Technique) -> (Vec<Option<u64>>, u64, u64) {
@@ -69,24 +73,26 @@ fn fingerprint(spec: &WorkloadSpec, technique: Technique) -> (Vec<Option<u64>>, 
     let stats = m.run_spec(spec);
     let base = WorkloadSpec::REGION_BASE;
     let mappings = (0..48u64)
-        .map(|i| m.guest_mapping(base + i * 101 * 0x1000).map(|(p, _)| p.frame_raw()))
+        .map(|i| {
+            m.guest_mapping(base + i * 101 * 0x1000)
+                .map(|(p, _)| p.frame_raw())
+        })
         .collect();
     (mappings, stats.os.minor_faults, stats.os.pages_unmapped)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every technique runs the same arbitrary workload to completion with
-    /// the same guest-visible result.
-    ///
-    /// When clock-scan reclamation is active, only completion is asserted:
-    /// the clock algorithm reads accessed bits whose update *timing* is
-    /// technique-dependent (hardware-set on nested walks, VMM-set at shadow
-    /// sync time — exactly the paper's §V memory-pressure discussion), so
-    /// reclaim decisions may legitimately differ.
-    #[test]
-    fn all_techniques_agree_on_arbitrary_workloads(spec in arb_spec()) {
+/// Every technique runs the same seeded-random workload to completion with
+/// the same guest-visible result.
+///
+/// When clock-scan reclamation is active, only completion is asserted:
+/// the clock algorithm reads accessed bits whose update *timing* is
+/// technique-dependent (hardware-set on nested walks, VMM-set at shadow
+/// sync time — exactly the paper's §V memory-pressure discussion), so
+/// reclaim decisions may legitimately differ.
+#[test]
+fn all_techniques_agree_on_arbitrary_workloads() {
+    for case in 0..CASES {
+        let spec = gen_spec(case);
         let strict = spec.churn.clock_scan_every.is_none();
         let reference = fingerprint(&spec, Technique::Native);
         for technique in [
@@ -98,36 +104,41 @@ proptest! {
         ] {
             let got = fingerprint(&spec, technique);
             if strict {
-                prop_assert_eq!(&got, &reference, "diverged under {:?}", technique);
+                assert_eq!(&got, &reference, "case {case} diverged under {technique:?}");
             }
         }
     }
+}
 
-    /// Overheads are non-negative and finite, and the structural ordering
-    /// holds: a nested miss never needs fewer memory references on average
-    /// than a shadow miss. (Cycle overheads are *not* strictly ordered —
-    /// host-table references are cheaper than shadow references, so a
-    /// cache-friendly nested walk can cost fewer cycles; the reference
-    /// ladder is the architectural invariant.)
-    #[test]
-    fn overheads_are_sane(spec in arb_spec()) {
+/// Overheads are non-negative and finite, and the structural ordering
+/// holds: a nested miss never needs fewer memory references on average
+/// than a shadow miss. (Cycle overheads are *not* strictly ordered —
+/// host-table references are cheaper than shadow references, so a
+/// cache-friendly nested walk can cost fewer cycles; the reference
+/// ladder is the architectural invariant.)
+#[test]
+fn overheads_are_sane() {
+    for case in 0..CASES {
+        let spec = gen_spec(case);
         let run = |t| {
             let thp = spec.name.ends_with("true");
             let mut cfg = SystemConfig::new(t);
-            if thp { cfg = cfg.with_thp(); }
+            if thp {
+                cfg = cfg.with_thp();
+            }
             Machine::new(cfg).run_spec(&spec)
         };
         let shadow = run(Technique::Shadow);
         let nested = run(Technique::Nested);
         for s in [&shadow, &nested] {
             let o = s.overheads();
-            prop_assert!(o.page_walk.is_finite() && o.page_walk >= 0.0);
-            prop_assert!(o.vmm.is_finite() && o.vmm >= 0.0);
+            assert!(o.page_walk.is_finite() && o.page_walk >= 0.0);
+            assert!(o.vmm.is_finite() && o.vmm >= 0.0);
         }
         if nested.tlb.misses > 100 && shadow.tlb.misses > 100 {
-            prop_assert!(
+            assert!(
                 nested.avg_refs_per_miss() >= shadow.avg_refs_per_miss() * 0.95,
-                "nested {:.3} refs/miss < shadow {:.3}",
+                "case {case}: nested {:.3} refs/miss < shadow {:.3}",
                 nested.avg_refs_per_miss(),
                 shadow.avg_refs_per_miss()
             );

@@ -128,7 +128,11 @@ fn agile_avg_refs_stay_under_five_without_walk_caches() {
         // The mini update-heavy workload churns 25% of its address space —
         // far more than the paper's workloads — so allow a looser bound
         // there; the paper-profile Table VI run (bench bin) shows < 5.5.
-        let bound = if spec.churn.remap_every.is_some() { 9.0 } else { 5.5 };
+        let bound = if spec.churn.remap_every.is_some() {
+            9.0
+        } else {
+            5.5
+        };
         assert!(
             stats.avg_refs_per_miss() < bound,
             "{}: avg refs {:.2}",
@@ -137,9 +141,7 @@ fn agile_avg_refs_stay_under_five_without_walk_caches() {
         );
         // And the shadow fraction dominates on the quiet workload.
         if spec.churn.remap_every.is_none() {
-            let shadow_frac = stats
-                .kinds
-                .fraction(agile_paging::WalkKind::FullShadow);
+            let shadow_frac = stats.kinds.fraction(agile_paging::WalkKind::FullShadow);
             assert!(shadow_frac > 0.8, "shadow fraction {shadow_frac:.3}");
         }
     }
@@ -152,21 +154,30 @@ fn huge_pages_reduce_overheads_and_agile_still_wins() {
     let spec = miss_heavy(N);
     let native_4k = run(Technique::Native, &spec).overheads().total();
     let mut m = Machine::new(SystemConfig::new(Technique::Native).with_thp());
-    let native_2m = m.run_spec_measured(&spec, spec.accesses / 3).overheads().total();
+    let native_2m = m
+        .run_spec_measured(&spec, spec.accesses / 3)
+        .overheads()
+        .total();
     assert!(
         native_2m < native_4k / 2.0,
         "2M must cut native overhead: {native_2m:.3} vs {native_4k:.3}"
     );
     let mut m = Machine::new(SystemConfig::new(agile()).with_thp());
-    let agile_2m = m.run_spec_measured(&spec, spec.accesses / 3).overheads().total();
+    let agile_2m = m
+        .run_spec_measured(&spec, spec.accesses / 3)
+        .overheads()
+        .total();
     let mut m = Machine::new(SystemConfig::new(Technique::Nested).with_thp());
-    let nested_2m = m.run_spec_measured(&spec, spec.accesses / 3).overheads().total();
+    let nested_2m = m
+        .run_spec_measured(&spec, spec.accesses / 3)
+        .overheads()
+        .total();
     assert!(agile_2m <= nested_2m + 0.01);
 }
 
 #[test]
 fn table2_ladder_is_exact() {
-    let (_, rows) = agile_paging::experiments::table2();
+    let rows = agile_paging::experiments::table2(1).rows;
     let refs: Vec<u32> = rows.iter().map(|r| r.refs).collect();
     assert_eq!(refs, vec![4, 4, 8, 12, 16, 20, 24]);
 }
@@ -175,7 +186,7 @@ fn table2_ladder_is_exact() {
 fn shsp_approximates_best_of_both_agile_exceeds_it() {
     // Paper Section VII-C: SHSP ≈ best of the two techniques; agile paging
     // exceeds it.
-    let (_, rows) = agile_paging::experiments::shsp_compare(80_000);
+    let rows = agile_paging::experiments::shsp_compare(80_000, 2).rows;
     let get = |name: &str| {
         rows.iter()
             .find(|r| r.technique == name)
@@ -183,7 +194,11 @@ fn shsp_approximates_best_of_both_agile_exceeds_it() {
             .expect("row")
     };
     let best = get("Nested").min(get("Shadow"));
-    assert!(get("SHSP") <= best * 1.30 + 0.05, "SHSP {:.3} vs best {best:.3}", get("SHSP"));
+    assert!(
+        get("SHSP") <= best * 1.30 + 0.05,
+        "SHSP {:.3} vs best {best:.3}",
+        get("SHSP")
+    );
     assert!(
         (1.0 + get("Agile")) <= (1.0 + best) * 1.05,
         "agile {:.3} vs best {best:.3}",

@@ -1,0 +1,83 @@
+//! End-to-end guarantees of the run engine: results are byte-identical at
+//! any thread count, and artifacts survive a JSON round trip.
+
+use agile_paging::experiments;
+use agile_paging::{AgileOptions, Json, Profile, RunPlan, RunRequest, SystemConfig, Technique};
+
+fn plan(threads: usize) -> RunPlan {
+    let mut plan = RunPlan::new()
+        .with_threads(threads)
+        .with_seed_stream(0xd15c);
+    for technique in [
+        Technique::Native,
+        Technique::Nested,
+        Technique::Shadow,
+        Technique::Agile(AgileOptions::default()),
+    ] {
+        for profile in [Profile::Astar, Profile::Memcached] {
+            plan.push(
+                RunRequest::new(
+                    SystemConfig::new(technique),
+                    agile_paging::profile(profile, 4_000),
+                )
+                .with_warmup(1_000),
+            );
+        }
+    }
+    plan
+}
+
+/// The acceptance bar for the run engine: per-run stats from an 8-thread
+/// execution are byte-identical to a serial one.
+#[test]
+fn plans_are_thread_count_invariant() {
+    let serial = plan(1).execute();
+    let fanned = plan(8).execute();
+    assert_eq!(serial.len(), fanned.len());
+    for (a, b) in serial.iter().zip(&fanned) {
+        assert_eq!(a.fingerprint(), b.fingerprint(), "{} diverged", a.label);
+    }
+}
+
+/// An experiment fanned across threads is also invariant end to end — the
+/// full deterministic JSON document matches, not just per-run stats.
+#[test]
+fn fig5_fingerprints_survive_fanout() {
+    let serial = experiments::fig5(3_000, Some(&[Profile::Gcc]), 1);
+    let fanned = experiments::fig5(3_000, Some(&[Profile::Gcc]), 8);
+    let prints = |run: &experiments::ExperimentRun<experiments::Fig5Row>| {
+        run.artifacts
+            .iter()
+            .map(agile_paging::RunArtifact::fingerprint)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(prints(&serial), prints(&fanned));
+    assert_eq!(serial.text, fanned.text);
+}
+
+/// Artifacts serialize to JSON and parse back to the same document, with
+/// the schema tag and stats intact.
+#[test]
+fn artifact_json_round_trips() {
+    let artifact = RunRequest::new(
+        SystemConfig::new(Technique::Agile(AgileOptions::default())),
+        agile_paging::profile(Profile::Astar, 3_000),
+    )
+    .with_warmup(500)
+    .with_seed(42)
+    .run();
+    let doc = artifact.to_json();
+    let text = doc.pretty();
+    let parsed = Json::parse(&text).expect("artifact JSON parses");
+    assert_eq!(parsed.render(), doc.render());
+    assert_eq!(
+        parsed.get("schema").and_then(|s| s.as_str()),
+        Some(agile_paging::runner::ARTIFACT_SCHEMA)
+    );
+    assert_eq!(parsed.get("seed").and_then(Json::as_u64), Some(42));
+    let accesses = parsed
+        .get("stats")
+        .and_then(|s| s.get("accesses"))
+        .and_then(Json::as_u64);
+    assert_eq!(accesses, Some(artifact.stats.accesses));
+}
