@@ -109,11 +109,26 @@ common flags (every experiment binary):
     }
 
     /// Prints the experiment's text table and writes its JSON/CSV
-    /// artifacts (unless `--no-emit`).
+    /// artifacts (unless `--no-emit`); a failed write aborts the process
+    /// with exit code 1 and an error naming the path.
     pub fn finish<R: JsonRow>(&self, run: &ExperimentRun<R>) {
+        if let Err(msg) = self.try_finish(run) {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+
+    /// [`BenchCli::finish`], but write failures come back as an error
+    /// naming the offending path instead of exiting the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path that could not be created or
+    /// written.
+    pub fn try_finish<R: JsonRow>(&self, run: &ExperimentRun<R>) -> Result<(), String> {
         println!("{}", run.text);
         if self.no_emit {
-            return;
+            return Ok(());
         }
         let json_path = self
             .json
@@ -123,24 +138,21 @@ common flags (every experiment binary):
             .csv
             .clone()
             .unwrap_or_else(|| PathBuf::from(format!("results/{}.csv", run.name)));
-        write_artifact(&json_path, &format!("{}\n", run.to_json().pretty()));
-        write_artifact(&csv_path, &run.to_csv());
+        write_artifact(&json_path, &format!("{}\n", run.to_json().pretty()))?;
+        write_artifact(&csv_path, &run.to_csv())
     }
 }
 
-fn write_artifact(path: &PathBuf, contents: &str) {
+fn write_artifact(path: &PathBuf, contents: &str) -> Result<(), String> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("warning: cannot create {}: {e}", dir.display());
-                return;
-            }
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create directory {}: {e}", dir.display()))?;
         }
     }
-    match std::fs::write(path, contents) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
 }
 
 /// Parsed arguments for the `simulate` binary: a custom workload and
@@ -276,10 +288,15 @@ simulate — run a custom workload on the agile-paging simulator
         })
     }
 
-    /// Writes the run artifact JSON when `--json` was given.
+    /// Writes the run artifact JSON when `--json` was given; a failed
+    /// write aborts the process with exit code 1 and an error naming the
+    /// path.
     pub fn emit(&self, artifact: &agile_core::RunArtifact) {
         if let Some(path) = &self.json {
-            write_artifact(path, &format!("{}\n", artifact.to_json().pretty()));
+            if let Err(msg) = write_artifact(path, &format!("{}\n", artifact.to_json().pretty())) {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -450,6 +467,48 @@ mod tests {
         ));
         assert!(parse_pattern("zipf").is_err());
         assert!(parse_pattern("nope").is_err());
+    }
+
+    #[test]
+    fn write_artifact_creates_missing_parent_dirs() {
+        let base = std::env::temp_dir().join(format!(
+            "agile-bench-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let path = base.join("deep/nested/out.json");
+        write_artifact(&path, "{}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    #[test]
+    fn write_artifact_errors_name_the_path() {
+        // A regular file where a parent directory is needed forces
+        // create_dir_all to fail; pre-fix this was a swallowed warning.
+        let base = std::env::temp_dir().join(format!(
+            "agile-bench-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&base).unwrap();
+        let blocker = base.join("not-a-dir");
+        std::fs::write(&blocker, "x").unwrap();
+        let path = blocker.join("out.json");
+        let err = write_artifact(&path, "{}\n").unwrap_err();
+        assert!(
+            err.contains("cannot create directory") && err.contains("not-a-dir"),
+            "{err}"
+        );
+        // Writing to a path that is a directory fails at the write step.
+        let dir_path = base.join("is-a-dir");
+        std::fs::create_dir_all(&dir_path).unwrap();
+        let err = write_artifact(&dir_path, "{}\n").unwrap_err();
+        assert!(
+            err.contains("cannot write") && err.contains("is-a-dir"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -30,11 +30,20 @@ pub struct SystemConfig {
     pub base_cycles_per_access: u64,
     /// VMtrap cost model override (defaults per technique).
     pub vmm: VmmConfig,
+    /// Run the [`crate::verify`] paranoia layer: cross-check every TLB hit
+    /// and completed walk against a reference translator, audit stats
+    /// conservation identities, and sweep the TLBs/PWCs/nested TLB for
+    /// stale translations after invalidation events. Strictly read-only —
+    /// results and fingerprints are unchanged; only wall-clock time grows.
+    /// Off by default; defaults to on when the `AGILE_PARANOIA`
+    /// environment variable is set (tests and CI use this).
+    pub paranoia: bool,
 }
 
 impl SystemConfig {
     /// Defaults for `technique`: Table III TLBs, walk caches on, 4 KiB
-    /// pages.
+    /// pages. Paranoia checks default to off unless the `AGILE_PARANOIA`
+    /// environment variable is set.
     #[must_use]
     pub fn new(technique: Technique) -> Self {
         SystemConfig {
@@ -46,6 +55,7 @@ impl SystemConfig {
             host_ref_cycles: 10,
             base_cycles_per_access: 125,
             vmm: VmmConfig::new(technique),
+            paranoia: std::env::var_os("AGILE_PARANOIA").is_some(),
         }
     }
 
@@ -117,6 +127,14 @@ impl SystemConfig {
         self
     }
 
+    /// Same configuration with the [`crate::verify`] paranoia layer on or
+    /// off.
+    #[must_use]
+    pub fn with_paranoia(mut self, paranoia: bool) -> Self {
+        self.paranoia = paranoia;
+        self
+    }
+
     /// Label like "4K:S" / "2M:A" used in Figure 5 column headers.
     #[must_use]
     pub fn label(&self) -> String {
@@ -166,6 +184,13 @@ mod tests {
         assert_eq!(c.host_ref_cycles, 7);
         assert_eq!(c.base_cycles_per_access, 200);
         assert_eq!(c.label(), "4K:S");
+    }
+
+    #[test]
+    fn paranoia_builder_toggles() {
+        let c = SystemConfig::new(Technique::Nested).with_paranoia(true);
+        assert!(c.paranoia);
+        assert!(!c.with_paranoia(false).paranoia);
     }
 
     #[test]

@@ -42,15 +42,19 @@ mod machine;
 mod report;
 pub mod runner;
 mod stats;
+pub mod verify;
 
 pub use config::SystemConfig;
 pub use machine::Machine;
 pub use report::Table;
-pub use runner::{parallel_map, Json, RunArtifact, RunPlan, RunRequest};
+pub use runner::{
+    parallel_map, try_parallel_map, Json, RunArtifact, RunPanic, RunPlan, RunRequest, WorkerPanic,
+};
 pub use stats::{KindCounts, Overheads, RunStats};
+pub use verify::{RefTranslation, Violation, ViolationSite};
 
 pub use agile_guest::{GuestOs, OsStats, SegFault};
-pub use agile_tlb::{PwcConfig, TlbConfig};
+pub use agile_tlb::{PwcConfig, TlbConfig, TlbEntry};
 pub use agile_types as types;
 pub use agile_vmm::{
     AgileOptions, NestedToShadowPolicy, ShspOptions, Technique, VmmConfig, VmtrapCosts, VmtrapKind,

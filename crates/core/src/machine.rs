@@ -2,6 +2,7 @@
 
 use crate::config::SystemConfig;
 use crate::stats::{KindCounts, RunStats};
+use crate::verify::{self, Violation};
 use agile_guest::{GuestOs, SegFault};
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, TlbEntry, TlbHierarchy};
@@ -30,7 +31,13 @@ pub struct Machine {
     misses_at_last_tick: u64,
     baseline: Baseline,
     trace: Option<agile_trace::TraceLog>,
+    violations: Vec<Violation>,
 }
+
+/// Cap on stored paranoia violations — the first few carry the diagnosis;
+/// an unbounded log of a systematically broken structure would swamp
+/// memory.
+const MAX_VIOLATIONS: usize = 64;
 
 /// Snapshot taken at the start of the measurement window (everything before
 /// it — warm-up — is excluded from reported statistics, the standard
@@ -74,7 +81,47 @@ impl Machine {
             misses_at_last_tick: 0,
             baseline: Baseline::default(),
             trace: None,
+            violations: Vec::new(),
         }
+    }
+
+    fn record_violations(&mut self, found: impl IntoIterator<Item = Violation>) {
+        for v in found {
+            if self.violations.len() >= MAX_VIOLATIONS {
+                break;
+            }
+            self.violations.push(v);
+        }
+    }
+
+    /// Paranoia violations collected so far (empty unless
+    /// [`SystemConfig::paranoia`] is on and the oracles found a
+    /// disagreement).
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Drains the collected paranoia violations.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Runs the coherence audit right now, regardless of
+    /// [`SystemConfig::paranoia`]: sweeps the TLB hierarchy, page-walk
+    /// caches, and nested TLB for translations that disagree with the
+    /// architectural page tables. Returns what it found (nothing is
+    /// recorded on the machine).
+    #[must_use]
+    pub fn audit(&self) -> Vec<Violation> {
+        verify::audit_coherence(&self.mem, &self.vmm, &self.tlb, &self.pwc, &self.ntlb)
+    }
+
+    /// Test hook: plants a raw entry in the TLB hierarchy behind the
+    /// walker's back. Exists so tests can prove the paranoia oracles catch
+    /// stale or wrong translations; never called by the simulator itself.
+    pub fn plant_tlb_entry(&mut self, asid: Asid, va: u64, entry: TlbEntry) {
+        self.tlb.fill(asid, GuestVirtAddr::new(va), entry);
     }
 
     /// Enables the paper's §VI tracing: guest page-table updates (step 1,
@@ -214,7 +261,18 @@ impl Machine {
             AccessKind::Read
         };
         let gva = GuestVirtAddr::new(va);
-        if self.tlb.lookup(asid, gva, access).is_some() {
+        if let Some(entry) = self.tlb.lookup(asid, gva, access) {
+            if self.cfg.paranoia {
+                let found = verify::check_tlb_entry(
+                    &self.mem,
+                    &self.vmm,
+                    pid,
+                    va,
+                    &entry,
+                    crate::verify::ViolationSite::TlbHit,
+                );
+                self.record_violations(found);
+            }
             return Ok(());
         }
         if let Some(trace) = self.trace.as_mut() {
@@ -227,6 +285,11 @@ impl Machine {
         for _ in 0..64 {
             match self.walk_once(pid, gva, access) {
                 Ok(ok) => {
+                    if self.cfg.paranoia {
+                        let found =
+                            verify::check_walk(&self.mem, &self.vmm, &self.cfg, pid, va, &ok);
+                        self.record_violations(found);
+                    }
                     self.kinds.record(ok.kind, ok.refs);
                     self.walk_cycles += self.walk_cost(ok.refs, ok.host_refs);
                     self.tlb.fill_for(
@@ -363,6 +426,10 @@ impl Machine {
     /// Applies one workload event.
     pub fn run_event(&mut self, event: Event) {
         let pid = self.current_pid();
+        // Events that edit page tables or switch address spaces must leave
+        // no stale translation behind; the paranoia layer re-audits every
+        // caching structure after each one.
+        let mut audit_after = false;
         match event {
             Event::Access { va, write } => {
                 self.touch(va, write)
@@ -380,23 +447,27 @@ impl Machine {
                     .munmap(&mut self.mem, &mut self.vmm, pid, start, len);
                 self.drain_flushes();
                 self.tlb.flush_asid(Asid::from(pid));
+                audit_after = true;
             }
             Event::MarkCow { start, len } => {
                 self.os
                     .mark_region_cow(&mut self.mem, &mut self.vmm, pid, start, len);
                 self.drain_flushes();
                 self.tlb.flush_asid(Asid::from(pid));
+                audit_after = true;
             }
             Event::ClockScan { start, len } => {
                 self.os
                     .clock_scan(&mut self.mem, &mut self.vmm, pid, start, len);
                 self.drain_flushes();
                 self.tlb.flush_asid(Asid::from(pid));
+                audit_after = true;
             }
             Event::ContextSwitch { to } => {
                 let target = self.ensure_proc(to);
                 self.os.context_switch(&mut self.mem, &mut self.vmm, target);
                 self.drain_flushes();
+                audit_after = true;
             }
             Event::Tick => {
                 let misses = self.tlb.stats().misses - self.misses_at_last_tick;
@@ -407,7 +478,12 @@ impl Machine {
                 if let Some(trace) = self.trace.as_mut() {
                     trace.push(agile_trace::TraceEvent::IntervalEnd);
                 }
+                audit_after = true;
             }
+        }
+        if audit_after && self.cfg.paranoia {
+            let found = self.audit();
+            self.record_violations(found);
         }
     }
 
@@ -431,7 +507,12 @@ impl Machine {
             }
         }
         self.drain_write_trace();
-        self.stats(&spec.name)
+        let stats = self.stats(&spec.name);
+        if self.cfg.paranoia {
+            let found = verify::check_stats(&stats, &self.cfg);
+            self.record_violations(found);
+        }
+        stats
     }
 
     /// Snapshots the statistics collected since the measurement window

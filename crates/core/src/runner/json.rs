@@ -273,16 +273,45 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                            16,
-                        )
-                        .map_err(|_| "bad \\u escape")?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
+                        // The byte offset of the backslash, for error
+                        // positions.
+                        let esc = *pos - 1;
+                        let unit = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 5;
+                        let c = match unit {
+                            // High surrogate: must combine with a trailing
+                            // \uXXXX low surrogate into one supplementary
+                            // scalar (UTF-16 as JSON mandates).
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos) != Some(&b'\\')
+                                    || bytes.get(*pos + 1) != Some(&b'u')
+                                {
+                                    return Err(format!(
+                                        "unpaired high surrogate \\u{unit:04x} at byte {esc}"
+                                    ));
+                                }
+                                let low = parse_hex4(bytes, *pos + 2)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate \\u{unit:04x} at byte {esc} followed by \
+                                         non-low-surrogate \\u{low:04x}"
+                                    ));
+                                }
+                                *pos += 6;
+                                let code = 0x1_0000
+                                    + ((u32::from(unit) - 0xD800) << 10)
+                                    + (u32::from(low) - 0xDC00);
+                                char::from_u32(code).expect("valid supplementary scalar")
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "lone low surrogate \\u{unit:04x} at byte {esc}"
+                                ));
+                            }
+                            _ => char::from_u32(u32::from(unit)).expect("BMP non-surrogate"),
+                        };
+                        out.push(c);
+                        continue;
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
@@ -298,6 +327,21 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Parses the four hex digits of a `\uXXXX` escape starting at `start`.
+fn parse_hex4(bytes: &[u8], start: usize) -> Result<u16, String> {
+    let hex = bytes
+        .get(start..start + 4)
+        .ok_or_else(|| format!("truncated \\u escape at byte {}", start.saturating_sub(2)))?;
+    let text = std::str::from_utf8(hex)
+        .map_err(|_| format!("bad \\u escape at byte {}", start.saturating_sub(2)))?;
+    u16::from_str_radix(text, 16).map_err(|_| {
+        format!(
+            "bad \\u escape {text:?} at byte {}",
+            start.saturating_sub(2)
+        )
+    })
 }
 
 fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
@@ -459,6 +503,51 @@ mod tests {
     #[test]
     fn float_renders_shortest_round_trip() {
         let v = Json::Num(0.30000000000000004);
+        let text = v.render();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_decode_bmp_and_surrogate_pairs() {
+        // BMP escape.
+        assert_eq!(
+            Json::parse("\"caf\\u00e9\"").unwrap(),
+            Json::Str("café".into())
+        );
+        // Surrogate pair combining into one supplementary scalar (U+1F600).
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".into())
+        );
+        // Pair embedded in surrounding text.
+        assert_eq!(
+            Json::parse("\"a\\ud83d\\ude00b\"").unwrap(),
+            Json::Str("a😀b".into())
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_reject_malformed_surrogates_with_position() {
+        // Lone high surrogate at end of string.
+        let err = Json::parse("\"\\ud83d\"").unwrap_err();
+        assert!(err.contains("unpaired high surrogate"), "{err}");
+        assert!(err.contains("byte 1"), "{err}");
+        // High surrogate followed by a non-surrogate escape.
+        let err = Json::parse("\"\\ud83d\\u0041\"").unwrap_err();
+        assert!(err.contains("non-low-surrogate"), "{err}");
+        // High surrogate followed by plain text.
+        assert!(Json::parse("\"\\ud83dxx\"").is_err());
+        // Lone low surrogate.
+        let err = Json::parse("\"\\ude00\"").unwrap_err();
+        assert!(err.contains("lone low surrogate"), "{err}");
+        // Truncated and non-hex escapes.
+        assert!(Json::parse("\"\\u00\"").is_err());
+        assert!(Json::parse("\"\\uzzzz\"").is_err());
+    }
+
+    #[test]
+    fn non_bmp_round_trips_through_parse() {
+        let v = Json::Str("snowman ☃ and 😀 mix".into());
         let text = v.render();
         assert_eq!(Json::parse(&text).unwrap(), v);
     }

@@ -49,7 +49,8 @@ use agile_types::SplitMix64;
 use agile_vmm::VmtrapKind;
 use agile_walk::WalkKind;
 use agile_workloads::WorkloadSpec;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -118,6 +119,11 @@ impl RunRequest {
     }
 
     /// Executes this request on a fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// With [`SystemConfig::paranoia`] on, panics if the verify layer's
+    /// oracles caught any violation, listing them.
     #[must_use]
     pub fn run(&self) -> RunArtifact {
         let mut spec = self.spec.clone();
@@ -130,6 +136,20 @@ impl RunRequest {
             machine.enable_tracing();
         }
         let stats = machine.run_spec_measured(&spec, self.warmup);
+        if self.config.paranoia {
+            let violations = machine.take_violations();
+            assert!(
+                violations.is_empty(),
+                "paranoia: run {:?} violated {} oracle check(s):\n{}",
+                self.label,
+                violations.len(),
+                violations
+                    .iter()
+                    .map(|v| format!("  {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            );
+        }
         let wall_nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         RunArtifact {
             label: self.label.clone(),
@@ -227,6 +247,7 @@ pub fn config_json(cfg: &SystemConfig) -> Json {
             "base_cycles_per_access",
             Json::UInt(cfg.base_cycles_per_access),
         ),
+        ("paranoia", Json::Bool(cfg.paranoia)),
     ])
 }
 
@@ -390,8 +411,30 @@ impl RunPlan {
     }
 
     /// Executes every request and returns artifacts in request order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any run, naming the offending request's
+    /// label (see [`RunPlan::try_execute`] for the non-panicking form).
     #[must_use]
     pub fn execute(&self) -> Vec<RunArtifact> {
+        match self.try_execute() {
+            Ok(artifacts) => artifacts,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Executes every request, returning artifacts in request order or the
+    /// identity of the first run that panicked.
+    ///
+    /// Unlike a bare propagated panic, the error names the request (index
+    /// and label) whose simulation failed, and the already-completed runs
+    /// are shut down cleanly instead of dying on a poisoned lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunPanic`] if any request's simulation panicked.
+    pub fn try_execute(&self) -> Result<Vec<RunArtifact>, RunPanic> {
         let seed_base = self.seed_base;
         let requests: Vec<RunRequest> = self
             .requests
@@ -407,7 +450,69 @@ impl RunPlan {
                 req
             })
             .collect();
-        parallel_map(self.threads, requests, |_, req| req.run())
+        let labels: Vec<String> = requests.iter().map(|r| r.label.clone()).collect();
+        try_parallel_map(self.threads, requests, |_, req| req.run()).map_err(|p| RunPanic {
+            label: labels
+                .get(p.index)
+                .cloned()
+                .unwrap_or_else(|| "<unknown>".into()),
+            index: p.index,
+            message: p.message,
+        })
+    }
+}
+
+/// A panic raised by one run of a [`RunPlan`], identified by request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunPanic {
+    /// Label of the request whose simulation panicked.
+    pub label: String,
+    /// Position of that request in the plan.
+    pub index: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for RunPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "run {:?} (request #{}) panicked: {}",
+            self.label, self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for RunPanic {}
+
+/// A panic raised by one item of a [`try_parallel_map`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -417,8 +522,33 @@ impl RunPlan {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker.
+/// Re-raises a panic from any worker, naming the item index (see
+/// [`try_parallel_map`] for the non-panicking form).
 pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    match try_parallel_map(threads, items, f) {
+        Ok(results) => results,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`parallel_map`], but a panicking closure is reported as a
+/// [`WorkerPanic`] carrying the item index instead of tearing down the
+/// caller with a poisoned-lock panic.
+///
+/// The closure runs under [`std::panic::catch_unwind`], so no lock is held
+/// across the unwind and the surviving workers stop claiming new items as
+/// soon as the first panic is observed. The first panic (by observation
+/// order) wins.
+///
+/// # Errors
+///
+/// Returns [`WorkerPanic`] if `f` panicked on any item.
+pub fn try_parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Result<Vec<R>, WorkerPanic>
 where
     T: Send,
     R: Send,
@@ -427,18 +557,31 @@ where
     let n = items.len();
     let workers = threads.min(n).max(1);
     if workers <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| f(i, t))
-            .collect();
+        let mut results = Vec::with_capacity(n);
+        for (i, t) in items.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    return Err(WorkerPanic {
+                        index: i,
+                        message: panic_message(payload),
+                    })
+                }
+            }
+        }
+        return Ok(results);
     }
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let first_panic: Mutex<Option<WorkerPanic>> = Mutex::new(None);
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -448,19 +591,38 @@ where
                     .expect("queue lock")
                     .take()
                     .expect("each item is claimed once");
-                let result = f(i, item);
-                *results[i].lock().expect("result lock") = Some(result);
+                // The closure runs outside any lock: a panic unwinds into
+                // catch_unwind without poisoning the slot or result mutexes.
+                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(result) => {
+                        *results[i].lock().expect("result lock") = Some(result);
+                    }
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut first = first_panic.lock().expect("panic lock");
+                        if first.is_none() {
+                            *first = Some(WorkerPanic {
+                                index: i,
+                                message: panic_message(payload),
+                            });
+                        }
+                        break;
+                    }
+                }
             });
         }
     });
-    results
+    if let Some(panic) = first_panic.into_inner().expect("panic lock") {
+        return Err(panic);
+    }
+    Ok(results
         .into_iter()
         .map(|m| {
             m.into_inner()
                 .expect("result lock")
                 .expect("every slot is filled")
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -514,6 +676,59 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.fingerprint(), b.fingerprint());
         }
+    }
+
+    #[test]
+    fn try_parallel_map_reports_the_panicking_item() {
+        // Pre-fix, the panic poisoned the shared result mutex and the
+        // caller died on an unrelated "result lock" expect, losing the
+        // offending item's identity.
+        let err = try_parallel_map(4, (0..32u64).collect::<Vec<u64>>(), |i, x| {
+            if x == 13 {
+                panic!("boom on {x}");
+            }
+            i as u64 + x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 13);
+        assert_eq!(err.message, "boom on 13");
+        assert!(err.to_string().contains("item 13"), "{err}");
+    }
+
+    #[test]
+    fn try_parallel_map_serial_path_catches_panics_too() {
+        let err = try_parallel_map(1, vec![1u32, 2, 3], |_, x| {
+            assert_ne!(x, 2, "serial boom");
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.message.contains("serial boom"), "{}", err.message);
+    }
+
+    #[test]
+    fn try_parallel_map_succeeds_without_panics() {
+        let ok = try_parallel_map(3, vec![10u64, 20, 30], |i, x| x + i as u64).unwrap();
+        assert_eq!(ok, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn plan_surfaces_the_label_of_a_panicking_run() {
+        let mut plan = RunPlan::new().with_threads(2);
+        plan.push(RunRequest::new(
+            SystemConfig::new(Technique::Native),
+            spec(200, 1),
+        ));
+        // A zero footprint makes every generated access land outside the
+        // workload's VMAs, so the machine panics mid-run.
+        let mut bad = spec(200, 2);
+        bad.footprint = 0;
+        plan.push(RunRequest::new(SystemConfig::new(Technique::Native), bad).with_label("bad-run"));
+        let err = plan.try_execute().unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.label, "bad-run");
+        assert!(err.message.contains("workload accesses"), "{}", err.message);
+        assert!(err.to_string().contains("bad-run"), "{err}");
     }
 
     #[test]

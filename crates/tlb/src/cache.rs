@@ -200,6 +200,15 @@ impl<K: Eq + Clone, V: Clone> SetAssocCache<K, V> {
         self.len() == 0
     }
 
+    /// Iterates over every live `(key, value)` pair, in no particular
+    /// order, without touching LRU state or counters. Used by the verify
+    /// layer to audit cached translations against the page tables.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|s| (&s.key, &s.value)))
+    }
+
     /// Hit/miss/eviction counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {

@@ -90,6 +90,17 @@ impl NestedTlb {
         self.cache.flush();
     }
 
+    /// Every cached translation as `(vm, guest frame, entry)`. Read-only —
+    /// LRU state and counters are untouched. Used by the verify layer's
+    /// coherence audit.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(VmId, GuestFrame, NtlbEntry)> {
+        self.cache
+            .iter()
+            .map(|(&(vm, gframe), &e)| (vm, gframe, e))
+            .collect()
+    }
+
     /// Hit/miss counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {

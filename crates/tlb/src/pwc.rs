@@ -171,6 +171,24 @@ impl PageWalkCaches {
         self.skip3.flush();
     }
 
+    /// Every cached partial walk as `(asid, next-level-to-read, consumed VA
+    /// prefix, entry)`. Read-only — LRU state and counters are untouched.
+    /// Used by the verify layer's coherence audit.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(Asid, Level, u64, PwcEntry)> {
+        let mut out = Vec::new();
+        for (&(asid, prefix), &e) in self.skip1.iter() {
+            out.push((asid, Level::L3, prefix, e));
+        }
+        for (&(asid, prefix), &e) in self.skip2.iter() {
+            out.push((asid, Level::L2, prefix, e));
+        }
+        for (&(asid, prefix), &e) in self.skip3.iter() {
+            out.push((asid, Level::L1, prefix, e));
+        }
+        out
+    }
+
     /// Combined hit/miss counters over the three tables.
     #[must_use]
     pub fn stats(&self) -> CacheStats {

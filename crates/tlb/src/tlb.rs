@@ -305,6 +305,30 @@ impl TlbHierarchy {
         self.stats.invalidations += n as u64;
     }
 
+    /// Every live translation in the hierarchy, deduplicated across
+    /// structures, as `(asid, page-aligned gVA, entry)`. Read-only — LRU
+    /// state and counters are untouched. Used by the verify layer's
+    /// coherence audit.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(Asid, GuestVirtAddr, TlbEntry)> {
+        let mut out: Vec<(Asid, GuestVirtAddr, TlbEntry)> = Vec::new();
+        for t in self.l1d.iter().chain(self.l1i.iter()).chain(self.l2.iter()) {
+            let Some(cache) = t.cache.as_ref() else {
+                continue;
+            };
+            for (&(asid, vpn), &entry) in cache.iter() {
+                let va = GuestVirtAddr::new(vpn << t.size.shift());
+                if !out
+                    .iter()
+                    .any(|&(a, v, e)| a == asid && v == va && e == entry)
+                {
+                    out.push((asid, va, entry));
+                }
+            }
+        }
+        out
+    }
+
     /// Aggregate hit/miss counters.
     #[must_use]
     pub fn stats(&self) -> TlbStats {

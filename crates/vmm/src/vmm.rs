@@ -229,6 +229,39 @@ impl Vmm {
         self.procs.get(&pid).map_or(0, |p| p.pages.len())
     }
 
+    /// Machine-memory backing of one guest frame, if the guest memory map
+    /// has assigned it. Read-only (no lazy host-table fill); used by the
+    /// verify layer's reference translator.
+    #[must_use]
+    pub fn backing(&self, gframe: GuestFrame) -> Option<HostFrame> {
+        self.gmap.backing(gframe)
+    }
+
+    /// Reads the host (EPT) leaf mapping guest-physical address `gpa`,
+    /// with its level. Read-only; used by the verify layer.
+    #[must_use]
+    pub fn hpt_lookup(&self, mem: &PhysMem, gpa: u64) -> Option<(Pte, Level)> {
+        self.hpt.lookup(mem, &HostSpace, gpa)
+    }
+
+    /// Host frame of `pid`'s shadow page-table root, when the technique
+    /// keeps one and the process is known. Read-only; used by the verify
+    /// layer.
+    #[must_use]
+    pub fn spt_root(&self, pid: ProcessId) -> Option<HostFrame> {
+        self.procs
+            .get(&pid)?
+            .spt
+            .map(|t| HostFrame::new(t.root_raw()))
+    }
+
+    /// True when the VMM tracks `pid` (used by audits that reverse-map
+    /// ASIDs back to processes).
+    #[must_use]
+    pub fn knows_process(&self, pid: ProcessId) -> bool {
+        self.procs.contains_key(&pid)
+    }
+
     // ------------------------------------------------------------------
     // Guest memory and process lifecycle
     // ------------------------------------------------------------------
