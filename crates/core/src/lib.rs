@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod config;
 pub mod experiments;
 mod machine;
@@ -44,16 +45,20 @@ pub mod runner;
 mod stats;
 pub mod verify;
 
+pub use chaos::{
+    render_log, ChaosScenario, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind,
+};
 pub use config::SystemConfig;
-pub use machine::Machine;
+pub use machine::{AccessError, Machine};
 pub use report::Table;
 pub use runner::{
-    parallel_map, try_parallel_map, Json, RunArtifact, RunPanic, RunPlan, RunRequest, WorkerPanic,
+    parallel_map, try_parallel_map, Json, RunArtifact, RunOutcome, RunPanic, RunPlan, RunRequest,
+    WorkerPanic,
 };
 pub use stats::{KindCounts, Overheads, RunStats};
 pub use verify::{RefTranslation, Violation, ViolationSite};
 
-pub use agile_guest::{GuestOs, OsStats, SegFault};
+pub use agile_guest::{FaultError, GuestOs, OsStats, SegFault};
 pub use agile_tlb::{PwcConfig, TlbConfig, TlbEntry};
 pub use agile_types as types;
 pub use agile_vmm::{

@@ -1,15 +1,46 @@
 //! The machine: one VM (guest OS + VMM) on simulated translation hardware.
 
+use crate::chaos::{
+    ChaosState, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind, ShootdownFate,
+};
 use crate::config::SystemConfig;
 use crate::stats::{KindCounts, RunStats};
 use crate::verify::{self, Violation};
-use agile_guest::{GuestOs, SegFault};
+use agile_guest::{FaultError, GuestOs, SegFault};
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, TlbEntry, TlbHierarchy};
-use agile_types::{AccessKind, Asid, Fault, GuestVirtAddr, ProcessId, PteFlags};
-use agile_vmm::{FaultOutcome, HwRoots, Technique, Vmm};
+use agile_types::{AccessKind, Asid, Fault, GuestVirtAddr, Level, ProcessId, PteFlags};
+use agile_vmm::{FaultOutcome, FlushRequest, HwRoots, Technique, Vmm};
 use agile_walk::{WalkHw, WalkKind, WalkOk, WalkStats};
 use agile_workloads::{Event, Workload, WorkloadSpec};
+
+/// Why a data access could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// The access fell outside the guest's VMAs.
+    Seg(SegFault),
+    /// Host frame exhaustion that reclaim could not relieve; the access was
+    /// abandoned with a [`DegradationEvent`] instead of a panic. Only
+    /// reachable under chaos frame pressure.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::Seg(s) => write!(f, "{s}"),
+            AccessError::OutOfMemory => write!(f, "out of host memory; access abandoned"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+impl From<SegFault> for AccessError {
+    fn from(s: SegFault) -> Self {
+        AccessError::Seg(s)
+    }
+}
 
 /// A complete simulated system: guest OS, VMM, and translation hardware,
 /// executing workload event streams and accumulating [`RunStats`].
@@ -32,7 +63,15 @@ pub struct Machine {
     baseline: Baseline,
     trace: Option<agile_trace::TraceLog>,
     violations: Vec<Violation>,
+    chaos: Option<ChaosState>,
 }
+
+/// Worst-case number of host frames the infallible deep-map paths can
+/// allocate while servicing one data access (guest levels + shadow + host
+/// table pages, with slack). When a frame budget is active and headroom
+/// falls below this, the machine reclaims *before* touching, so the
+/// infallible allocators never fire into an empty budget.
+const OOM_WATERMARK: u64 = 16;
 
 /// Cap on stored paranoia violations — the first few carry the diagnosis;
 /// an unbounded log of a systematically broken structure would swamp
@@ -82,7 +121,32 @@ impl Machine {
             baseline: Baseline::default(),
             trace: None,
             violations: Vec::new(),
+            chaos: None,
         }
+    }
+
+    /// Arms the deterministic fault-injection engine with `plan`.
+    ///
+    /// Chaos implies paranoia: the contract is that every injected fault is
+    /// either healed (zero oracle violations) or reported as a typed
+    /// [`DegradationEvent`], and detecting faults requires the oracles —
+    /// so this forces [`SystemConfig::paranoia`] on for the machine.
+    pub fn enable_chaos(&mut self, plan: FaultPlan) {
+        self.cfg.paranoia = true;
+        self.chaos = Some(ChaosState::new(plan));
+    }
+
+    /// Degradation events recorded so far (empty without chaos).
+    #[must_use]
+    pub fn degradation_events(&self) -> &[DegradationEvent] {
+        self.chaos.as_ref().map_or(&[], |c| c.events())
+    }
+
+    /// Drains the recorded degradation events.
+    pub fn take_degradation_events(&mut self) -> Vec<DegradationEvent> {
+        self.chaos
+            .as_mut()
+            .map_or_else(Vec::new, |c| c.take_events())
     }
 
     fn record_violations(&mut self, found: impl IntoIterator<Item = Violation>) {
@@ -216,32 +280,88 @@ impl Machine {
         self.procs[index]
     }
 
-    fn drain_flushes(&mut self) {
-        for req in self.vmm.take_pending_flushes() {
-            match req {
-                agile_vmm::FlushRequest::Asid(asid) => {
-                    self.tlb.flush_asid(asid);
-                    self.pwc.flush_asid(asid);
-                }
-                agile_vmm::FlushRequest::NtlbFrame(gframe) => {
-                    self.ntlb.invalidate(self.vmm.vm(), gframe);
-                }
-                agile_vmm::FlushRequest::Range { asid, start, len } => {
-                    self.pwc.invalidate_range(asid, start, len);
-                    // Invalidate the covered TLB pages (ranges are one
-                    // subtree span; cap the per-page loop at the 2 MiB
-                    // granularity and fall back to an ASID flush above it).
-                    if len <= (2 << 20) {
-                        let mut va = start;
-                        while va < start + len {
-                            self.tlb.invalidate_page(asid, GuestVirtAddr::new(va));
-                            va += 0x1000;
-                        }
-                    } else {
-                        self.tlb.flush_asid(asid);
+    fn apply_flush(&mut self, req: FlushRequest) {
+        match req {
+            FlushRequest::Asid(asid) => {
+                self.tlb.flush_asid(asid);
+                self.pwc.flush_asid(asid);
+            }
+            FlushRequest::NtlbFrame(gframe) => {
+                self.ntlb.invalidate(self.vmm.vm(), gframe);
+            }
+            FlushRequest::Range { asid, start, len } => {
+                self.pwc.invalidate_range(asid, start, len);
+                // Invalidate the covered TLB pages (ranges are one
+                // subtree span; cap the per-page loop at the 2 MiB
+                // granularity and fall back to an ASID flush above it).
+                if len <= (2 << 20) {
+                    let mut va = start;
+                    while va < start + len {
+                        self.tlb.invalidate_page(asid, GuestVirtAddr::new(va));
+                        va += 0x1000;
                     }
+                } else {
+                    self.tlb.flush_asid(asid);
                 }
             }
+        }
+    }
+
+    /// Delivers pending VMM shootdowns — through the chaos dice when fault
+    /// injection is armed. `Asid` and `Range` requests (the IPI-carried
+    /// gVA-space shootdowns real systems genuinely lose or delay) can be
+    /// dropped or deferred; `NtlbFrame` requests model the hypervisor's
+    /// *synchronous* local INVEPT on its own EPT edit and always deliver.
+    fn drain_flushes(&mut self) {
+        for req in self.vmm.take_pending_flushes() {
+            let fate = match self.chaos.as_mut() {
+                Some(c) if !matches!(req, FlushRequest::NtlbFrame(_)) => c.roll_shootdown(),
+                _ => ShootdownFate::Deliver,
+            };
+            match fate {
+                ShootdownFate::Deliver => self.apply_flush(req),
+                ShootdownFate::Drop => {
+                    let access = self.accesses;
+                    let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
+                    chaos.record(
+                        access,
+                        DegradationKind::DroppedShootdown,
+                        flush_gva(&req),
+                        format!("dropped {req:?}"),
+                    );
+                }
+                ShootdownFate::Defer(delay) => {
+                    let access = self.accesses;
+                    let due = access + delay;
+                    let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
+                    chaos.record(
+                        access,
+                        DegradationKind::DeferredShootdown,
+                        flush_gva(&req),
+                        format!("deferred {req:?} until access {due}"),
+                    );
+                    chaos.deferred.push((due, req));
+                }
+            }
+        }
+    }
+
+    /// Delivers pending shootdowns without consulting the chaos dice. Heal
+    /// paths use this: a recovery-issued flush must never itself be dropped.
+    fn drain_flushes_reliable(&mut self) {
+        for req in self.vmm.take_pending_flushes() {
+            self.apply_flush(req);
+        }
+    }
+
+    /// Applies deferred shootdowns whose delivery access has been reached.
+    fn deliver_due_shootdowns(&mut self) {
+        let due = match self.chaos.as_mut() {
+            Some(c) => c.take_due_deferred(self.accesses),
+            None => return,
+        };
+        for req in due {
+            self.apply_flush(req);
         }
     }
 
@@ -251,8 +371,43 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`SegFault`] if the access violates the guest's VMAs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if chaos frame pressure exhausted host memory beyond what
+    /// reclaim could relieve; pressure-aware callers use
+    /// [`Machine::try_touch`].
     pub fn touch(&mut self, va: u64, write: bool) -> Result<(), SegFault> {
+        match self.try_touch(va, write) {
+            Ok(()) => Ok(()),
+            Err(AccessError::Seg(s)) => Err(s),
+            Err(AccessError::OutOfMemory) => {
+                panic!("host physical memory exhausted accessing {va:#x}")
+            }
+        }
+    }
+
+    /// [`Machine::touch`] with the out-of-memory degradation path surfaced
+    /// as a typed error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError::Seg`] for VMA violations and
+    /// [`AccessError::OutOfMemory`] when chaos frame pressure could not be
+    /// relieved by reclaim (the access is abandoned; the machine stays
+    /// consistent).
+    pub fn try_touch(&mut self, va: u64, write: bool) -> Result<(), AccessError> {
         self.accesses += 1;
+        if self.chaos.is_some() {
+            if let Some(c) = self.chaos.as_mut() {
+                c.heals_this_access = 0;
+            }
+            self.fire_due_scenarios();
+            self.deliver_due_shootdowns();
+            if !self.ensure_frame_headroom() {
+                return Err(AccessError::OutOfMemory);
+            }
+        }
         let pid = self.current_pid();
         let asid = Asid::from(pid);
         let access = if write {
@@ -262,18 +417,29 @@ impl Machine {
         };
         let gva = GuestVirtAddr::new(va);
         if let Some(entry) = self.tlb.lookup(asid, gva, access) {
-            if self.cfg.paranoia {
-                let found = verify::check_tlb_entry(
+            let stale = if self.cfg.paranoia {
+                verify::check_tlb_entry(
                     &self.mem,
                     &self.vmm,
                     pid,
                     va,
                     &entry,
                     crate::verify::ViolationSite::TlbHit,
-                );
-                self.record_violations(found);
+                )
+            } else {
+                None
+            };
+            match stale {
+                None => return Ok(()),
+                // With chaos armed, a wrong hit is an injected fault to
+                // heal: drop the entry, rebuild the shadow leaf, and fall
+                // through to a fresh walk.
+                Some(v) if self.heal_translation(pid, va, &v) => {}
+                Some(v) => {
+                    self.record_violations([v]);
+                    return Ok(());
+                }
             }
-            return Ok(());
         }
         if let Some(trace) = self.trace.as_mut() {
             trace.push(agile_trace::TraceEvent::TlbMiss {
@@ -288,6 +454,13 @@ impl Machine {
                     if self.cfg.paranoia {
                         let found =
                             verify::check_walk(&self.mem, &self.vmm, &self.cfg, pid, va, &ok);
+                        if let Some(first) = found.first() {
+                            if self.heal_translation(pid, va, first) {
+                                // Healed: retry the walk instead of filling
+                                // the TLB with a corrupted translation.
+                                continue;
+                            }
+                        }
                         self.record_violations(found);
                     }
                     self.kinds.record(ok.kind, ok.refs);
@@ -327,13 +500,277 @@ impl Machine {
         va: u64,
         _fault: Fault,
         access: AccessKind,
-    ) -> Result<(), SegFault> {
-        self.os
-            .handle_page_fault(&mut self.mem, &mut self.vmm, pid, va, access)?;
+    ) -> Result<(), AccessError> {
+        if self.chaos.is_some() {
+            // Pressure-aware path: an allocation failure triggers reclaim
+            // with backoff, then one retry; if memory is still exhausted
+            // the access is abandoned rather than the machine killed.
+            let first =
+                self.os
+                    .try_handle_page_fault(&mut self.mem, &mut self.vmm, pid, va, access);
+            match first {
+                Ok(()) => {}
+                Err(FaultError::Seg(s)) => return Err(AccessError::Seg(s)),
+                Err(FaultError::OutOfMemory { .. }) => {
+                    if !self.reclaim_with_backoff() {
+                        return Err(AccessError::OutOfMemory);
+                    }
+                    self.os
+                        .try_handle_page_fault(&mut self.mem, &mut self.vmm, pid, va, access)
+                        .map_err(|e| match e {
+                            FaultError::Seg(s) => AccessError::Seg(s),
+                            FaultError::OutOfMemory { .. } => AccessError::OutOfMemory,
+                        })?;
+                }
+            }
+        } else {
+            self.os
+                .handle_page_fault(&mut self.mem, &mut self.vmm, pid, va, access)
+                .map_err(AccessError::Seg)?;
+        }
         self.drain_flushes();
         self.tlb
             .invalidate_page(Asid::from(pid), GuestVirtAddr::new(va));
         Ok(())
+    }
+
+    /// Fires every scenario whose access index has been reached, in plan
+    /// order.
+    fn fire_due_scenarios(&mut self) {
+        loop {
+            let Some(chaos) = self.chaos.as_mut() else {
+                return;
+            };
+            let Some(scenario) = chaos.plan.scenarios.get(chaos.next_scenario) else {
+                return;
+            };
+            if scenario.at_access > self.accesses {
+                return;
+            }
+            let kind = scenario.kind.clone();
+            chaos.next_scenario += 1;
+            self.fire_scenario(kind);
+        }
+    }
+
+    fn chaos_record(&mut self, kind: DegradationKind, gva: Option<u64>, detail: String) {
+        let access = self.accesses;
+        if let Some(c) = self.chaos.as_mut() {
+            c.record(access, kind, gva, detail);
+        }
+    }
+
+    fn fire_scenario(&mut self, kind: ScenarioKind) {
+        let pid = self.current_pid();
+        let asid = Asid::from(pid);
+        match kind {
+            ScenarioKind::TrapStorm {
+                base,
+                pages,
+                writes_per_page,
+            } => {
+                let mut writes = 0u64;
+                for i in 0..pages {
+                    let va = base + i * 0x1000;
+                    for w in 0..writes_per_page {
+                        // Alternate a harmless A/D-bit toggle so every
+                        // write is a real guest page-table store (and, on
+                        // shadow-mode subtrees, a GptWrite VMtrap).
+                        let flip = if w % 2 == 0 {
+                            PteFlags::ACCESSED
+                        } else {
+                            PteFlags::DIRTY
+                        };
+                        if self
+                            .vmm
+                            .gpt_update(&mut self.mem, pid, va, Level::L1, |p| p.with_flags(flip))
+                            .is_some()
+                        {
+                            writes += 1;
+                            // The storming guest invlpg's after every PTE
+                            // store (the architectural sequence for a live
+                            // mapping change). The invlpg is a resync
+                            // point: it re-protects the just-unsynced
+                            // table page, so the next store traps again —
+                            // this is the adversarial pattern the KVM-style
+                            // leaf unsync cannot absorb.
+                            self.vmm.guest_invlpg(&mut self.mem, pid, va);
+                        }
+                    }
+                }
+                self.drain_flushes_reliable();
+                self.chaos_record(
+                    DegradationKind::InjectedFault,
+                    Some(base),
+                    format!("trap storm: {writes} write+invlpg cycles across {pages} pages"),
+                );
+            }
+            ScenarioKind::CorruptShadowPte { gva, bit } => {
+                match self
+                    .vmm
+                    .chaos_corrupt_shadow_leaf(&mut self.mem, pid, gva, bit)
+                {
+                    Some(level) => {
+                        // The corruption manifests on the next walk; evict
+                        // the cached entry so the walk happens.
+                        self.tlb.invalidate_page(asid, GuestVirtAddr::new(gva));
+                        self.chaos_record(
+                            DegradationKind::InjectedFault,
+                            Some(gva),
+                            format!("flipped bit {bit} of the shadow {level:?} leaf"),
+                        );
+                    }
+                    None => self.chaos_record(
+                        DegradationKind::InjectedFault,
+                        Some(gva),
+                        format!("shadow corruption no-op: no shadow leaf (bit {bit})"),
+                    ),
+                }
+            }
+            ScenarioKind::CorruptGuestPte { gva } => {
+                match self
+                    .vmm
+                    .chaos_corrupt_guest_leaf(&mut self.mem, pid, gva, 0)
+                {
+                    Some(level) => {
+                        self.tlb.invalidate_page(asid, GuestVirtAddr::new(gva));
+                        self.chaos_record(
+                            DegradationKind::InjectedFault,
+                            Some(gva),
+                            format!("cleared the present bit of the guest {level:?} leaf"),
+                        );
+                    }
+                    None => self.chaos_record(
+                        DegradationKind::InjectedFault,
+                        Some(gva),
+                        "guest corruption no-op: no guest leaf".to_string(),
+                    ),
+                }
+            }
+            ScenarioKind::FramePressure { headroom } => {
+                let budget = self.mem.frames_charged() + headroom;
+                self.mem.set_frame_budget(Some(budget));
+                self.chaos_record(
+                    DegradationKind::InjectedFault,
+                    None,
+                    format!("frame budget capped at {budget} ({headroom} frames of headroom)"),
+                );
+            }
+        }
+    }
+
+    /// Keeps at least [`OOM_WATERMARK`] frames of budget headroom, running
+    /// reclaim if needed. `false` means the access must be abandoned.
+    fn ensure_frame_headroom(&mut self) -> bool {
+        let Some(remaining) = self.mem.frames_remaining() else {
+            return true;
+        };
+        if remaining >= OOM_WATERMARK {
+            return true;
+        }
+        self.reclaim_with_backoff()
+    }
+
+    /// The OOM graceful-degradation path: escalating guest reclaim passes
+    /// (capped backoff ×1, ×2, ×4) with balloon surrender of the recycled
+    /// frames, then — past the plan's failure cap — budget relief so the
+    /// run completes instead of starving forever.
+    fn reclaim_with_backoff(&mut self) -> bool {
+        let pid = self.current_pid();
+        for passes in [1u32, 2, 4] {
+            let reclaimed = self
+                .os
+                .reclaim_pressure(&mut self.mem, &mut self.vmm, pid, passes);
+            // Balloon: pages the guest released return to the host's frame
+            // budget; the guest surrenders its recycle list with them.
+            let ballooned = self.os.balloon_surrender();
+            self.mem.credit_frames(ballooned);
+            self.drain_flushes_reliable();
+            self.tlb.flush_asid(Asid::from(pid));
+            let remaining = self.mem.frames_remaining().unwrap_or(u64::MAX);
+            self.chaos_record(
+                DegradationKind::OomReclaim,
+                None,
+                format!(
+                    "reclaim x{passes}: {reclaimed} pages reclaimed, {ballooned} frames \
+                     ballooned, {remaining} frames of headroom"
+                ),
+            );
+            if remaining >= OOM_WATERMARK {
+                if let Some(c) = self.chaos.as_mut() {
+                    c.oom_failures = 0;
+                }
+                return true;
+            }
+        }
+        let Some(c) = self.chaos.as_mut() else {
+            return false;
+        };
+        c.oom_failures += 1;
+        if c.oom_failures > c.plan.max_oom_failures {
+            let failures = c.oom_failures;
+            self.mem.set_frame_budget(None);
+            self.chaos_record(
+                DegradationKind::PressureRelieved,
+                None,
+                format!("frame budget lifted after {failures} failed reclaim rounds"),
+            );
+            return true;
+        }
+        false
+    }
+
+    /// Graceful-degradation path for a detected wrong or stale translation:
+    /// record the heal, purge every cache that could hold it, rebuild the
+    /// shadow leaf, and let the access retry. `false` when chaos is off or
+    /// the per-access heal budget is spent (the violation is then surfaced
+    /// unhealed).
+    fn heal_translation(&mut self, pid: ProcessId, va: u64, why: &Violation) -> bool {
+        let Some(c) = self.chaos.as_mut() else {
+            return false;
+        };
+        if c.heals_this_access >= c.plan.max_heals_per_access {
+            return false;
+        }
+        c.heals_this_access += 1;
+        self.chaos_record(
+            DegradationKind::HealedTranslation,
+            Some(va),
+            format!("healing: {why}"),
+        );
+        let asid = Asid::from(pid);
+        self.tlb.invalidate_page(asid, GuestVirtAddr::new(va));
+        self.pwc.flush_asid(asid);
+        self.ntlb.flush_vm(self.vmm.vm());
+        self.vmm.chaos_heal_shadow(&mut self.mem, pid, va);
+        self.drain_flushes_reliable();
+        true
+    }
+
+    /// Heals stale-cache audit findings after an injected (dropped or
+    /// deferred) shootdown: flushes every caching structure, records one
+    /// heal per finding, and returns the residual violations of a clean
+    /// re-audit.
+    fn heal_audit_violations(&mut self, found: Vec<Violation>) -> Vec<Violation> {
+        for pid in self.procs.clone() {
+            let asid = Asid::from(pid);
+            self.tlb.flush_asid(asid);
+            self.pwc.flush_asid(asid);
+        }
+        self.ntlb.flush_vm(self.vmm.vm());
+        let pid = self.current_pid();
+        for v in found {
+            self.chaos_record(
+                DegradationKind::HealedTranslation,
+                v.gva,
+                format!("audit heal: {v}"),
+            );
+            if let Some(gva) = v.gva {
+                self.vmm.chaos_heal_shadow(&mut self.mem, pid, gva);
+            }
+        }
+        self.drain_flushes_reliable();
+        self.audit()
     }
 
     fn walk_once(
@@ -427,14 +864,31 @@ impl Machine {
     pub fn run_event(&mut self, event: Event) {
         let pid = self.current_pid();
         // Events that edit page tables or switch address spaces must leave
-        // no stale translation behind; the paranoia layer re-audits every
-        // caching structure after each one.
-        let mut audit_after = false;
+        // no stale translation behind; the paranoia layer re-audits the
+        // caching structures after each one. Range-scoped events audit
+        // only the touched VA span (the stale translations a missed
+        // shootdown could leave are, by construction, inside it); events
+        // with global effect sweep everything.
+        enum AuditScope {
+            None,
+            Range(u64, u64),
+            Full,
+        }
+        let mut audit = AuditScope::None;
         match event {
-            Event::Access { va, write } => {
-                self.touch(va, write)
-                    .expect("workload accesses stay inside its VMAs");
-            }
+            Event::Access { va, write } => match self.try_touch(va, write) {
+                Ok(()) => {}
+                Err(AccessError::OutOfMemory) => {
+                    self.chaos_record(
+                        DegradationKind::OomSkip,
+                        Some(va),
+                        "access skipped under frame pressure".to_string(),
+                    );
+                }
+                Err(AccessError::Seg(_)) => {
+                    panic!("workload accesses stay inside its VMAs")
+                }
+            },
             Event::Mmap {
                 start,
                 len,
@@ -447,27 +901,27 @@ impl Machine {
                     .munmap(&mut self.mem, &mut self.vmm, pid, start, len);
                 self.drain_flushes();
                 self.tlb.flush_asid(Asid::from(pid));
-                audit_after = true;
+                audit = AuditScope::Range(start, len);
             }
             Event::MarkCow { start, len } => {
                 self.os
                     .mark_region_cow(&mut self.mem, &mut self.vmm, pid, start, len);
                 self.drain_flushes();
                 self.tlb.flush_asid(Asid::from(pid));
-                audit_after = true;
+                audit = AuditScope::Range(start, len);
             }
             Event::ClockScan { start, len } => {
                 self.os
                     .clock_scan(&mut self.mem, &mut self.vmm, pid, start, len);
                 self.drain_flushes();
                 self.tlb.flush_asid(Asid::from(pid));
-                audit_after = true;
+                audit = AuditScope::Range(start, len);
             }
             Event::ContextSwitch { to } => {
                 let target = self.ensure_proc(to);
                 self.os.context_switch(&mut self.mem, &mut self.vmm, target);
                 self.drain_flushes();
-                audit_after = true;
+                audit = AuditScope::Full;
             }
             Event::Tick => {
                 let misses = self.tlb.stats().misses - self.misses_at_last_tick;
@@ -478,12 +932,35 @@ impl Machine {
                 if let Some(trace) = self.trace.as_mut() {
                     trace.push(agile_trace::TraceEvent::IntervalEnd);
                 }
-                audit_after = true;
+                audit = AuditScope::Full;
             }
         }
-        if audit_after && self.cfg.paranoia {
-            let found = self.audit();
-            self.record_violations(found);
+        if self.cfg.paranoia {
+            let found = match audit {
+                AuditScope::None => return,
+                AuditScope::Range(start, len) => verify::audit_coherence_range(
+                    &self.mem,
+                    &self.vmm,
+                    &self.tlb,
+                    &self.pwc,
+                    &self.ntlb,
+                    Asid::from(pid),
+                    start,
+                    len,
+                ),
+                AuditScope::Full => self.audit(),
+            };
+            if found.is_empty() {
+                return;
+            }
+            if self.chaos.is_some() {
+                // Stale caches here are injected (dropped/deferred
+                // shootdowns): heal and record instead of failing the run.
+                let residual = self.heal_audit_violations(found);
+                self.record_violations(residual);
+            } else {
+                self.record_violations(found);
+            }
         }
     }
 
@@ -536,6 +1013,14 @@ impl Machine {
             vmm: self.vmm.counters().since(&b.vmm),
             ideal_cycles: accesses * self.cfg.base_cycles_per_access,
         }
+    }
+}
+
+/// The gVA a shootdown concerns, for degradation-event labeling.
+fn flush_gva(req: &FlushRequest) -> Option<u64> {
+    match req {
+        FlushRequest::Range { start, .. } => Some(*start),
+        _ => None,
     }
 }
 

@@ -41,6 +41,7 @@ pub mod json;
 
 pub use json::{to_csv, Json};
 
+use crate::chaos::{DegradationEvent, DegradationKind, FaultPlan};
 use crate::config::SystemConfig;
 use crate::machine::Machine;
 use crate::stats::{KindCounts, RunStats};
@@ -52,7 +53,7 @@ use agile_workloads::WorkloadSpec;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Schema tag embedded in every serialized artifact.
 pub const ARTIFACT_SCHEMA: &str = "agile-paging/run/v1";
@@ -73,6 +74,8 @@ pub struct RunRequest {
     pub seed: Option<u64>,
     /// Record the §VI trace (guest page-table writes + TLB misses).
     pub capture_trace: bool,
+    /// Fault-injection plan; arming it forces paranoia on for the run.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl RunRequest {
@@ -87,6 +90,7 @@ impl RunRequest {
             warmup: 0,
             seed: None,
             capture_trace: false,
+            chaos: None,
         }
     }
 
@@ -118,12 +122,20 @@ impl RunRequest {
         self
     }
 
+    /// Arms deterministic fault injection for this run (implies paranoia).
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Executes this request on a fresh machine.
     ///
     /// # Panics
     ///
-    /// With [`SystemConfig::paranoia`] on, panics if the verify layer's
-    /// oracles caught any violation, listing them.
+    /// With [`SystemConfig::paranoia`] on (or chaos armed, which implies
+    /// it), panics if the verify layer's oracles caught any violation that
+    /// the degradation paths did not heal, listing them.
     #[must_use]
     pub fn run(&self) -> RunArtifact {
         let mut spec = self.spec.clone();
@@ -135,8 +147,11 @@ impl RunRequest {
         if self.capture_trace {
             machine.enable_tracing();
         }
+        if let Some(plan) = &self.chaos {
+            machine.enable_chaos(plan.clone());
+        }
         let stats = machine.run_spec_measured(&spec, self.warmup);
-        if self.config.paranoia {
+        if self.config.paranoia || self.chaos.is_some() {
             let violations = machine.take_violations();
             assert!(
                 violations.is_empty(),
@@ -159,6 +174,7 @@ impl RunRequest {
             warmup: self.warmup,
             wall_nanos,
             stats,
+            degradation: machine.take_degradation_events(),
             trace: self.capture_trace.then(|| machine.take_trace()),
         }
     }
@@ -184,6 +200,9 @@ pub struct RunArtifact {
     pub wall_nanos: u64,
     /// Everything the simulated run measured.
     pub stats: RunStats,
+    /// Degradation events from the chaos layer (empty without chaos);
+    /// recovery-wrapped runs append their runner-level events here too.
+    pub degradation: Vec<DegradationEvent>,
     /// The §VI trace, when requested.
     pub trace: Option<TraceLog>,
 }
@@ -215,6 +234,15 @@ impl RunArtifact {
             ("warmup", Json::UInt(self.warmup)),
             ("config", config_json(&self.config)),
             ("stats", stats_json(&self.stats)),
+            (
+                "degradation",
+                Json::Arr(
+                    self.degradation
+                        .iter()
+                        .map(|e| Json::Str(e.to_string()))
+                        .collect(),
+                ),
+            ),
             (
                 "trace_events",
                 match &self.trace {
@@ -290,6 +318,7 @@ pub fn stats_json(stats: &RunStats) -> Json {
         (
             "tlb",
             Json::obj(vec![
+                ("lookups", Json::UInt(stats.tlb.lookups)),
                 ("l1_hits", Json::UInt(stats.tlb.l1_hits)),
                 ("l2_hits", Json::UInt(stats.tlb.l2_hits)),
                 ("misses", Json::UInt(stats.tlb.misses)),
@@ -300,6 +329,7 @@ pub fn stats_json(stats: &RunStats) -> Json {
         (
             "walks",
             Json::obj(vec![
+                ("attempts", Json::UInt(stats.walks.attempts)),
                 ("completed", Json::UInt(stats.walks.walks)),
                 ("faulted", Json::UInt(stats.walks.faulted_walks)),
                 ("memory_refs", Json::UInt(stats.walks.memory_refs)),
@@ -337,6 +367,7 @@ pub fn stats_json(stats: &RunStats) -> Json {
                 ("ctx_cache_hits", Json::UInt(stats.vmm.ctx_cache_hits)),
                 ("gpt_writes_total", Json::UInt(stats.vmm.gpt_writes_total)),
                 ("gpt_writes_direct", Json::UInt(stats.vmm.gpt_writes_direct)),
+                ("storm_fallbacks", Json::UInt(stats.vmm.storm_fallbacks)),
             ]),
         ),
         (
@@ -362,6 +393,8 @@ pub struct RunPlan {
     requests: Vec<RunRequest>,
     threads: usize,
     seed_base: Option<u64>,
+    timeout: Option<Duration>,
+    retries: u32,
 }
 
 impl RunPlan {
@@ -372,6 +405,8 @@ impl RunPlan {
             requests: Vec::new(),
             threads: 1,
             seed_base: None,
+            timeout: None,
+            retries: 0,
         }
     }
 
@@ -379,6 +414,22 @@ impl RunPlan {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Per-request wall-clock limit for [`RunPlan::execute_with_recovery`]
+    /// (a timed-out run is skipped, never retried).
+    #[must_use]
+    pub fn with_timeout(mut self, limit: Duration) -> Self {
+        self.timeout = Some(limit);
+        self
+    }
+
+    /// Bounded retry count for panicking requests under
+    /// [`RunPlan::execute_with_recovery`].
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
         self
     }
 
@@ -435,21 +486,7 @@ impl RunPlan {
     ///
     /// Returns [`RunPanic`] if any request's simulation panicked.
     pub fn try_execute(&self) -> Result<Vec<RunArtifact>, RunPanic> {
-        let seed_base = self.seed_base;
-        let requests: Vec<RunRequest> = self
-            .requests
-            .iter()
-            .enumerate()
-            .map(|(i, req)| {
-                let mut req = req.clone();
-                if req.seed.is_none() {
-                    if let Some(base) = seed_base {
-                        req.seed = Some(SplitMix64::derive(base, i as u64));
-                    }
-                }
-                req
-            })
-            .collect();
+        let requests = self.seeded_requests();
         let labels: Vec<String> = requests.iter().map(|r| r.label.clone()).collect();
         try_parallel_map(self.threads, requests, |_, req| req.run()).map_err(|p| RunPanic {
             label: labels
@@ -459,6 +496,168 @@ impl RunPlan {
             index: p.index,
             message: p.message,
         })
+    }
+
+    /// Executes every request with runner-level fault containment: a
+    /// panicking request is retried up to [`RunPlan::with_retries`] times
+    /// and then skipped; a request exceeding [`RunPlan::with_timeout`] is
+    /// skipped immediately (its worker thread is abandoned — a hung
+    /// simulation cannot be cancelled cooperatively). One poisoned run
+    /// never loses the rest of the matrix: every request yields a
+    /// [`RunOutcome`], in request order, and sibling results are
+    /// bit-identical to an undisturbed plan's.
+    #[must_use]
+    pub fn execute_with_recovery(&self) -> Vec<RunOutcome> {
+        let requests = self.seeded_requests();
+        let timeout = self.timeout;
+        let retries = self.retries;
+        parallel_map(self.threads, requests, |index, req| {
+            run_with_recovery(index, &req, timeout, retries)
+        })
+    }
+
+    fn seeded_requests(&self) -> Vec<RunRequest> {
+        self.requests
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let mut req = req.clone();
+                if req.seed.is_none() {
+                    if let Some(base) = self.seed_base {
+                        req.seed = Some(SplitMix64::derive(base, i as u64));
+                    }
+                }
+                req
+            })
+            .collect()
+    }
+}
+
+/// The result of one request under [`RunPlan::execute_with_recovery`].
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The run finished (possibly after retries; runner-level events are
+    /// appended to the artifact's degradation log). Boxed: an artifact is
+    /// two orders of magnitude larger than the skip record.
+    Completed(Box<RunArtifact>),
+    /// The run was abandoned after exhausting its retry budget or its
+    /// timeout; `events` says exactly what happened and when.
+    Skipped {
+        /// Label of the abandoned request.
+        label: String,
+        /// Position of that request in the plan.
+        index: usize,
+        /// The runner-level degradation events (panics, retries, timeout).
+        events: Vec<DegradationEvent>,
+    },
+}
+
+impl RunOutcome {
+    /// The artifact, when the run completed.
+    #[must_use]
+    pub fn artifact(&self) -> Option<&RunArtifact> {
+        match self {
+            RunOutcome::Completed(a) => Some(a),
+            RunOutcome::Skipped { .. } => None,
+        }
+    }
+
+    /// True when the run was skipped.
+    #[must_use]
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, RunOutcome::Skipped { .. })
+    }
+}
+
+enum Attempt {
+    Done(Box<RunArtifact>),
+    Panicked(String),
+    TimedOut,
+}
+
+fn run_attempt(req: &RunRequest, timeout: Option<Duration>) -> Attempt {
+    match timeout {
+        None => match catch_unwind(AssertUnwindSafe(|| req.run())) {
+            Ok(a) => Attempt::Done(Box::new(a)),
+            Err(payload) => Attempt::Panicked(panic_message(payload)),
+        },
+        Some(limit) => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let req = req.clone();
+            std::thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| req.run())).map_err(panic_message);
+                // The receiver may have timed out and gone away; that is
+                // exactly the abandoned-thread case, so ignore send errors.
+                let _ = tx.send(result);
+            });
+            match rx.recv_timeout(limit) {
+                Ok(Ok(a)) => Attempt::Done(Box::new(a)),
+                Ok(Err(message)) => Attempt::Panicked(message),
+                Err(_) => Attempt::TimedOut,
+            }
+        }
+    }
+}
+
+fn run_with_recovery(
+    index: usize,
+    req: &RunRequest,
+    timeout: Option<Duration>,
+    retries: u32,
+) -> RunOutcome {
+    fn note(events: &mut Vec<DegradationEvent>, kind: DegradationKind, detail: String) {
+        events.push(DegradationEvent {
+            seq: events.len() as u64,
+            access: 0,
+            kind,
+            gva: None,
+            detail,
+        });
+    }
+    let mut events: Vec<DegradationEvent> = Vec::new();
+    for attempt in 0..=retries {
+        match run_attempt(req, timeout) {
+            Attempt::Done(mut artifact) => {
+                // Renumber the runner events after the machine's so the
+                // combined log stays monotonic.
+                let base = artifact.degradation.len() as u64;
+                for (k, mut e) in events.into_iter().enumerate() {
+                    e.seq = base + k as u64;
+                    artifact.degradation.push(e);
+                }
+                return RunOutcome::Completed(artifact);
+            }
+            Attempt::Panicked(message) => {
+                note(
+                    &mut events,
+                    DegradationKind::RunnerPanic,
+                    format!("attempt {attempt} panicked: {message}"),
+                );
+                if attempt < retries {
+                    note(
+                        &mut events,
+                        DegradationKind::RunnerRetry,
+                        format!("retrying (attempt {} of {})", attempt + 2, retries + 1),
+                    );
+                }
+            }
+            Attempt::TimedOut => {
+                note(
+                    &mut events,
+                    DegradationKind::RunnerTimeout,
+                    format!(
+                        "attempt {attempt} exceeded {:?}; worker abandoned, run skipped",
+                        timeout.expect("timeout fired")
+                    ),
+                );
+                break;
+            }
+        }
+    }
+    RunOutcome::Skipped {
+        label: req.label.clone(),
+        index,
+        events,
     }
 }
 

@@ -18,10 +18,12 @@
 //!    equal classified walks plus hardware A/D walks, per-kind reference
 //!    counts sit within the Table II bounds, and trap cycles equal
 //!    Σ count × cost.
-//! 3. **Coherence audit** ([`audit_coherence`]): after every unmap, COW
-//!    marking, clock scan, context switch, and interval tick, sweeps the
-//!    whole TLB hierarchy, the page-walk caches, and the nested TLB
-//!    asserting no stale translation survived the shootdowns.
+//! 3. **Coherence audit** ([`audit_coherence`], [`audit_coherence_range`]):
+//!    after every unmap, COW marking, clock scan, context switch, and
+//!    interval tick, sweeps the TLB hierarchy, the page-walk caches, and
+//!    the nested TLB asserting no stale translation survived the
+//!    shootdowns. Range-scoped events (unmap, COW, clock scan) audit only
+//!    the entries their shootdown could have left stale.
 //!
 //! All oracles are strictly read-only: enabling
 //! [`crate::SystemConfig::paranoia`] changes wall-clock time, never
@@ -297,8 +299,49 @@ pub fn audit_coherence(
     pwc: &PageWalkCaches,
     ntlb: &NestedTlb,
 ) -> Vec<Violation> {
+    audit_coherence_impl(mem, vmm, tlb, pwc, ntlb, None)
+}
+
+/// Range-scoped variant of [`audit_coherence`]: sweeps only the TLB and
+/// PWC entries that can intersect `asid`'s `[start, start + len)` gVA
+/// window. After a ranged shootdown (unmap, COW marking, clock scan) only
+/// those entries can have gone stale, so auditing the rest is pure cost.
+///
+/// The nested TLB is still swept in full: it is keyed by guest *physical*
+/// frame, which a gVA range does not name — host-table mutations behind a
+/// guest-range operation (COW breaks, reclaim) can touch gPAs far from any
+/// function of the gVAs.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // five caches + the three-part scope
+pub fn audit_coherence_range(
+    mem: &PhysMem,
+    vmm: &Vmm,
+    tlb: &TlbHierarchy,
+    pwc: &PageWalkCaches,
+    ntlb: &NestedTlb,
+    asid: Asid,
+    start: u64,
+    len: u64,
+) -> Vec<Violation> {
+    audit_coherence_impl(mem, vmm, tlb, pwc, ntlb, Some((asid, start, len)))
+}
+
+fn audit_coherence_impl(
+    mem: &PhysMem,
+    vmm: &Vmm,
+    tlb: &TlbHierarchy,
+    pwc: &PageWalkCaches,
+    ntlb: &NestedTlb,
+    scope: Option<(Asid, u64, u64)>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     for (asid, va, entry) in tlb.entries() {
+        if let Some((scope_asid, start, len)) = scope {
+            let va_end = va.raw().saturating_add(entry.size.bytes());
+            if asid != scope_asid || va.raw() >= start.saturating_add(len) || va_end <= start {
+                continue;
+            }
+        }
         let pid = pid_of(asid);
         if !vmm.knows_process(pid) {
             continue;
@@ -308,6 +351,22 @@ pub fn audit_coherence(
         }
     }
     for (asid, next_level, prefix, entry) in pwc.entries() {
+        if let Some((scope_asid, start, len)) = scope {
+            // A skip-N entry's key is the gVA truncated to the level the
+            // cached pointer was read *from* (the parent of `next_level`) —
+            // the same bounds arithmetic `PageWalkCaches::invalidate_range`
+            // uses when it processes a shootdown.
+            let key_shift = match next_level {
+                Level::L1 => Level::L2.index_shift(),
+                Level::L2 => Level::L3.index_shift(),
+                _ => Level::L4.index_shift(),
+            };
+            let lo = start >> key_shift;
+            let hi = (start + len.saturating_sub(1)) >> key_shift;
+            if asid != scope_asid || prefix < lo || prefix > hi {
+                continue;
+            }
+        }
         let pid = pid_of(asid);
         if !vmm.knows_process(pid) {
             continue;
@@ -409,6 +468,21 @@ pub fn check_stats(stats: &RunStats, cfg: &SystemConfig) -> Vec<Violation> {
     }
     if t.fills > t.misses {
         fail(format!("TLB fills {} exceed misses {}", t.fills, t.misses));
+    }
+    if w.attempts != w.walks + w.faulted_walks {
+        fail(format!(
+            "walk attempts do not conserve: {} attempts != {} completed + {} faulted",
+            w.attempts, w.walks, w.faulted_walks
+        ));
+    }
+    // Cross-structure: every TLB miss starts at least one walk attempt
+    // (fault retries and hardware A/D walks only add more), so the walker's
+    // entry counter must dominate the TLB's independent miss counter.
+    if w.attempts < t.misses {
+        fail(format!(
+            "walker saw {} attempts for {} TLB misses",
+            w.attempts, t.misses
+        ));
     }
     if w.walks != stats.kinds.total() + stats.ad_walks {
         fail(format!(

@@ -31,5 +31,5 @@
 mod os;
 mod vma;
 
-pub use os::{GuestOs, OsStats, SegFault};
+pub use os::{FaultError, GuestOs, OsStats, SegFault};
 pub use vma::{Vma, VmaBacking};

@@ -22,6 +22,38 @@ impl std::fmt::Display for SegFault {
 
 impl std::error::Error for SegFault {}
 
+/// Why a guest page fault could not be serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// Guest-visible protection violation; delivered to the guest process.
+    Seg(SegFault),
+    /// The host ran out of physical frames while servicing the fault. Not
+    /// guest-visible: the caller reclaims memory and retries, or degrades.
+    OutOfMemory {
+        /// Faulting address.
+        va: u64,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::Seg(s) => s.fmt(f),
+            FaultError::OutOfMemory { va } => {
+                write!(f, "out of host memory servicing guest fault at {va:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl From<SegFault> for FaultError {
+    fn from(s: SegFault) -> Self {
+        FaultError::Seg(s)
+    }
+}
+
 /// Guest-OS event counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OsStats {
@@ -108,11 +140,24 @@ impl GuestOs {
 
     /// Allocates a guest data frame, preferring the guest's free list (real
     /// guests recycle physical memory, so the host-table mapping usually
-    /// already exists and no EPT-violation exit follows).
-    fn alloc_frame(&mut self, mem: &mut PhysMem, vmm: &mut Vmm) -> GuestFrame {
+    /// already exists and no EPT-violation exit follows). `None` when the
+    /// free list is empty and the host frame budget is exhausted.
+    fn try_alloc_frame(&mut self, mem: &mut PhysMem, vmm: &mut Vmm) -> Option<GuestFrame> {
         self.free_frames
             .pop()
-            .unwrap_or_else(|| vmm.alloc_guest_frame(mem))
+            .or_else(|| vmm.try_alloc_guest_frame(mem))
+    }
+
+    /// Balloon surrender: the guest hands its recycle list back to the
+    /// host (the balloon driver inflating into freed pages). Returns how
+    /// many frames were surrendered; the caller credits them to the host
+    /// frame budget. Surrendered gPFNs are never reallocated by the guest
+    /// (the free list is the only reuse path), so host accounting stays
+    /// consistent.
+    pub fn balloon_surrender(&mut self) -> u64 {
+        let n = self.free_frames.len() as u64;
+        self.free_frames.clear();
+        n
     }
 
     /// Returns a 4 KiB frame to the guest's free list (huge-run frames and
@@ -283,13 +328,13 @@ impl GuestOs {
         }
     }
 
-    fn shared_frame(&mut self, mem: &mut PhysMem, vmm: &mut Vmm) -> GuestFrame {
+    fn try_shared_frame(&mut self, mem: &mut PhysMem, vmm: &mut Vmm) -> Option<GuestFrame> {
         if let Some(f) = self.shared_cow_frame {
-            return f;
+            return Some(f);
         }
-        let f = vmm.alloc_guest_frame(mem);
+        let f = vmm.try_alloc_guest_frame(mem)?;
         self.shared_cow_frame = Some(f);
-        f
+        Some(f)
     }
 
     /// Services a guest page fault at `gva` (demand allocation or COW
@@ -299,6 +344,11 @@ impl GuestOs {
     ///
     /// Returns [`SegFault`] when the address lies outside every VMA or the
     /// access violates the VMA's protection.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the host frame budget is exhausted; pressure-aware
+    /// callers use [`GuestOs::try_handle_page_fault`] and reclaim instead.
     pub fn handle_page_fault(
         &mut self,
         mem: &mut PhysMem,
@@ -307,14 +357,42 @@ impl GuestOs {
         gva: u64,
         access: AccessKind,
     ) -> Result<(), SegFault> {
+        self.try_handle_page_fault(mem, vmm, pid, gva, access)
+            .map_err(|e| match e {
+                FaultError::Seg(s) => s,
+                FaultError::OutOfMemory { va } => {
+                    panic!("host physical memory exhausted servicing guest fault at {va:#x}")
+                }
+            })
+    }
+
+    /// Fallible variant of [`GuestOs::handle_page_fault`] that surfaces
+    /// host frame exhaustion as [`FaultError::OutOfMemory`] instead of
+    /// panicking, so the machine can reclaim and retry. When a huge-page
+    /// allocation fails under pressure the fault degrades to base pages
+    /// before reporting OOM (like a kernel falling back from THP).
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::Seg`] for guest-visible protection violations,
+    /// [`FaultError::OutOfMemory`] when the host frame budget is exhausted.
+    pub fn try_handle_page_fault(
+        &mut self,
+        mem: &mut PhysMem,
+        vmm: &mut Vmm,
+        pid: ProcessId,
+        gva: u64,
+        access: AccessKind,
+    ) -> Result<(), FaultError> {
         let vma = *self
             .procs
             .get(&pid)
             .and_then(|p| p.vma_at(gva))
             .ok_or(SegFault { va: gva })?;
         if access.is_write() && !vma.writable {
-            return Err(SegFault { va: gva });
+            return Err(SegFault { va: gva }.into());
         }
+        let oom = FaultError::OutOfMemory { va: gva };
         match vmm.gpt_lookup(mem, pid, gva) {
             None => {
                 // Demand allocation: the largest permitted page that fits.
@@ -330,22 +408,25 @@ impl GuestOs {
                     }
                 }
                 if let Some(size) = huge_size {
-                    let g = vmm.alloc_guest_frame_huge(mem, size);
-                    let base = gva & !size.offset_mask();
-                    let flags = if vma.writable {
-                        PteFlags::WRITABLE
-                    } else {
-                        PteFlags::empty()
-                    };
-                    vmm.gpt_map(mem, pid, base, g, size, flags);
-                    self.stats.pages_mapped += 1;
-                    self.stats.huge_mappings += 1;
-                    return Ok(());
+                    if let Some(g) = vmm.try_alloc_guest_frame_huge(mem, size) {
+                        let base = gva & !size.offset_mask();
+                        let flags = if vma.writable {
+                            PteFlags::WRITABLE
+                        } else {
+                            PteFlags::empty()
+                        };
+                        vmm.gpt_map(mem, pid, base, g, size, flags);
+                        self.stats.pages_mapped += 1;
+                        self.stats.huge_mappings += 1;
+                        return Ok(());
+                    }
+                    // Huge allocation failed under pressure: degrade to a
+                    // base page below rather than reporting OOM outright.
                 }
                 let base = gva & !PageSize::Size4K.offset_mask();
                 match vma.backing {
                     VmaBacking::Anon => {
-                        let g = self.alloc_frame(mem, vmm);
+                        let g = self.try_alloc_frame(mem, vmm).ok_or(oom)?;
                         let flags = if vma.writable {
                             PteFlags::WRITABLE
                         } else {
@@ -354,11 +435,11 @@ impl GuestOs {
                         vmm.gpt_map(mem, pid, base, g, PageSize::Size4K, flags);
                     }
                     VmaBacking::Cow => {
-                        let shared = self.shared_frame(mem, vmm);
+                        let shared = self.try_shared_frame(mem, vmm).ok_or(oom)?;
                         vmm.gpt_map(mem, pid, base, shared, PageSize::Size4K, PteFlags::empty());
                         if access.is_write() {
                             // Fall through to the COW break below.
-                            return self.handle_page_fault(mem, vmm, pid, gva, access);
+                            return self.try_handle_page_fault(mem, vmm, pid, gva, access);
                         }
                     }
                 }
@@ -368,8 +449,8 @@ impl GuestOs {
             Some((pte, level)) => {
                 if access.is_write() && !pte.is_writable() && vma.writable {
                     // COW break: private copy + writable remap + shootdown.
+                    let fresh = self.try_alloc_frame(mem, vmm).ok_or(oom)?;
                     self.stats.cow_breaks += 1;
-                    let fresh = self.alloc_frame(mem, vmm);
                     vmm.gpt_update(mem, pid, gva, level, |p| {
                         agile_types::Pte::new(fresh.raw(), p.flags().union(PteFlags::WRITABLE))
                     });
@@ -382,6 +463,34 @@ impl GuestOs {
                 }
             }
         }
+    }
+
+    /// Reclaims memory under host frame pressure: runs `passes`
+    /// clock-scan sweeps over every VMA of `pid`, recycling cold pages to
+    /// the guest free list (and crediting the host budget for any table
+    /// pages torn down on the way). Returns the number of pages reclaimed.
+    ///
+    /// One pass clears accessed bits and harvests already-cold pages; a
+    /// second pass harvests everything not re-referenced in between — the
+    /// machine's OOM path escalates passes as capped backoff.
+    pub fn reclaim_pressure(
+        &mut self,
+        mem: &mut PhysMem,
+        vmm: &mut Vmm,
+        pid: ProcessId,
+        passes: u32,
+    ) -> u64 {
+        let ranges: Vec<(u64, u64)> = match self.procs.get(&pid) {
+            Some(p) => p.vmas.values().map(|v| (v.start, v.len)).collect(),
+            None => return 0,
+        };
+        let mut reclaimed = 0;
+        for _ in 0..passes.max(1) {
+            for (start, len) in &ranges {
+                reclaimed += self.clock_scan(mem, vmm, pid, *start, *len);
+            }
+        }
+        reclaimed
     }
 
     /// Marks every mapped 4 KiB page in `[start, start+len)` copy-on-write

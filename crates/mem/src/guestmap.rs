@@ -47,27 +47,51 @@ impl GuestMemMap {
     }
 
     /// Allocates one guest data frame with eager host backing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host frame budget is exhausted; see
+    /// [`GuestMemMap::try_alloc_data`].
     pub fn alloc_data(&mut self, mem: &mut PhysMem) -> GuestFrame {
+        self.try_alloc_data(mem)
+            .expect("host physical memory exhausted")
+    }
+
+    /// Fallible variant of [`GuestMemMap::alloc_data`]: `None` when the host
+    /// frame budget is exhausted (no guest frame number is consumed).
+    pub fn try_alloc_data(&mut self, mem: &mut PhysMem) -> Option<GuestFrame> {
+        let h = mem.try_alloc_frame()?;
         let g = GuestFrame::new(self.next_gframe);
         self.next_gframe += 1;
-        let h = mem.alloc_frame();
         self.backing.insert(g, h);
-        g
+        Some(g)
     }
 
     /// Allocates a naturally aligned run of guest frames backing one huge
     /// page, with equally aligned contiguous host frames (so the host side
     /// can also map it huge). Returns the first guest frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host frame budget cannot cover the run; see
+    /// [`GuestMemMap::try_alloc_data_huge`].
     pub fn alloc_data_huge(&mut self, mem: &mut PhysMem, size: PageSize) -> GuestFrame {
+        self.try_alloc_data_huge(mem, size)
+            .expect("host physical memory exhausted")
+    }
+
+    /// Fallible variant of [`GuestMemMap::alloc_data_huge`]: `None` when the
+    /// host frame budget cannot cover the run (no guest frames consumed).
+    pub fn try_alloc_data_huge(&mut self, mem: &mut PhysMem, size: PageSize) -> Option<GuestFrame> {
         let frames = size.base_pages();
+        let h = mem.try_alloc_frames(frames, frames)?;
         let start = self.next_gframe.div_ceil(frames) * frames;
         self.next_gframe = start + frames;
-        let h = mem.alloc_frames(frames, frames);
         for i in 0..frames {
             self.backing.insert(GuestFrame::new(start + i), h.add(i));
         }
         self.huge_runs.insert(GuestFrame::new(start), size);
-        GuestFrame::new(start)
+        Some(GuestFrame::new(start))
     }
 
     /// If `gframe` lies inside a run allocated by

@@ -90,6 +90,8 @@ pub struct PhysMem {
     next_frame: u64,
     data_frames: u64,
     freed_table_pages: u64,
+    frame_budget: Option<u64>,
+    charged: u64,
 }
 
 impl PhysMem {
@@ -104,15 +106,76 @@ impl PhysMem {
             next_frame: 1,
             data_frames: 0,
             freed_table_pages: 0,
+            frame_budget: None,
+            charged: 0,
         }
     }
 
+    /// Charges `count` frames against the budget; `false` means the machine
+    /// is out of host memory and the caller must reclaim or degrade.
+    fn charge(&mut self, count: u64) -> bool {
+        if let Some(budget) = self.frame_budget {
+            if self.charged + count > budget {
+                return false;
+            }
+        }
+        self.charged += count;
+        true
+    }
+
+    /// Caps the number of frames this memory will hand out. Frames already
+    /// charged count against the cap, so a budget below
+    /// [`PhysMem::frames_charged`] fails the very next allocation. `None`
+    /// (the default) means unlimited.
+    pub fn set_frame_budget(&mut self, budget: Option<u64>) {
+        self.frame_budget = budget;
+    }
+
+    /// Returns reclaimed frames to the budget. The bump allocator never
+    /// reuses frame *numbers*, but capacity freed by reclaim (page-out,
+    /// dedup, table teardown) is real: crediting models the VMM handing
+    /// those frames back to the allocator.
+    pub fn credit_frames(&mut self, count: u64) {
+        self.charged = self.charged.saturating_sub(count);
+    }
+
+    /// Frames currently charged against the budget.
+    #[must_use]
+    pub fn frames_charged(&self) -> u64 {
+        self.charged
+    }
+
+    /// Frames left under the budget, or `None` when unlimited.
+    #[must_use]
+    pub fn frames_remaining(&self) -> Option<u64> {
+        self.frame_budget.map(|b| b.saturating_sub(self.charged))
+    }
+
     /// Allocates one data frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame budget is set and exhausted; pressure-aware callers
+    /// use [`PhysMem::try_alloc_frame`] instead.
     pub fn alloc_frame(&mut self) -> HostFrame {
+        self.try_alloc_frame().unwrap_or_else(|| {
+            panic!(
+                "host physical memory exhausted ({:?} frames)",
+                self.frame_budget
+            )
+        })
+    }
+
+    /// Fallible variant of [`PhysMem::alloc_frame`]: `None` when the frame
+    /// budget is exhausted.
+    pub fn try_alloc_frame(&mut self) -> Option<HostFrame> {
+        if !self.charge(1) {
+            return None;
+        }
         let f = HostFrame::new(self.next_frame);
         self.next_frame += 1;
         self.data_frames += 1;
-        f
+        Some(f)
     }
 
     /// Allocates `count` physically contiguous data frames whose start is
@@ -121,21 +184,58 @@ impl PhysMem {
     ///
     /// # Panics
     ///
-    /// Panics if `align` is zero or not a power of two.
+    /// Panics if `align` is zero or not a power of two, or if a frame budget
+    /// is set and exhausted.
     pub fn alloc_frames(&mut self, count: u64, align: u64) -> HostFrame {
+        self.try_alloc_frames(count, align).unwrap_or_else(|| {
+            panic!(
+                "host physical memory exhausted ({:?} frames)",
+                self.frame_budget
+            )
+        })
+    }
+
+    /// Fallible variant of [`PhysMem::alloc_frames`]: `None` when the frame
+    /// budget cannot cover `count` more frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    pub fn try_alloc_frames(&mut self, count: u64, align: u64) -> Option<HostFrame> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
+        if !self.charge(count) {
+            return None;
+        }
         let start = self.next_frame.div_ceil(align) * align;
         self.next_frame = start + count;
         self.data_frames += count;
-        HostFrame::new(start)
+        Some(HostFrame::new(start))
     }
 
     /// Allocates a zeroed page-table page and returns its frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame budget is set and exhausted.
     pub fn alloc_table_page(&mut self) -> HostFrame {
+        self.try_alloc_table_page().unwrap_or_else(|| {
+            panic!(
+                "host physical memory exhausted ({:?} frames)",
+                self.frame_budget
+            )
+        })
+    }
+
+    /// Fallible variant of [`PhysMem::alloc_table_page`]: `None` when the
+    /// frame budget is exhausted.
+    pub fn try_alloc_table_page(&mut self) -> Option<HostFrame> {
+        if !self.charge(1) {
+            return None;
+        }
         let f = HostFrame::new(self.next_frame);
         self.next_frame += 1;
         self.tables.insert(f, Box::new(TablePage::new()));
-        f
+        Some(f)
     }
 
     /// Frees a page-table page. The frame number is not reused (bump
@@ -150,6 +250,7 @@ impl PhysMem {
         let removed = self.tables.remove(&frame);
         assert!(removed.is_some(), "free of non-table frame {frame}");
         self.freed_table_pages += 1;
+        self.credit_frames(1);
     }
 
     /// Reads the PTE at `index` of the table page at `frame`.
@@ -304,6 +405,43 @@ mod tests {
         assert_eq!(mem.data_frame_count(), 2);
         assert_eq!(mem.table_page_count(), 1);
         assert_eq!(mem.frames_allocated(), 3);
+    }
+
+    #[test]
+    fn frame_budget_fails_allocations_then_credit_restores_them() {
+        let mut mem = PhysMem::new();
+        mem.alloc_frame();
+        mem.set_frame_budget(Some(3));
+        assert_eq!(mem.frames_remaining(), Some(2));
+        assert!(mem.try_alloc_frame().is_some());
+        assert!(mem.try_alloc_table_page().is_some());
+        assert_eq!(mem.frames_remaining(), Some(0));
+        assert!(mem.try_alloc_frame().is_none());
+        assert!(mem.try_alloc_frames(4, 1).is_none());
+        // Reclaim hands capacity back even though frame numbers never recycle.
+        mem.credit_frames(2);
+        let a = mem.try_alloc_frame().unwrap();
+        let b = mem.try_alloc_frame().unwrap();
+        assert_ne!(a, b);
+        assert!(mem.try_alloc_frame().is_none());
+    }
+
+    #[test]
+    fn freeing_a_table_page_credits_the_budget() {
+        let mut mem = PhysMem::new();
+        let t = mem.alloc_table_page();
+        mem.set_frame_budget(Some(1));
+        assert!(mem.try_alloc_frame().is_none());
+        mem.free_table_page(t);
+        assert!(mem.try_alloc_frame().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "host physical memory exhausted")]
+    fn infallible_alloc_panics_when_budget_spent() {
+        let mut mem = PhysMem::new();
+        mem.set_frame_budget(Some(0));
+        mem.alloc_frame();
     }
 
     #[test]

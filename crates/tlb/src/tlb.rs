@@ -46,6 +46,10 @@ impl TlbEntry {
 /// Per-structure hit counters plus overall miss count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TlbStats {
+    /// Lookups issued, counted independently at probe entry (not derived
+    /// from the outcome counters, so `l1_hits + l2_hits + misses == lookups`
+    /// is a real conservation identity the verify layer can check).
+    pub lookups: u64,
     /// Lookups that hit in an L1 structure.
     pub l1_hits: u64,
     /// Lookups that missed L1 but hit the unified L2.
@@ -59,16 +63,18 @@ pub struct TlbStats {
 }
 
 impl TlbStats {
-    /// Total lookups.
+    /// Total lookups (the independent entry counter, not a sum of
+    /// outcomes).
     #[must_use]
     pub fn lookups(&self) -> u64 {
-        self.l1_hits + self.l2_hits + self.misses
+        self.lookups
     }
 
     /// Counters accumulated since the `earlier` snapshot.
     #[must_use]
     pub fn since(&self, earlier: &TlbStats) -> TlbStats {
         TlbStats {
+            lookups: self.lookups - earlier.lookups,
             l1_hits: self.l1_hits - earlier.l1_hits,
             l2_hits: self.l2_hits - earlier.l2_hits,
             misses: self.misses - earlier.misses,
@@ -203,6 +209,7 @@ impl TlbHierarchy {
         va: GuestVirtAddr,
         access: AccessKind,
     ) -> Option<TlbEntry> {
+        self.stats.lookups += 1;
         let l1 = if access.is_fetch() {
             &mut self.l1i
         } else {

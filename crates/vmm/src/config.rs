@@ -42,6 +42,16 @@ pub struct AgileOptions {
     /// interval tick (paper Section III-C, "Short-Lived or Small
     /// Processes").
     pub start_in_nested: bool,
+    /// Trap-storm hysteresis: when the guest issues at least this many
+    /// page-table-write VMtraps within one interval, the policy stops
+    /// nursing individual subtrees and falls every process back to full
+    /// nested mode (writes then go direct, ending the storm). `None`
+    /// (default) disables the guard — the base paper policy.
+    pub storm_threshold: Option<u64>,
+    /// Intervals after a storm fallback during which nested⇒shadow reverts
+    /// stay suppressed, so a sustained storm cannot make the policy
+    /// oscillate (flip to shadow, storm, flip back) every tick.
+    pub storm_cooldown: u64,
 }
 
 impl Default for AgileOptions {
@@ -53,6 +63,8 @@ impl Default for AgileOptions {
             hw_ctx_cache: true,
             ctx_cache_entries: 8,
             start_in_nested: false,
+            storm_threshold: None,
+            storm_cooldown: 2,
         }
     }
 }
@@ -179,6 +191,13 @@ mod tests {
         assert_eq!(a.write_threshold, 2);
         assert_eq!(a.nested_to_shadow, NestedToShadowPolicy::DirtyBitScan);
         assert!(a.ctx_cache_entries >= 4 && a.ctx_cache_entries <= 8);
+    }
+
+    #[test]
+    fn storm_guard_is_off_by_default() {
+        let a = AgileOptions::default();
+        assert_eq!(a.storm_threshold, None, "base paper policy has no guard");
+        assert!(a.storm_cooldown > 0);
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub struct VmmCounters {
     pub gpt_writes_total: u64,
     /// Guest page-table writes that were direct (no VMM intervention).
     pub gpt_writes_direct: u64,
+    /// Whole-process fallbacks to nested mode under trap-storm pressure
+    /// (the agile policy's hysteresis degradation path).
+    pub storm_fallbacks: u64,
 }
 
 impl VmmCounters {
@@ -82,6 +85,7 @@ impl VmmCounters {
             ctx_cache_hits: self.ctx_cache_hits - earlier.ctx_cache_hits,
             gpt_writes_total: self.gpt_writes_total - earlier.gpt_writes_total,
             gpt_writes_direct: self.gpt_writes_direct - earlier.gpt_writes_direct,
+            storm_fallbacks: self.storm_fallbacks - earlier.storm_fallbacks,
         }
     }
 }
@@ -106,6 +110,8 @@ pub struct Vmm {
     shsp: Option<ShspController>,
     gpt_writes_this_interval: u64,
     ticks: u64,
+    gpt_write_traps_at_tick: u64,
+    storm_hold_until: u64,
     write_trace: Option<Vec<(ProcessId, u64, Level)>>,
 }
 
@@ -138,6 +144,8 @@ impl Vmm {
             shsp,
             gpt_writes_this_interval: 0,
             ticks: 0,
+            gpt_write_traps_at_tick: 0,
+            storm_hold_until: 0,
             write_trace: None,
         }
     }
@@ -203,9 +211,21 @@ impl Vmm {
     }
 
     /// Drains the shootdown requests produced by VMM operations since the
-    /// last call.
+    /// last call, in a canonical order.
+    ///
+    /// Emission order can vary run-to-run (several emitters walk hash
+    /// maps), and applying invalidations commutes — but consumers that
+    /// *attribute* per-request decisions to the sequence (the chaos
+    /// engine's shootdown dice) need a stable order, so the batch is
+    /// sorted by kind and address before it is handed out.
     pub fn take_pending_flushes(&mut self) -> Vec<FlushRequest> {
-        std::mem::take(&mut self.pending_flushes)
+        let mut batch = std::mem::take(&mut self.pending_flushes);
+        batch.sort_by_key(|req| match *req {
+            FlushRequest::Asid(asid) => (0u8, u64::from(asid.raw()), 0, 0),
+            FlushRequest::Range { asid, start, len } => (1, u64::from(asid.raw()), start, len),
+            FlushRequest::NtlbFrame(gframe) => (2, gframe.raw(), 0, 0),
+        });
+        batch
     }
 
     /// Mode of the guest page-table page holding `gva`'s entry at `level`
@@ -273,9 +293,26 @@ impl Vmm {
         self.gmap.alloc_data(mem)
     }
 
+    /// Fallible variant of [`Vmm::alloc_guest_frame`]: `None` when the host
+    /// frame budget is exhausted, so the guest OS can run reclaim instead
+    /// of the machine panicking.
+    pub fn try_alloc_guest_frame(&mut self, mem: &mut PhysMem) -> Option<GuestFrame> {
+        self.gmap.try_alloc_data(mem)
+    }
+
     /// Allocates a naturally aligned huge run of guest frames.
     pub fn alloc_guest_frame_huge(&mut self, mem: &mut PhysMem, size: PageSize) -> GuestFrame {
         self.gmap.alloc_data_huge(mem, size)
+    }
+
+    /// Fallible variant of [`Vmm::alloc_guest_frame_huge`]: `None` under
+    /// host frame pressure (callers degrade to base pages or reclaim).
+    pub fn try_alloc_guest_frame_huge(
+        &mut self,
+        mem: &mut PhysMem,
+        size: PageSize,
+    ) -> Option<GuestFrame> {
+        self.gmap.try_alloc_data_huge(mem, size)
     }
 
     /// Creates the paging state for a new guest process: a guest page-table
@@ -697,13 +734,88 @@ impl Vmm {
     }
 
     /// Invalidates the shadow leaf (any size) translating `gva`.
+    ///
+    /// The range flush is emitted even when the process has no shadow table:
+    /// callers invoke this precisely when the translation of `gva` changed
+    /// (e.g. [`Vmm::host_share`] remapping the backing frame), and a
+    /// pure-nested guest's TLB entries cache gva⇒hPA just the same — the
+    /// shootdown must reach them or stale translations leak the old frame.
     fn drop_shadow_leaf(&mut self, mem: &mut PhysMem, pid: ProcessId, gva: u64) {
-        let proc = self.proc(pid);
-        let Some(spt) = proc.spt else { return };
-        for size in PageSize::ALL {
-            spt.unmap(mem, &HostSpace, gva, size);
+        if let Some(spt) = self.proc(pid).spt {
+            for size in PageSize::ALL {
+                spt.unmap(mem, &HostSpace, gva, size);
+            }
         }
         self.flush_range(pid, gva, Level::L2);
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos hooks (deterministic fault injection — `agile_core::chaos`)
+    // ------------------------------------------------------------------
+
+    /// Chaos hook: flips one bit of the present shadow (or merged) leaf
+    /// entry translating `gva`, bypassing all shadow bookkeeping — models a
+    /// soft error in shadow-table memory. `bit` indexes the raw 64-bit
+    /// entry (12 flips the lowest frame bit, 1 the writable bit). Returns
+    /// the corrupted level, or `None` when the process keeps no shadow
+    /// table or no present leaf covers `gva`.
+    pub fn chaos_corrupt_shadow_leaf(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        gva: u64,
+        bit: u32,
+    ) -> Option<Level> {
+        let spt = self.procs.get(&pid)?.spt?;
+        for level in [Level::L1, Level::L2, Level::L3] {
+            let Some(e) = spt.entry(mem, &HostSpace, gva, level) else {
+                continue;
+            };
+            if e.is_present() && !e.is_switching() && e.is_leaf_at(level) {
+                let flipped = Pte::from_raw(e.raw() ^ (1u64 << bit));
+                spt.set_entry(mem, &HostSpace, gva, level, flipped).ok()?;
+                return Some(level);
+            }
+        }
+        None
+    }
+
+    /// Chaos hook: flips one bit of the present guest leaf entry
+    /// translating `gva`, *behind* the interception boundary (no trap
+    /// accounting, no shadow maintenance) — models a soft error in guest
+    /// page-table memory. The guest table is architectural truth, so only
+    /// flips that fault-and-refault cleanly (e.g. bit 0, present) are safe
+    /// to inject; the chaos engine restricts itself accordingly.
+    pub fn chaos_corrupt_guest_leaf(
+        &mut self,
+        mem: &mut PhysMem,
+        pid: ProcessId,
+        gva: u64,
+        bit: u32,
+    ) -> Option<Level> {
+        let (pte, level) = self.gpt_lookup(mem, pid, gva)?;
+        let gpt = self.procs.get(&pid)?.gpt;
+        let flipped = Pte::from_raw(pte.raw() ^ (1u64 << bit));
+        gpt.update_entry(mem, &self.gmap, gva, level, |_| flipped)
+            .ok()?;
+        Some(level)
+    }
+
+    /// Chaos recovery path: invalidate-and-rebuild for a shadow subtree the
+    /// oracle found incoherent (corruption, suppressed shootdown). Drops
+    /// the shadow leaf covering `gva` so the next walk rebuilds it from the
+    /// guest truth, and emits the shootdown. Under Native the merged table
+    /// has no lazy fault path, so it is re-mirrored immediately.
+    pub fn chaos_heal_shadow(&mut self, mem: &mut PhysMem, pid: ProcessId, gva: u64) {
+        if !self.knows_process(pid) {
+            return;
+        }
+        if matches!(self.cfg.technique, Technique::Native) {
+            self.native_mirror_leaf(mem, pid, gva);
+            self.flush_range(pid, gva, Level::L2);
+        } else {
+            self.drop_shadow_leaf(mem, pid, gva);
+        }
     }
 
     /// Ensures `gframe` is mapped in the host page table (mapping the whole
@@ -1460,8 +1572,41 @@ impl Vmm {
         self.ticks += 1;
         match self.cfg.technique {
             Technique::Agile(opts) => {
+                // Trap-storm hysteresis (degradation guard): a guest hammering
+                // its page tables makes every shadow-mode subtree a trap
+                // magnet. Past the threshold, stop nursing subtrees — fall
+                // whole processes back to nested mode (writes go direct) and
+                // suppress reverts for a cooldown so the policy cannot
+                // oscillate against a sustained storm.
+                let storming = match opts.storm_threshold {
+                    Some(t) => {
+                        let now = self.traps.count(VmtrapKind::GptWrite);
+                        let delta = now - self.gpt_write_traps_at_tick;
+                        self.gpt_write_traps_at_tick = now;
+                        delta >= t
+                    }
+                    None => false,
+                };
+                if storming {
+                    self.storm_hold_until = self.ticks + opts.storm_cooldown.max(1);
+                }
+                let holding = self.ticks < self.storm_hold_until;
                 let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
                 for pid in pids {
+                    if storming {
+                        let root = GuestFrame::new(self.proc(pid).gpt.root_raw());
+                        if self.proc(pid).pages.get(&root).map(|i| i.mode)
+                            != Some(GptPageMode::Nested)
+                        {
+                            self.convert_to_nested(mem, pid, root);
+                            self.counters.storm_fallbacks += 1;
+                        }
+                        let proc = self.procs.get_mut(&pid).expect("process");
+                        for i in proc.pages.values_mut() {
+                            i.writes_this_interval = 0;
+                        }
+                        continue;
+                    }
                     if opts.start_in_nested && self.proc(pid).full_nested {
                         // Engage shadow mode after the first interval.
                         let proc = self.procs.get_mut(&pid).expect("process");
@@ -1473,7 +1618,9 @@ impl Vmm {
                         self.flush_asid(pid);
                         continue;
                     }
-                    self.apply_nested_to_shadow_policy(mem, pid, opts.nested_to_shadow);
+                    if !holding {
+                        self.apply_nested_to_shadow_policy(mem, pid, opts.nested_to_shadow);
+                    }
                     let proc = self.procs.get_mut(&pid).expect("process");
                     for i in proc.pages.values_mut() {
                         i.writes_this_interval = 0;

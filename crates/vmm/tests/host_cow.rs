@@ -165,6 +165,28 @@ fn write_breaks_sharing_with_an_ept_cow() {
 }
 
 #[test]
+fn host_share_under_pure_nested_still_emits_the_gva_shootdown() {
+    // Regression: with no shadow table (pure nested mode, `proc.spt` is
+    // None), the shadow-leaf drop path used to early-return without
+    // emitting its range shootdown — but a nested guest's TLB caches
+    // gva⇒hPA just the same, and host_share changes that mapping. The
+    // flush must be emitted regardless of shadow state.
+    let mut rig = setup(Technique::Nested);
+    let gvas: Vec<u64> = (0..4).map(|i| GVA + i * 0x1000).collect();
+    rig.vmm.host_share(&mut rig.mem, rig.pid, &gvas);
+    let flushes = rig.vmm.take_pending_flushes();
+    for gva in &gvas {
+        assert!(
+            flushes.iter().any(|req| matches!(
+                req,
+                FlushRequest::Range { start, len, .. } if *start <= *gva && *gva < *start + *len
+            )),
+            "a range shootdown must cover {gva:#x}: {flushes:?}"
+        );
+    }
+}
+
+#[test]
 fn stale_translation_caches_cannot_leak_the_old_frame() {
     let mut rig = setup(Technique::Nested);
     // Warm the NTLB with the private frames.

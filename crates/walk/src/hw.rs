@@ -146,6 +146,20 @@ impl<'a> WalkHw<'a> {
         unreachable!("host walk fell through L1");
     }
 
+    /// PWC resume candidate for `va`, filtered for liveness: a cached
+    /// pointer into a page that is no longer a live table page (a missed
+    /// shootdown — only reachable under fault injection) is ignored rather
+    /// than dereferenced, modeling defensive hardware that falls back to a
+    /// full walk. The stale entry is left in place so the verify layer's
+    /// coherence audit still reports the missed shootdown.
+    fn pwc_resume(&mut self, asid: Asid, va: GuestVirtAddr) -> Option<(Level, PwcEntry)> {
+        let (next, e) = self.pwc.lookup(asid, va)?;
+        if !self.mem.is_table(e.frame) {
+            return None;
+        }
+        Some((next, e))
+    }
+
     /// Base-native or shadow 1D walk (the paper's Figure 2 (a)/(c)):
     /// `host_walk(VA, ptr)` over a single radix table.
     fn one_d_walk(
@@ -174,7 +188,7 @@ impl<'a> WalkHw<'a> {
         let mut cur = root;
         let mut level = Level::top();
         let mut resumed = false;
-        if let Some((next, e)) = self.pwc.lookup(asid, va) {
+        if let Some((next, e)) = self.pwc_resume(asid, va) {
             if e.kind == PwcTableKind::Shadow {
                 cur = e.frame;
                 level = next;
@@ -230,6 +244,7 @@ impl<'a> WalkHw<'a> {
         root: HostFrame,
         access: AccessKind,
     ) -> Result<WalkOk, Fault> {
+        self.stats.attempts += 1;
         let mut tally = Tally::default();
         let r = self
             .one_d_walk(&mut tally, asid, va, root, access, OneDimRole::Native)
@@ -246,6 +261,7 @@ impl<'a> WalkHw<'a> {
         sptr: HostFrame,
         access: AccessKind,
     ) -> Result<WalkOk, Fault> {
+        self.stats.attempts += 1;
         let mut tally = Tally::default();
         let r = self
             .one_d_walk(&mut tally, asid, gva, sptr, access, OneDimRole::Shadow)
@@ -352,6 +368,7 @@ impl<'a> WalkHw<'a> {
         hptr: HostFrame,
         access: AccessKind,
     ) -> Result<WalkOk, Fault> {
+        self.stats.attempts += 1;
         let mut tally = Tally::default();
         let r = self.nested_walk_inner(&mut tally, asid, gva, gptr, hptr, access);
         self.finish(tally, r)
@@ -368,7 +385,7 @@ impl<'a> WalkHw<'a> {
     ) -> Result<WalkOk, Fault> {
         // PWC resume: a cached guest-table pointer skips both the gptr
         // translation and the upper guest levels.
-        if let Some((next, e)) = self.pwc.lookup(asid, gva) {
+        if let Some((next, e)) = self.pwc_resume(asid, gva) {
             if e.kind == PwcTableKind::Guest {
                 return self.nested_from(
                     tally,
@@ -408,6 +425,7 @@ impl<'a> WalkHw<'a> {
         hptr: HostFrame,
         access: AccessKind,
     ) -> Result<WalkOk, Fault> {
+        self.stats.attempts += 1;
         let mut tally = Tally::default();
         let r = self.agile_walk_inner(&mut tally, asid, gva, cr3, gptr, hptr, access);
         self.finish(tally, r)
@@ -450,7 +468,7 @@ impl<'a> WalkHw<'a> {
         let mut cur = spt_root;
         let mut level = Level::top();
         let mut resumed = false;
-        if let Some((next, e)) = self.pwc.lookup(asid, gva) {
+        if let Some((next, e)) = self.pwc_resume(asid, gva) {
             match e.kind {
                 PwcTableKind::Shadow => {
                     cur = e.frame;

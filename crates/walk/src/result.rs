@@ -105,6 +105,11 @@ pub struct WalkOk {
 /// Accumulated walk counters, kept by the caller across walks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WalkStats {
+    /// Walks started (counted on entry, before the outcome is known). Every
+    /// attempt terminates exactly once, so `attempts == walks +
+    /// faulted_walks` is a cross-site conservation identity the verify
+    /// layer checks.
+    pub attempts: u64,
     /// Completed walks.
     pub walks: u64,
     /// Walks that ended in a fault (their references still count).
@@ -134,6 +139,7 @@ impl WalkStats {
     #[must_use]
     pub fn since(&self, earlier: &WalkStats) -> WalkStats {
         WalkStats {
+            attempts: self.attempts - earlier.attempts,
             walks: self.walks - earlier.walks,
             faulted_walks: self.faulted_walks - earlier.faulted_walks,
             memory_refs: self.memory_refs - earlier.memory_refs,
@@ -145,6 +151,7 @@ impl WalkStats {
 
     /// Adds another stats block into this one.
     pub fn merge(&mut self, other: &WalkStats) {
+        self.attempts += other.attempts;
         self.walks += other.walks;
         self.faulted_walks += other.faulted_walks;
         self.memory_refs += other.memory_refs;

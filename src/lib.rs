@@ -28,8 +28,9 @@ pub mod prelude {
     pub use agile_core::runner::ARTIFACT_SCHEMA;
     pub use agile_core::types::SplitMix64;
     pub use agile_core::{
-        micro_benches, parallel_map, profile, AgileOptions, ChurnSpec, Json, Machine, Overheads,
-        Pattern, Profile, RunArtifact, RunPlan, RunRequest, RunStats, ShspOptions, SystemConfig,
-        Technique, VmmConfig, WorkloadSpec,
+        micro_benches, parallel_map, profile, render_log, AgileOptions, ChurnSpec, DegradationKind,
+        FaultPlan, Json, Machine, Overheads, Pattern, Profile, RunArtifact, RunOutcome, RunPlan,
+        RunRequest, RunStats, ScenarioKind, ShspOptions, SystemConfig, Technique, VmmConfig,
+        WorkloadSpec,
     };
 }
