@@ -1,0 +1,121 @@
+//! `agile-lint`: whole-state static analysis of a paused machine.
+//!
+//! Two phases, both printing **only deterministic content** (CI runs the
+//! binary twice and byte-compares the output):
+//!
+//! 1. **Clean phase** — every technique runs an unfaulted churn-heavy
+//!    workload with the shootdown log armed, then lints. Any diagnostic
+//!    is a bookkeeping bug in the simulator itself: deny-warnings
+//!    semantics, the process exits non-zero.
+//! 2. **Chaos phase** — the same fault matrix as the chaos smoke runs
+//!    per technique and the final state is linted. Diagnostics here are
+//!    *expected* when a planted fault is statically visible rather than
+//!    healed; the contract is that the report is a pure function of the
+//!    machine state, so the rendered output must be byte-stable.
+
+use agile_core::{
+    AgileOptions, ChurnSpec, FaultPlan, Machine, Pattern, ScenarioKind, ShspOptions, SystemConfig,
+    Technique, WorkloadSpec,
+};
+use std::process::ExitCode;
+
+const BASE: u64 = WorkloadSpec::REGION_BASE;
+const ACCESSES: u64 = 3_000;
+
+fn techniques() -> [Technique; 5] {
+    [
+        Technique::Native,
+        Technique::Nested,
+        Technique::Shadow,
+        Technique::Agile(AgileOptions::default()),
+        Technique::Shsp(ShspOptions::default()),
+    ]
+}
+
+fn spec(label: &str, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("lint-{label}"),
+        footprint: 8 << 20,
+        pattern: Pattern::Uniform,
+        write_fraction: 0.3,
+        accesses: ACCESSES,
+        accesses_per_tick: (ACCESSES / 4).max(1),
+        churn: ChurnSpec {
+            remap_every: Some(200),
+            remap_pages: 8,
+            cow_every: Some(350),
+            cow_pages: 8,
+            clock_scan_every: Some(500),
+            scan_pages: 16,
+            churn_zone: 0.25,
+            ctx_switch_every: Some(400),
+            processes: 2,
+        },
+        prefault: false,
+        prefault_writes: true,
+        seed,
+    }
+}
+
+fn fault_matrix() -> FaultPlan {
+    FaultPlan::new(0xC0FFEE)
+        .drop_shootdowns(250)
+        .defer_shootdowns(250, 16)
+        .scenario(
+            300,
+            ScenarioKind::CorruptShadowPte {
+                gva: BASE + 0x2000,
+                bit: 12,
+            },
+        )
+        .scenario(700, ScenarioKind::CorruptGuestPte { gva: BASE + 0x4000 })
+        .scenario(
+            1_100,
+            ScenarioKind::TrapStorm {
+                base: BASE,
+                pages: 4,
+                writes_per_page: 8,
+            },
+        )
+}
+
+fn main() -> ExitCode {
+    let mut dirty = false;
+
+    println!("# agile-lint clean phase: unfaulted churn, shootdown log armed");
+    for t in techniques() {
+        let mut m = Machine::new(SystemConfig::new(t));
+        m.enable_shootdown_log();
+        m.run_spec(&spec(t.label(), 7));
+        let report = m.lint();
+        println!(
+            "technique={} diagnostics={} clean={}",
+            t.label(),
+            report.diags.len(),
+            report.is_clean(),
+        );
+        if !report.is_clean() {
+            println!("{}", report.render());
+            dirty = true;
+        }
+    }
+
+    println!("# agile-lint chaos phase: fault matrix, report must be deterministic");
+    for t in techniques() {
+        let mut m = Machine::new(SystemConfig::new(t));
+        m.enable_chaos(fault_matrix());
+        m.run_spec(&spec(t.label(), 7));
+        let report = m.lint();
+        println!("technique={} diagnostics={}", t.label(), report.diags.len());
+        if !report.is_clean() {
+            println!("{}", report.render());
+        }
+    }
+
+    if dirty {
+        eprintln!("lint: diagnostics on an unfaulted machine (simulator bookkeeping bug)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,1314 @@
+//! `agile-lint`: whole-state static analysis of a paused machine.
+//!
+//! The runtime verify oracle ([`crate::verify`]) only cross-checks
+//! translations the workload happens to touch, and the chaos layer
+//! ([`crate::chaos`]) only proves faults heal on the paths it drives.
+//! Neither can prove a *quiescent* machine state is well-formed. This
+//! module can: it inspects the materialized radix tables and the recorded
+//! shootdown protocol without executing a single access.
+//!
+//! The pass has two halves:
+//!
+//! **Part A — structural page-table analyzer** ([`analyze`]). Enumerates
+//! every shadow/guest/host radix table through the read-only [`Vmm`] and
+//! [`PhysMem`] accessors and checks the paper's structural invariants:
+//!
+//! * **Frame ownership** (paper §III-B shadow table residency): every live
+//!   host page-table page must be reachable from exactly one owner — the
+//!   host (EPT) tree, one process's shadow tree, or the backing of a
+//!   registered guest page-table page. Zero owners is a leak
+//!   ([`LintCode::OrphanFrame`]), two or more is an alias
+//!   ([`LintCode::MultiOwnedFrame`]).
+//! * **Shadow-permission monotonicity** (paper §III-A: a shadow leaf merges
+//!   the guest and host translations): every shadow leaf must translate to
+//!   the same frame as the guest∘host composition
+//!   ([`LintCode::ShadowFrameMismatch`]) and must never grant write
+//!   permission beyond the guest ∩ host intersection
+//!   ([`LintCode::ShadowPermExceeds`]). It may be *more* restrictive —
+//!   dirty-bit tracking and COW legitimately install read-only leaves.
+//! * **Switching-bit well-formedness** (paper §III-A, Figure 3: the
+//!   switching bit partitions every walk path into a shadow prefix and a
+//!   nested suffix): switching entries may exist only under agile paging
+//!   with the address space not fully nested
+//!   ([`LintCode::SwitchingBitForbidden`]); each must point at the host
+//!   backing of the nested-mode guest table page one level down
+//!   ([`LintCode::SwitchingTargetInvalid`]); and no shadow-owned table
+//!   memory may sit below a set switching bit
+//!   ([`LintCode::ShadowBelowSwitching`]). The guest-side image of the
+//!   same partition — once a walk path enters nested mode it never returns
+//!   to shadow — is checked as [`LintCode::ModePartition`].
+//! * **Cross-table A/D-bit consistency** (paper §III-B: the VMM sets guest
+//!   A/D bits when it builds shadow entries; §IV hardware option 1 moves
+//!   that to the walker): a dirty or writable shadow leaf whose guest leaf
+//!   is not dirty means the dirty-tracking protocol was bypassed
+//!   ([`LintCode::AdBitInconsistent`]).
+//! * **Huge-page/4 KiB alias conflicts**: a leaf spanning more than the
+//!   effective guest ∩ host page size, or two overlapping TLB entries that
+//!   disagree about the overlap, alias one physical page under two
+//!   granularities ([`LintCode::HugeAliasConflict`]).
+//!
+//! **Part B — shootdown-protocol race detector**
+//! ([`detect_shootdown_races`]). A happens-before pass over the
+//! [`ShootdownLog`] the machine records (flush requests in
+//! `Vmm::take_pending_flushes` order, their delivery fates, table-page
+//! frees, and allocator reuse): a table frame freed under a shootdown that
+//! was dropped or deferred, with the allocator handing out new frames
+//! before any covering flush applied, is exactly the missed-shootdown
+//! use-after-free window the chaos layer injects
+//! ([`LintCode::MissedShootdownReuse`]); a freed frame whose covering
+//! shootdown never applied at all by the time the machine paused is
+//! reported as [`LintCode::ShootdownNeverApplied`].
+//!
+//! All passes are strictly read-only and deterministic: diagnostics are
+//! emitted in a canonical order, so two analyses of the same state render
+//! byte-identically.
+
+use crate::runner::Json;
+use crate::verify;
+use agile_mem::PhysMem;
+use agile_tlb::TlbHierarchy;
+use agile_types::{GuestFrame, HostFrame, Level, ProcessId, Pte, PteFlags};
+use agile_vmm::{FlushRequest, GptPageMode, Technique, Vmm};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Typed code of one static-analysis diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// A live host page-table page is reachable from no owner (host tree,
+    /// shadow tree, or guest-table backing): leaked table memory.
+    OrphanFrame,
+    /// A live host page-table page is claimed by two or more owners.
+    MultiOwnedFrame,
+    /// An interior (non-leaf, non-switching) entry points at a frame that
+    /// is not a live table page.
+    DanglingTablePointer,
+    /// A registered guest page-table frame has no live host table backing.
+    UnbackedGuestTable,
+    /// A shadow (or merged) leaf translates to a frame other than what the
+    /// guest∘host composition says, or maps a gVA the guest does not map.
+    ShadowFrameMismatch,
+    /// A shadow leaf grants write permission beyond guest ∩ host.
+    ShadowPermExceeds,
+    /// A shadow leaf's dirty/writable state is inconsistent with the guest
+    /// leaf's dirty bit (the §III-B dirty-tracking protocol was bypassed).
+    AdBitInconsistent,
+    /// A switching entry exists where the technique or process mode forbids
+    /// one (non-agile technique, or fully nested address space).
+    SwitchingBitForbidden,
+    /// A switching entry does not point at the host backing of a
+    /// nested-mode guest table page at the level below it.
+    SwitchingTargetInvalid,
+    /// A switching entry points into shadow-owned table memory: shadow
+    /// entries survive strictly below a set switching bit.
+    ShadowBelowSwitching,
+    /// A nested-mode guest page-table page has a non-nested child: the walk
+    /// path would return from the nested suffix to a shadow prefix.
+    ModePartition,
+    /// A leaf or TLB entry aliases one physical range under two page sizes
+    /// that disagree (span exceeds the effective guest ∩ host size, or two
+    /// overlapping TLB entries translate the overlap differently).
+    HugeAliasConflict,
+    /// A table frame was freed under a dropped/deferred shootdown and the
+    /// allocator handed out new frames before any covering flush applied.
+    MissedShootdownReuse,
+    /// A table frame was freed and its covering shootdown still had not
+    /// applied when the machine paused (no reuse observed yet).
+    ShootdownNeverApplied,
+}
+
+impl LintCode {
+    /// All codes, in report order.
+    pub const ALL: [LintCode; 14] = [
+        LintCode::OrphanFrame,
+        LintCode::MultiOwnedFrame,
+        LintCode::DanglingTablePointer,
+        LintCode::UnbackedGuestTable,
+        LintCode::ShadowFrameMismatch,
+        LintCode::ShadowPermExceeds,
+        LintCode::AdBitInconsistent,
+        LintCode::SwitchingBitForbidden,
+        LintCode::SwitchingTargetInvalid,
+        LintCode::ShadowBelowSwitching,
+        LintCode::ModePartition,
+        LintCode::HugeAliasConflict,
+        LintCode::MissedShootdownReuse,
+        LintCode::ShootdownNeverApplied,
+    ];
+
+    /// Stable kebab-case label (used in rendered and JSON output).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LintCode::OrphanFrame => "orphan-frame",
+            LintCode::MultiOwnedFrame => "multi-owned-frame",
+            LintCode::DanglingTablePointer => "dangling-table-pointer",
+            LintCode::UnbackedGuestTable => "unbacked-guest-table",
+            LintCode::ShadowFrameMismatch => "shadow-frame-mismatch",
+            LintCode::ShadowPermExceeds => "shadow-perm-exceeds",
+            LintCode::AdBitInconsistent => "ad-bit-inconsistent",
+            LintCode::SwitchingBitForbidden => "switching-bit-forbidden",
+            LintCode::SwitchingTargetInvalid => "switching-target-invalid",
+            LintCode::ShadowBelowSwitching => "shadow-below-switching",
+            LintCode::ModePartition => "mode-partition",
+            LintCode::HugeAliasConflict => "huge-alias-conflict",
+            LintCode::MissedShootdownReuse => "missed-shootdown-reuse",
+            LintCode::ShootdownNeverApplied => "shootdown-never-applied",
+        }
+    }
+
+    /// Default severity of the code.
+    #[must_use]
+    pub fn severity(self) -> LintSeverity {
+        match self {
+            // No reuse observed yet: the window is open but nothing stale
+            // can have been handed out, so this is advisory.
+            LintCode::ShootdownNeverApplied => LintSeverity::Warning,
+            _ => LintSeverity::Error,
+        }
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintSeverity {
+    /// Advisory: suspicious but not yet a correctness violation.
+    Warning,
+    /// A structural invariant is broken.
+    Error,
+}
+
+impl LintSeverity {
+    fn label(self) -> &'static str {
+        match self {
+            LintSeverity::Warning => "warning",
+            LintSeverity::Error => "error",
+        }
+    }
+}
+
+/// One static-analysis diagnostic: the code, its severity, and the
+/// gVA/level/frame context it concerns (like [`crate::Violation`], but for
+/// state the workload never touched).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiag {
+    /// Which invariant is broken.
+    pub code: LintCode,
+    /// How serious it is.
+    pub severity: LintSeverity,
+    /// Process whose tables the diagnostic concerns, when per-process.
+    pub pid: Option<ProcessId>,
+    /// Offending guest virtual address, when the check concerns one.
+    pub gva: Option<u64>,
+    /// Page-table level involved, when known.
+    pub level: Option<Level>,
+    /// Host frame involved, when known.
+    pub frame: Option<HostFrame>,
+    /// What exactly is wrong.
+    pub detail: String,
+}
+
+impl LintDiag {
+    fn new(code: LintCode, detail: String) -> Self {
+        LintDiag {
+            code,
+            severity: code.severity(),
+            pid: None,
+            gva: None,
+            level: None,
+            frame: None,
+            detail,
+        }
+    }
+
+    fn pid(mut self, pid: ProcessId) -> Self {
+        self.pid = Some(pid);
+        self
+    }
+
+    fn gva(mut self, gva: u64) -> Self {
+        self.gva = Some(gva);
+        self
+    }
+
+    fn level(mut self, level: Level) -> Self {
+        self.level = Some(level);
+        self
+    }
+
+    fn frame(mut self, frame: HostFrame) -> Self {
+        self.frame = Some(frame);
+        self
+    }
+
+    /// Renders the diagnostic as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("code", Json::Str(self.code.label().to_string())),
+            ("severity", Json::Str(self.severity.label().to_string())),
+            (
+                "pid",
+                self.pid
+                    .map_or(Json::Null, |p| Json::UInt(u64::from(p.raw()))),
+            ),
+            (
+                "gva",
+                self.gva
+                    .map_or(Json::Null, |g| Json::Str(format!("{g:#x}"))),
+            ),
+            (
+                "level",
+                self.level
+                    .map_or(Json::Null, |l| Json::UInt(u64::from(l.number()))),
+            ),
+            (
+                "frame",
+                self.frame.map_or(Json::Null, |f| Json::UInt(f.raw())),
+            ),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+impl std::fmt::Display for LintDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.severity.label(), self.code.label())?;
+        if let Some(pid) = self.pid {
+            write!(f, " pid={}", pid.raw())?;
+        }
+        if let Some(gva) = self.gva {
+            write!(f, " gva={gva:#x}")?;
+        }
+        if let Some(level) = self.level {
+            write!(f, " level={level:?}")?;
+        }
+        if let Some(frame) = self.frame {
+            write!(f, " frame={frame}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// The result of one analysis pass: diagnostics in canonical order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All diagnostics found, sorted by (code, pid, gva, frame, detail).
+    pub diags: Vec<LintDiag>,
+}
+
+impl LintReport {
+    fn from_diags(mut diags: Vec<LintDiag>) -> Self {
+        diags.sort_by(|a, b| {
+            (
+                a.code,
+                a.pid.map(ProcessId::raw),
+                a.gva,
+                a.frame.map(HostFrame::raw),
+                &a.detail,
+            )
+                .cmp(&(
+                    b.code,
+                    b.pid.map(ProcessId::raw),
+                    b.gva,
+                    b.frame.map(HostFrame::raw),
+                    &b.detail,
+                ))
+        });
+        LintReport { diags }
+    }
+
+    /// True when nothing was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of diagnostics with the given code.
+    #[must_use]
+    pub fn count(&self, code: LintCode) -> usize {
+        self.diags.iter().filter(|d| d.code == code).count()
+    }
+
+    /// True when any diagnostic has [`LintSeverity::Error`].
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == LintSeverity::Error)
+    }
+
+    /// Renders one line per diagnostic (empty string when clean).
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Renders the report as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("clean", Json::Bool(self.is_clean())),
+            ("count", Json::UInt(self.diags.len() as u64)),
+            (
+                "diags",
+                Json::Arr(self.diags.iter().map(LintDiag::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part A: structural page-table analyzer
+// ---------------------------------------------------------------------
+
+/// Walks a host-space radix tree from `root`, visiting every table page and
+/// every present entry. Does not descend through leaves or switching
+/// entries (a switching entry's target belongs to the guest, not this
+/// tree). Dangling interior pointers are reported through `on_dangling`.
+fn walk_host_tree(
+    mem: &PhysMem,
+    root: HostFrame,
+    on_page: &mut dyn FnMut(HostFrame, Level),
+    on_entry: &mut dyn FnMut(u64, Level, Pte),
+    on_dangling: &mut dyn FnMut(u64, Level, HostFrame),
+) {
+    let mut stack = vec![(root, Level::top(), 0u64)];
+    while let Some((frame, level, base)) = stack.pop() {
+        if !mem.is_table(frame) {
+            continue; // reported by the caller at the referencing entry
+        }
+        on_page(frame, level);
+        let page = mem.table(frame).expect("checked above");
+        for (index, pte) in page.present_entries() {
+            let va = base + index as u64 * level.span_bytes();
+            on_entry(va, level, pte);
+            if pte.is_leaf_at(level) || pte.is_switching() {
+                continue;
+            }
+            let child = pte.host_frame();
+            if !mem.is_table(child) {
+                on_dangling(va, level, child);
+                continue;
+            }
+            stack.push((child, level.child().expect("interior level"), va));
+        }
+    }
+}
+
+/// Walks a guest radix tree (pages live in guest frames) from `root`.
+fn walk_guest_tree(
+    mem: &PhysMem,
+    vmm: &Vmm,
+    root: GuestFrame,
+    on_page: &mut dyn FnMut(GuestFrame, Level),
+    on_dangling: &mut dyn FnMut(u64, Level, GuestFrame),
+) {
+    let mut stack = vec![(root, Level::top(), 0u64)];
+    while let Some((gframe, level, base)) = stack.pop() {
+        let Some(backing) = vmm.backing(gframe) else {
+            continue; // reported by the caller at the referencing entry
+        };
+        let Some(page) = mem.table(backing) else {
+            continue;
+        };
+        on_page(gframe, level);
+        for (index, pte) in page.present_entries() {
+            let va = base + index as u64 * level.span_bytes();
+            if pte.is_leaf_at(level) {
+                continue;
+            }
+            let child = GuestFrame::new(pte.frame_raw());
+            let live = vmm.backing(child).is_some_and(|h| mem.is_table(h));
+            if !live {
+                on_dangling(va, level, child);
+                continue;
+            }
+            stack.push((child, level.child().expect("interior level"), va));
+        }
+    }
+}
+
+/// Frame-ownership pass: every live table page must have exactly one owner.
+///
+/// Returns whether the table graph is *structurally intact* (no dangling
+/// pointers, no unbacked guest tables). The truth-comparison passes walk
+/// tables through the infallible simulator read paths, which treat a
+/// dereference of freed table memory as a fatal bug — so they only run on
+/// an intact graph; on a broken one, the structural diagnostics emitted
+/// here already pinpoint the breakage.
+fn check_frame_ownership(mem: &PhysMem, vmm: &Vmm, out: &mut Vec<LintDiag>) -> bool {
+    let mut owners: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut claim = |frame: HostFrame, owner: String| {
+        owners.entry(frame.raw()).or_default().push(owner);
+    };
+
+    walk_host_tree(
+        mem,
+        vmm.hptr(),
+        &mut |frame, _| claim(frame, "host-table".to_string()),
+        &mut |_, _, _| {},
+        &mut |gpa, level, child| {
+            out.push(
+                LintDiag::new(
+                    LintCode::DanglingTablePointer,
+                    format!("host table entry at gPA {gpa:#x} points at non-table {child}"),
+                )
+                .level(level)
+                .frame(child),
+            );
+        },
+    );
+
+    for pid in vmm.processes() {
+        if let Some(sptr) = vmm.spt_root(pid) {
+            walk_host_tree(
+                mem,
+                sptr,
+                &mut |frame, _| claim(frame, format!("shadow(pid {})", pid.raw())),
+                &mut |_, _, _| {},
+                &mut |va, level, child| {
+                    out.push(
+                        LintDiag::new(
+                            LintCode::DanglingTablePointer,
+                            format!("shadow table entry points at non-table {child}"),
+                        )
+                        .pid(pid)
+                        .gva(va)
+                        .level(level)
+                        .frame(child),
+                    );
+                },
+            );
+        }
+        if let Some(root) = vmm.gpt_root(pid) {
+            walk_guest_tree(mem, vmm, root, &mut |_, _| {}, &mut |va, level, child| {
+                out.push(
+                    LintDiag::new(
+                        LintCode::DanglingTablePointer,
+                        format!(
+                            "guest table entry points at guest frame {child} with no live \
+                                 table backing"
+                        ),
+                    )
+                    .pid(pid)
+                    .gva(va)
+                    .level(level),
+                );
+            });
+        }
+    }
+
+    for gframe in vmm.guest_table_frames() {
+        match vmm.backing(gframe) {
+            Some(backing) if mem.is_table(backing) => {
+                claim(backing, format!("guest-table {gframe}"));
+            }
+            other => {
+                out.push(LintDiag::new(
+                    LintCode::UnbackedGuestTable,
+                    format!(
+                        "registered guest table frame {gframe} has backing {other:?}, which \
+                             is not a live table page"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for frame in mem.table_frames() {
+        match owners.get(&frame.raw()) {
+            None => out.push(
+                LintDiag::new(
+                    LintCode::OrphanFrame,
+                    "live table page reachable from no owner (leaked)".to_string(),
+                )
+                .frame(frame),
+            ),
+            Some(claims) if claims.len() > 1 => out.push(
+                LintDiag::new(
+                    LintCode::MultiOwnedFrame,
+                    format!(
+                        "table page claimed by {} owners: {}",
+                        claims.len(),
+                        claims.join(", ")
+                    ),
+                )
+                .frame(frame),
+            ),
+            Some(_) => {}
+        }
+    }
+
+    !out.iter().any(|d| {
+        matches!(
+            d.code,
+            LintCode::DanglingTablePointer | LintCode::UnbackedGuestTable
+        )
+    })
+}
+
+/// True when any guest table page on `gva`'s walk path is in the KVM-style
+/// unsynced state — its derived shadow entries are architecturally allowed
+/// to be stale until the next synchronization point, so strict
+/// shadow-vs-truth checks must not fire.
+fn path_unsynced(mem: &PhysMem, vmm: &Vmm, pid: ProcessId, gva: u64) -> bool {
+    Level::top()
+        .walk_order()
+        .any(|level| vmm.page_mode(mem, pid, gva, level) == Some(GptPageMode::Unsynced))
+}
+
+/// Shadow-table sweep: permission monotonicity, frame agreement, A/D
+/// consistency, huge/4K alias spans, and switching-bit well-formedness.
+///
+/// `tables_intact` gates the truth comparisons (reference translation,
+/// page-mode probes): they dereference table pages through the infallible
+/// simulator read paths and must not run over a structurally broken graph.
+fn check_shadow_tables(mem: &PhysMem, vmm: &Vmm, tables_intact: bool, out: &mut Vec<LintDiag>) {
+    let technique = vmm.technique();
+    let agile = matches!(technique, Technique::Agile(_));
+    let hw_ad = matches!(technique, Technique::Agile(o) if o.hw_ad_bits);
+    let native = matches!(technique, Technique::Native);
+
+    // Backing ⇒ registered guest-table-frame index, for switching-target
+    // validation.
+    let mut guest_backing: HashMap<u64, GuestFrame> = HashMap::new();
+    for gframe in vmm.guest_table_frames() {
+        if let Some(h) = vmm.backing(gframe) {
+            guest_backing.insert(h.raw(), gframe);
+        }
+    }
+
+    for pid in vmm.processes() {
+        let Some(sptr) = vmm.spt_root(pid) else {
+            continue;
+        };
+        // With the whole address space nested (SHSP nested phase, agile
+        // storm fallback / pre-engagement) the walker ignores the shadow
+        // table entirely, so residual shadow content is stale-but-inert:
+        // skip truth comparisons, but still flag switching entries where
+        // the mode forbids them.
+        let inert = vmm.full_nested(pid) || vmm.root_nested(pid);
+        let pages: HashMap<u64, agile_vmm::GptPageInfo> = vmm
+            .gpt_pages(pid)
+            .into_iter()
+            .map(|(g, i)| (g.raw(), i))
+            .collect();
+
+        let mut entries: Vec<(u64, Level, Pte)> = Vec::new();
+        walk_host_tree(
+            mem,
+            sptr,
+            &mut |_, _| {},
+            &mut |va, level, pte| entries.push((va, level, pte)),
+            &mut |_, _, _| {}, // dangling pointers reported by the ownership pass
+        );
+
+        for (va, level, pte) in entries {
+            if pte.is_switching() {
+                check_switching_entry(
+                    mem,
+                    vmm,
+                    pid,
+                    va,
+                    level,
+                    pte,
+                    agile,
+                    inert,
+                    &guest_backing,
+                    &pages,
+                    out,
+                );
+                continue;
+            }
+            if !pte.is_leaf_at(level) || inert || !tables_intact || path_unsynced(mem, vmm, pid, va)
+            {
+                continue;
+            }
+            let size = pte.leaf_size(level).expect("leaf entry");
+            let Some(reference) = verify::reference_translate(mem, vmm, pid, va) else {
+                out.push(
+                    LintDiag::new(
+                        LintCode::ShadowFrameMismatch,
+                        format!(
+                            "shadow leaf maps a gVA the guest does not map (to frame {})",
+                            pte.host_frame()
+                        ),
+                    )
+                    .pid(pid)
+                    .gva(va)
+                    .level(level),
+                );
+                continue;
+            };
+            if size > reference.eff_size {
+                out.push(
+                    LintDiag::new(
+                        LintCode::HugeAliasConflict,
+                        format!(
+                            "shadow leaf spans {} but the effective guest ∩ host size is {} \
+                             (guest {}, host {})",
+                            size.label(),
+                            reference.eff_size.label(),
+                            reference.guest_size.label(),
+                            reference.host_size.label(),
+                        ),
+                    )
+                    .pid(pid)
+                    .gva(va)
+                    .level(level),
+                );
+            } else if pte.host_frame() != reference.frame_4k {
+                out.push(
+                    LintDiag::new(
+                        LintCode::ShadowFrameMismatch,
+                        format!(
+                            "shadow leaf maps frame {}, guest∘host composition says {}",
+                            pte.host_frame(),
+                            reference.frame_4k
+                        ),
+                    )
+                    .pid(pid)
+                    .gva(va)
+                    .level(level)
+                    .frame(pte.host_frame()),
+                );
+            }
+            if pte.is_writable() && !reference.writable {
+                out.push(
+                    LintDiag::new(
+                        LintCode::ShadowPermExceeds,
+                        "shadow leaf permits writes beyond the guest ∩ host intersection"
+                            .to_string(),
+                    )
+                    .pid(pid)
+                    .gva(va)
+                    .level(level),
+                );
+            }
+            // A/D protocol (§III-B): without the hardware A/D optimization
+            // a shadow leaf may be writable or dirty only after the VMM
+            // set the guest leaf's dirty bit. Native's merged table does
+            // not participate (hardware A/D lands in the guest table
+            // directly).
+            if !native {
+                let guest_dirty = vmm
+                    .gpt_lookup(mem, pid, va)
+                    .is_some_and(|(g, _)| g.flags().contains(PteFlags::DIRTY));
+                if pte.flags().contains(PteFlags::DIRTY) && !guest_dirty {
+                    out.push(
+                        LintDiag::new(
+                            LintCode::AdBitInconsistent,
+                            "shadow leaf is dirty but the guest leaf is not".to_string(),
+                        )
+                        .pid(pid)
+                        .gva(va)
+                        .level(level),
+                    );
+                } else if !hw_ad && pte.is_writable() && !guest_dirty {
+                    out.push(
+                        LintDiag::new(
+                            LintCode::AdBitInconsistent,
+                            "shadow leaf is writable but the guest leaf is not dirty (the \
+                             dirty-tracking trap was bypassed)"
+                                .to_string(),
+                        )
+                        .pid(pid)
+                        .gva(va)
+                        .level(level),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Validates one switching entry (see module docs for the invariant set).
+#[allow(clippy::too_many_arguments)] // one entry plus the per-process context it is judged against
+fn check_switching_entry(
+    mem: &PhysMem,
+    vmm: &Vmm,
+    pid: ProcessId,
+    va: u64,
+    level: Level,
+    pte: Pte,
+    agile: bool,
+    inert: bool,
+    guest_backing: &HashMap<u64, GuestFrame>,
+    pages: &HashMap<u64, agile_vmm::GptPageInfo>,
+    out: &mut Vec<LintDiag>,
+) {
+    if !agile {
+        out.push(
+            LintDiag::new(
+                LintCode::SwitchingBitForbidden,
+                format!(
+                    "switching entry under {:?}, which never sets the switching bit",
+                    vmm.technique()
+                ),
+            )
+            .pid(pid)
+            .gva(va)
+            .level(level),
+        );
+        return;
+    }
+    if vmm.full_nested(pid) {
+        out.push(
+            LintDiag::new(
+                LintCode::SwitchingBitForbidden,
+                "switching entry while the address space is fully nested (pure-nested mode \
+                 never materializes shadow entries)"
+                    .to_string(),
+            )
+            .pid(pid)
+            .gva(va)
+            .level(level),
+        );
+        return;
+    }
+    if inert {
+        return; // root_nested: the spt is ignored; stale targets are inert
+    }
+    let target = pte.host_frame();
+    match guest_backing.get(&target.raw()) {
+        Some(gframe) => {
+            let info = pages.get(&gframe.raw());
+            let child_level = level.child();
+            let ok =
+                info.is_some_and(|i| i.mode == GptPageMode::Nested && Some(i.level) == child_level);
+            if !ok {
+                let mode = info.map(|i| i.mode);
+                out.push(
+                    LintDiag::new(
+                        LintCode::SwitchingTargetInvalid,
+                        format!(
+                            "switching entry targets guest table {gframe} (mode {mode:?}), \
+                             expected a nested-mode page holding {child_level:?} entries"
+                        ),
+                    )
+                    .pid(pid)
+                    .gva(va)
+                    .level(level)
+                    .frame(target),
+                );
+            }
+        }
+        None if mem.is_table(target) => out.push(
+            LintDiag::new(
+                LintCode::ShadowBelowSwitching,
+                "switching entry points into shadow/host-owned table memory: shadow entries \
+                 survive below the switching bit"
+                    .to_string(),
+            )
+            .pid(pid)
+            .gva(va)
+            .level(level)
+            .frame(target),
+        ),
+        None => out.push(
+            LintDiag::new(
+                LintCode::SwitchingTargetInvalid,
+                format!("switching entry targets {target}, which is not a live table page"),
+            )
+            .pid(pid)
+            .gva(va)
+            .level(level)
+            .frame(target),
+        ),
+    }
+}
+
+/// Guest-side image of the Figure 3 partition: below a nested-mode page,
+/// every page must be nested.
+fn check_mode_partition(mem: &PhysMem, vmm: &Vmm, out: &mut Vec<LintDiag>) {
+    for pid in vmm.processes() {
+        let pages = vmm.gpt_pages(pid);
+        let by_frame: HashMap<u64, GptPageMode> =
+            pages.iter().map(|(g, i)| (g.raw(), i.mode)).collect();
+        for (gframe, info) in &pages {
+            if info.mode != GptPageMode::Nested || info.level == Level::leaf() {
+                continue;
+            }
+            let Some(backing) = vmm.backing(*gframe) else {
+                continue; // reported as UnbackedGuestTable
+            };
+            let Some(page) = mem.table(backing) else {
+                continue;
+            };
+            for (index, pte) in page.present_entries() {
+                if pte.is_leaf_at(info.level) {
+                    continue;
+                }
+                let child = pte.frame_raw();
+                if let Some(mode) = by_frame.get(&child) {
+                    if *mode != GptPageMode::Nested {
+                        let va = info.va_base + index as u64 * info.level.span_bytes();
+                        out.push(
+                            LintDiag::new(
+                                LintCode::ModePartition,
+                                format!(
+                                    "guest table page {gframe} is nested but its child \
+                                     {child:#x} is {mode:?}: the walk path would switch back \
+                                     from nested to shadow"
+                                ),
+                            )
+                            .pid(pid)
+                            .gva(va)
+                            .level(info.level),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// TLB overlap pass: two entries of one address space covering the same
+/// gVA must agree on the translation of the overlap.
+fn check_tlb_aliases(tlb: &TlbHierarchy, out: &mut Vec<LintDiag>) {
+    let mut entries = tlb.entries();
+    entries.sort_by_key(|(asid, va, e)| (asid.raw(), va.raw(), e.size, e.frame.raw()));
+    let mut active: Vec<(u64, usize)> = Vec::new(); // (end, index into entries)
+    for j in 0..entries.len() {
+        let (asid_j, va_j, e_j) = &entries[j];
+        let start_j = va_j.raw();
+        active.retain(|(end, i)| *end > start_j && entries[*i].0 == *asid_j);
+        for &(_, i) in &active {
+            let (_, va_i, e_i) = &entries[i];
+            // The overlap starts at the later of the two bases.
+            let base_4k = start_j >> 12;
+            let f_i = e_i.frame.add(base_4k - (va_i.raw() >> 12));
+            let f_j = e_j.frame;
+            if f_i != f_j {
+                out.push(
+                    LintDiag::new(
+                        LintCode::HugeAliasConflict,
+                        format!(
+                            "TLB entries of sizes {} and {} overlap at {start_j:#x} but \
+                             translate it to {f_i} vs {f_j}",
+                            e_i.size.label(),
+                            e_j.size.label(),
+                        ),
+                    )
+                    .gva(start_j)
+                    .frame(f_j),
+                );
+            }
+        }
+        active.push((start_j + e_j.size.bytes(), j));
+    }
+}
+
+/// Runs the full Part A structural analysis (and, when a [`ShootdownLog`]
+/// is provided, the Part B race detection) over a paused machine state.
+///
+/// Strictly read-only; diagnostics come back in canonical order.
+#[must_use]
+pub fn analyze(
+    mem: &PhysMem,
+    vmm: &Vmm,
+    tlb: &TlbHierarchy,
+    log: Option<&ShootdownLog>,
+) -> LintReport {
+    let mut out = Vec::new();
+    let tables_intact = check_frame_ownership(mem, vmm, &mut out);
+    check_shadow_tables(mem, vmm, tables_intact, &mut out);
+    check_mode_partition(mem, vmm, &mut out);
+    check_tlb_aliases(tlb, &mut out);
+    if let Some(log) = log {
+        out.extend(detect_shootdown_races(log));
+    }
+    LintReport::from_diags(out)
+}
+
+// ---------------------------------------------------------------------
+// Part B: shootdown-protocol race detector
+// ---------------------------------------------------------------------
+
+/// The gVA-space scope one flush request covers, for happens-before
+/// matching. An `Asid` request covers the whole address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushScope {
+    /// Raw ASID the flush is tagged with.
+    pub asid: u32,
+    /// First covered gVA.
+    pub start: u64,
+    /// Covered length in bytes (`u64::MAX` for a full-ASID flush).
+    pub len: u64,
+}
+
+impl FlushScope {
+    /// The scope covering everything tagged with `asid`.
+    #[must_use]
+    pub fn asid_full(asid: u32) -> Self {
+        FlushScope {
+            asid,
+            start: 0,
+            len: u64::MAX,
+        }
+    }
+
+    /// Scope of one [`FlushRequest`] (`None` for nested-TLB frame
+    /// invalidations, which are synchronous and never raced).
+    #[must_use]
+    pub fn of_request(req: &FlushRequest) -> Option<FlushScope> {
+        match *req {
+            FlushRequest::Asid(asid) => Some(FlushScope::asid_full(asid.raw())),
+            FlushRequest::Range { asid, start, len } => Some(FlushScope {
+                asid: asid.raw(),
+                start,
+                len,
+            }),
+            FlushRequest::NtlbFrame(_) => None,
+        }
+    }
+
+    fn end(&self) -> u64 {
+        self.start.saturating_add(self.len)
+    }
+
+    /// True when an applied flush of scope `self` subsumes pending scope
+    /// `other` (same address space, fully covered range).
+    #[must_use]
+    pub fn covers(&self, other: &FlushScope) -> bool {
+        self.asid == other.asid && self.start <= other.start && self.end() >= other.end()
+    }
+}
+
+/// One event of the shootdown protocol, in machine order. `access` is the
+/// data-access index at which the event happened; `batch` groups the flush
+/// requests drained together with the table frees of the same VMM
+/// operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShootdownEvent {
+    /// The VMM emitted a flush request (canonical drain order).
+    Requested {
+        /// Access index.
+        access: u64,
+        /// Drain batch the request belongs to.
+        batch: u64,
+        /// What it covers.
+        scope: FlushScope,
+    },
+    /// A flush was applied to the caching structures.
+    Applied {
+        /// Access index.
+        access: u64,
+        /// What was flushed.
+        scope: FlushScope,
+    },
+    /// The chaos dice dropped a flush.
+    Dropped {
+        /// Access index.
+        access: u64,
+        /// Drain batch the request belonged to.
+        batch: u64,
+        /// What should have been flushed.
+        scope: FlushScope,
+    },
+    /// The chaos dice deferred a flush (it applies later as `Applied`).
+    Deferred {
+        /// Access index.
+        access: u64,
+        /// Drain batch the request belonged to.
+        batch: u64,
+        /// Access index at which delivery is due.
+        due: u64,
+        /// What it covers.
+        scope: FlushScope,
+    },
+    /// A page-table page was freed by the VMM operation of `batch`.
+    FrameFreed {
+        /// Access index.
+        access: u64,
+        /// Drain batch whose flushes cover the free.
+        batch: u64,
+        /// The freed frame.
+        frame: HostFrame,
+    },
+    /// The allocator handed out new frames (first new frame named),
+    /// consuming capacity that table frees credited back.
+    FrameReused {
+        /// Access index.
+        access: u64,
+        /// First frame allocated since the last observation.
+        frame: HostFrame,
+    },
+}
+
+/// Cap on recorded protocol events; a truncated log is reported by the
+/// detector so an analysis can never silently claim full coverage.
+pub const MAX_SHOOTDOWN_EVENTS: usize = 65_536;
+
+/// The machine's recorded shootdown protocol: an ordered event sequence
+/// fed to [`detect_shootdown_races`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShootdownLog {
+    /// Events in machine order.
+    pub events: Vec<ShootdownEvent>,
+    /// Events dropped after [`MAX_SHOOTDOWN_EVENTS`] was reached.
+    pub truncated: u64,
+}
+
+impl ShootdownLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        ShootdownLog::default()
+    }
+
+    /// Appends an event, respecting the size cap.
+    pub fn push(&mut self, event: ShootdownEvent) {
+        if self.events.len() >= MAX_SHOOTDOWN_EVENTS {
+            self.truncated += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Lockset-style happens-before pass over a [`ShootdownLog`].
+///
+/// A *window* opens when a drain batch both freed table frames and had
+/// flushes dropped or deferred: until every such scope is subsumed by a
+/// later `Applied` flush, translation-caching structures may still hold
+/// pointers into the freed frames. If the allocator hands out new frames
+/// while a window is open, the freed frame's capacity was reused before
+/// the shootdown protocol finished — [`LintCode::MissedShootdownReuse`].
+/// Windows still open at the end of the log (no reuse observed) are
+/// reported as [`LintCode::ShootdownNeverApplied`].
+#[must_use]
+pub fn detect_shootdown_races(log: &ShootdownLog) -> Vec<LintDiag> {
+    #[derive(Default)]
+    struct Batch {
+        pending: Vec<FlushScope>,
+        freed: Vec<(HostFrame, u64)>,
+    }
+    let mut batches: BTreeMap<u64, Batch> = BTreeMap::new();
+    let mut fired: HashSet<u64> = HashSet::new();
+    let mut out = Vec::new();
+
+    for event in &log.events {
+        match event {
+            ShootdownEvent::Requested { .. } => {}
+            ShootdownEvent::Dropped { batch, scope, .. }
+            | ShootdownEvent::Deferred { batch, scope, .. } => {
+                batches.entry(*batch).or_default().pending.push(*scope);
+            }
+            ShootdownEvent::FrameFreed {
+                batch,
+                frame,
+                access,
+            } => {
+                batches
+                    .entry(*batch)
+                    .or_default()
+                    .freed
+                    .push((*frame, *access));
+            }
+            ShootdownEvent::Applied { scope, .. } => {
+                for batch in batches.values_mut() {
+                    batch.pending.retain(|p| !scope.covers(p));
+                }
+            }
+            ShootdownEvent::FrameReused { access, frame } => {
+                for (id, batch) in &batches {
+                    if batch.pending.is_empty() {
+                        continue;
+                    }
+                    for (freed, freed_at) in &batch.freed {
+                        if !fired.insert(freed.raw()) {
+                            continue;
+                        }
+                        out.push(
+                            LintDiag::new(
+                                LintCode::MissedShootdownReuse,
+                                format!(
+                                    "table frame freed at access {freed_at} (batch {id}) was \
+                                     reused (allocation {frame} at access {access}) before its \
+                                     covering shootdown applied ({} scope(s) outstanding)",
+                                    batch.pending.len()
+                                ),
+                            )
+                            .frame(*freed),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    for (id, batch) in &batches {
+        if batch.pending.is_empty() {
+            continue;
+        }
+        for (freed, freed_at) in &batch.freed {
+            if fired.contains(&freed.raw()) {
+                continue;
+            }
+            out.push(
+                LintDiag::new(
+                    LintCode::ShootdownNeverApplied,
+                    format!(
+                        "table frame freed at access {freed_at} (batch {id}); its covering \
+                         shootdown was still undelivered at pause"
+                    ),
+                )
+                .frame(*freed),
+            );
+        }
+    }
+
+    if log.truncated > 0 {
+        out.push(LintDiag::new(
+            LintCode::ShootdownNeverApplied,
+            format!(
+                "shootdown event log truncated ({} events dropped): race analysis is incomplete",
+                log.truncated
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope(asid: u32, start: u64, len: u64) -> FlushScope {
+        FlushScope { asid, start, len }
+    }
+
+    #[test]
+    fn scope_covering_rules() {
+        let full = FlushScope::asid_full(1);
+        let range = scope(1, 0x1000, 0x2000);
+        assert!(full.covers(&range));
+        assert!(full.covers(&full));
+        assert!(!range.covers(&full));
+        assert!(!scope(2, 0, u64::MAX).covers(&range), "different asid");
+        assert!(scope(1, 0x1000, 0x2000).covers(&scope(1, 0x1800, 0x800)));
+        assert!(!scope(1, 0x1000, 0x2000).covers(&scope(1, 0x2800, 0x1000)));
+    }
+
+    #[test]
+    fn dropped_free_reuse_is_a_race() {
+        let mut log = ShootdownLog::new();
+        log.push(ShootdownEvent::Dropped {
+            access: 10,
+            batch: 0,
+            scope: scope(1, 0x1000, 0x1000),
+        });
+        log.push(ShootdownEvent::FrameFreed {
+            access: 10,
+            batch: 0,
+            frame: HostFrame::new(7),
+        });
+        log.push(ShootdownEvent::FrameReused {
+            access: 12,
+            frame: HostFrame::new(9),
+        });
+        let diags = detect_shootdown_races(&log);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::MissedShootdownReuse);
+        assert_eq!(diags[0].frame, Some(HostFrame::new(7)));
+    }
+
+    #[test]
+    fn applied_before_reuse_closes_the_window() {
+        let mut log = ShootdownLog::new();
+        log.push(ShootdownEvent::Dropped {
+            access: 10,
+            batch: 0,
+            scope: scope(1, 0x1000, 0x1000),
+        });
+        log.push(ShootdownEvent::FrameFreed {
+            access: 10,
+            batch: 0,
+            frame: HostFrame::new(7),
+        });
+        // A later full-ASID flush (e.g. a heal) subsumes the dropped range.
+        log.push(ShootdownEvent::Applied {
+            access: 11,
+            scope: FlushScope::asid_full(1),
+        });
+        log.push(ShootdownEvent::FrameReused {
+            access: 12,
+            frame: HostFrame::new(9),
+        });
+        assert!(detect_shootdown_races(&log).is_empty());
+    }
+
+    #[test]
+    fn open_window_without_reuse_is_a_warning() {
+        let mut log = ShootdownLog::new();
+        log.push(ShootdownEvent::Deferred {
+            access: 10,
+            batch: 3,
+            due: 90,
+            scope: scope(1, 0, 0x1000),
+        });
+        log.push(ShootdownEvent::FrameFreed {
+            access: 10,
+            batch: 3,
+            frame: HostFrame::new(4),
+        });
+        let diags = detect_shootdown_races(&log);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::ShootdownNeverApplied);
+        assert_eq!(diags[0].severity, LintSeverity::Warning);
+    }
+
+    #[test]
+    fn truncation_is_always_visible() {
+        let mut log = ShootdownLog::new();
+        for _ in 0..MAX_SHOOTDOWN_EVENTS + 5 {
+            log.push(ShootdownEvent::FrameReused {
+                access: 1,
+                frame: HostFrame::new(1),
+            });
+        }
+        assert_eq!(log.truncated, 5);
+        let diags = detect_shootdown_races(&log);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].detail.contains("truncated"));
+    }
+
+    #[test]
+    fn report_orders_and_renders_deterministically() {
+        let a = LintDiag::new(LintCode::OrphanFrame, "z".into()).frame(HostFrame::new(9));
+        let b = LintDiag::new(LintCode::OrphanFrame, "a".into()).frame(HostFrame::new(2));
+        let r1 = LintReport::from_diags(vec![a.clone(), b.clone()]);
+        let r2 = LintReport::from_diags(vec![b, a]);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.render(), r2.render());
+        assert_eq!(r1.to_json().render(), r2.to_json().render());
+        assert!(r1.has_errors());
+        assert_eq!(r1.count(LintCode::OrphanFrame), 2);
+    }
+
+    #[test]
+    fn every_code_has_distinct_label_and_severity() {
+        let labels: HashSet<&str> = LintCode::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), LintCode::ALL.len());
+        assert_eq!(
+            LintCode::ShootdownNeverApplied.severity(),
+            LintSeverity::Warning
+        );
+        assert_eq!(LintCode::OrphanFrame.severity(), LintSeverity::Error);
+    }
+}

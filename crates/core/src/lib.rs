@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod chaos;
 mod config;
 pub mod experiments;
@@ -45,6 +46,10 @@ pub mod runner;
 mod stats;
 pub mod verify;
 
+pub use analyze::{
+    detect_shootdown_races, FlushScope, LintCode, LintDiag, LintReport, LintSeverity,
+    ShootdownEvent, ShootdownLog,
+};
 pub use chaos::{
     render_log, ChaosScenario, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind,
 };

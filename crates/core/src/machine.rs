@@ -1,5 +1,6 @@
 //! The machine: one VM (guest OS + VMM) on simulated translation hardware.
 
+use crate::analyze::{self, FlushScope, LintReport, ShootdownEvent, ShootdownLog};
 use crate::chaos::{
     ChaosState, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind, ShootdownFate,
 };
@@ -9,7 +10,7 @@ use crate::verify::{self, Violation};
 use agile_guest::{FaultError, GuestOs, SegFault};
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, TlbEntry, TlbHierarchy};
-use agile_types::{AccessKind, Asid, Fault, GuestVirtAddr, Level, ProcessId, PteFlags};
+use agile_types::{AccessKind, Asid, Fault, GuestVirtAddr, HostFrame, Level, ProcessId, PteFlags};
 use agile_vmm::{FaultOutcome, FlushRequest, HwRoots, Technique, Vmm};
 use agile_walk::{WalkHw, WalkKind, WalkOk, WalkStats};
 use agile_workloads::{Event, Workload, WorkloadSpec};
@@ -64,6 +65,15 @@ pub struct Machine {
     trace: Option<agile_trace::TraceLog>,
     violations: Vec<Violation>,
     chaos: Option<ChaosState>,
+    /// Shootdown-protocol event log for the static race detector
+    /// ([`crate::analyze::detect_shootdown_races`]); `None` until enabled.
+    shootdown_log: Option<ShootdownLog>,
+    /// High-water mark of `mem.frames_allocated()` at the last reuse
+    /// observation, for coalesced `FrameReused` events.
+    alloc_mark: u64,
+    /// Monotonic id grouping the flush requests drained together with the
+    /// table frees of the same VMM operation.
+    flush_batches: u64,
 }
 
 /// Worst-case number of host frames the infallible deep-map paths can
@@ -122,6 +132,9 @@ impl Machine {
             trace: None,
             violations: Vec::new(),
             chaos: None,
+            shootdown_log: None,
+            alloc_mark: 0,
+            flush_batches: 0,
         }
     }
 
@@ -134,6 +147,98 @@ impl Machine {
     pub fn enable_chaos(&mut self, plan: FaultPlan) {
         self.cfg.paranoia = true;
         self.chaos = Some(ChaosState::new(plan));
+        // Chaos injects exactly the missed-shootdown windows the static
+        // race detector exists to find; always record the protocol.
+        self.enable_shootdown_log();
+    }
+
+    /// Starts recording the shootdown protocol (flush requests, their
+    /// delivery fates, table-page frees, and allocator reuse) for the
+    /// static race detector. Implied by [`Machine::enable_chaos`]; enable
+    /// explicitly on clean runs to prove the protocol race-free via
+    /// [`Machine::lint`]. Idempotent.
+    pub fn enable_shootdown_log(&mut self) {
+        if self.shootdown_log.is_none() {
+            self.shootdown_log = Some(ShootdownLog::new());
+            self.alloc_mark = self.mem.frames_allocated();
+            self.mem.set_track_frees(true);
+        }
+    }
+
+    /// The recorded shootdown protocol, when logging is enabled.
+    #[must_use]
+    pub fn shootdown_log(&self) -> Option<&ShootdownLog> {
+        self.shootdown_log.as_ref()
+    }
+
+    /// Runs the whole-state static analyzer ([`crate::analyze`]) over the
+    /// paused machine: the structural page-table passes, plus — when the
+    /// shootdown log is enabled — the protocol race detector.
+    #[must_use]
+    pub fn lint(&mut self) -> LintReport {
+        // Observe any allocation since the last access before analyzing,
+        // so a free-then-reuse race right at the end is not missed.
+        self.note_frame_reuse();
+        analyze::analyze(&self.mem, &self.vmm, &self.tlb, self.shootdown_log.as_ref())
+    }
+
+    fn log_shootdown(&mut self, event: ShootdownEvent) {
+        if let Some(log) = self.shootdown_log.as_mut() {
+            log.push(event);
+        }
+    }
+
+    /// Records a flush applied outside the request queue (heal paths flush
+    /// the caching structures directly) so the race detector sees the
+    /// window close.
+    fn log_applied_asid(&mut self, asid: Asid) {
+        if self.shootdown_log.is_some() {
+            let access = self.accesses;
+            self.log_shootdown(ShootdownEvent::Applied {
+                access,
+                scope: FlushScope::asid_full(asid.raw()),
+            });
+        }
+    }
+
+    fn next_flush_batch(&mut self) -> u64 {
+        self.flush_batches += 1;
+        self.flush_batches
+    }
+
+    /// Logs the table-page frees performed by the VMM operation whose
+    /// flush requests were drained as `batch`.
+    fn log_freed_frames(&mut self, batch: u64) {
+        if self.shootdown_log.is_none() {
+            return;
+        }
+        let access = self.accesses;
+        for frame in self.mem.take_freed_frames() {
+            self.log_shootdown(ShootdownEvent::FrameFreed {
+                access,
+                batch,
+                frame,
+            });
+        }
+    }
+
+    /// Coalesced allocator-reuse observation: one `FrameReused` event per
+    /// access in which the allocator handed out new frames (consuming
+    /// capacity that table frees credited back).
+    fn note_frame_reuse(&mut self) {
+        if self.shootdown_log.is_none() {
+            return;
+        }
+        let allocated = self.mem.frames_allocated();
+        if allocated > self.alloc_mark {
+            let first = HostFrame::new(self.alloc_mark + 1);
+            self.alloc_mark = allocated;
+            let access = self.accesses;
+            self.log_shootdown(ShootdownEvent::FrameReused {
+                access,
+                frame: first,
+            });
+        }
     }
 
     /// Degradation events recorded so far (empty without chaos).
@@ -246,6 +351,31 @@ impl Machine {
         &self.vmm
     }
 
+    /// The simulated physical memory (read-only; the static analyzer and
+    /// tests enumerate table pages through it).
+    #[must_use]
+    pub fn mem(&self) -> &PhysMem {
+        &self.mem
+    }
+
+    /// The TLB hierarchy (read-only inspection).
+    #[must_use]
+    pub fn tlb(&self) -> &TlbHierarchy {
+        &self.tlb
+    }
+
+    /// The page walk caches (read-only inspection).
+    #[must_use]
+    pub fn pwc(&self) -> &PageWalkCaches {
+        &self.pwc
+    }
+
+    /// The nested TLB (read-only inspection).
+    #[must_use]
+    pub fn ntlb(&self) -> &NestedTlb {
+        &self.ntlb
+    }
+
     /// The guest OS (for inspection).
     #[must_use]
     pub fn os(&self) -> &GuestOs {
@@ -281,6 +411,12 @@ impl Machine {
     }
 
     fn apply_flush(&mut self, req: FlushRequest) {
+        if self.shootdown_log.is_some() {
+            if let Some(scope) = FlushScope::of_request(&req) {
+                let access = self.accesses;
+                self.log_shootdown(ShootdownEvent::Applied { access, scope });
+            }
+        }
         match req {
             FlushRequest::Asid(asid) => {
                 self.tlb.flush_asid(asid);
@@ -313,7 +449,17 @@ impl Machine {
     /// dropped or deferred; `NtlbFrame` requests model the hypervisor's
     /// *synchronous* local INVEPT on its own EPT edit and always deliver.
     fn drain_flushes(&mut self) {
+        let batch = self.next_flush_batch();
         for req in self.vmm.take_pending_flushes() {
+            let scope = FlushScope::of_request(&req);
+            if let Some(scope) = scope {
+                let access = self.accesses;
+                self.log_shootdown(ShootdownEvent::Requested {
+                    access,
+                    batch,
+                    scope,
+                });
+            }
             let fate = match self.chaos.as_mut() {
                 Some(c) if !matches!(req, FlushRequest::NtlbFrame(_)) => c.roll_shootdown(),
                 _ => ShootdownFate::Deliver,
@@ -329,6 +475,13 @@ impl Machine {
                         flush_gva(&req),
                         format!("dropped {req:?}"),
                     );
+                    if let Some(scope) = scope {
+                        self.log_shootdown(ShootdownEvent::Dropped {
+                            access,
+                            batch,
+                            scope,
+                        });
+                    }
                 }
                 ShootdownFate::Defer(delay) => {
                     let access = self.accesses;
@@ -341,17 +494,36 @@ impl Machine {
                         format!("deferred {req:?} until access {due}"),
                     );
                     chaos.deferred.push((due, req));
+                    if let Some(scope) = scope {
+                        self.log_shootdown(ShootdownEvent::Deferred {
+                            access,
+                            batch,
+                            due,
+                            scope,
+                        });
+                    }
                 }
             }
         }
+        self.log_freed_frames(batch);
     }
 
     /// Delivers pending shootdowns without consulting the chaos dice. Heal
     /// paths use this: a recovery-issued flush must never itself be dropped.
     fn drain_flushes_reliable(&mut self) {
+        let batch = self.next_flush_batch();
         for req in self.vmm.take_pending_flushes() {
+            if let Some(scope) = FlushScope::of_request(&req) {
+                let access = self.accesses;
+                self.log_shootdown(ShootdownEvent::Requested {
+                    access,
+                    batch,
+                    scope,
+                });
+            }
             self.apply_flush(req);
         }
+        self.log_freed_frames(batch);
     }
 
     /// Applies deferred shootdowns whose delivery access has been reached.
@@ -398,6 +570,7 @@ impl Machine {
     /// consistent).
     pub fn try_touch(&mut self, va: u64, write: bool) -> Result<(), AccessError> {
         self.accesses += 1;
+        self.note_frame_reuse();
         if self.chaos.is_some() {
             if let Some(c) = self.chaos.as_mut() {
                 c.heals_this_access = 0;
@@ -628,22 +801,33 @@ impl Machine {
                 }
             }
             ScenarioKind::CorruptGuestPte { gva } => {
-                match self
-                    .vmm
-                    .chaos_corrupt_guest_leaf(&mut self.mem, pid, gva, 0)
-                {
-                    Some(level) => {
-                        self.tlb.invalidate_page(asid, GuestVirtAddr::new(gva));
+                // The churn zone may have unmapped the planned victim
+                // between plan construction and firing; re-aim at the
+                // nearest still-mapped page so the scenario lands.
+                let victim = self.nearest_guest_leaf(pid, gva);
+                let corrupted = victim.and_then(|v| {
+                    self.vmm
+                        .chaos_corrupt_guest_leaf(&mut self.mem, pid, v, 0)
+                        .map(|level| (v, level))
+                });
+                match corrupted {
+                    Some((v, level)) => {
+                        self.tlb.invalidate_page(asid, GuestVirtAddr::new(v));
+                        let moved = if v == gva {
+                            String::new()
+                        } else {
+                            format!(" (re-aimed from {gva:#x})")
+                        };
                         self.chaos_record(
                             DegradationKind::InjectedFault,
-                            Some(gva),
-                            format!("cleared the present bit of the guest {level:?} leaf"),
+                            Some(v),
+                            format!("cleared the present bit of the guest {level:?} leaf{moved}"),
                         );
                     }
                     None => self.chaos_record(
                         DegradationKind::InjectedFault,
                         Some(gva),
-                        "guest corruption no-op: no guest leaf".to_string(),
+                        "guest corruption no-op: no guest leaf near the target".to_string(),
                     ),
                 }
             }
@@ -657,6 +841,27 @@ impl Machine {
                 );
             }
         }
+    }
+
+    /// The gVA of the guest leaf nearest `gva` (itself, else alternating
+    /// ±1, ±2, … pages out to a 512-page window), for re-aiming a
+    /// corruption scenario whose planned victim was unmapped by churn.
+    /// Deterministic: depends only on the guest table state.
+    fn nearest_guest_leaf(&self, pid: ProcessId, gva: u64) -> Option<u64> {
+        if self.vmm.gpt_lookup(&self.mem, pid, gva).is_some() {
+            return Some(gva);
+        }
+        for delta in 1..=512u64 {
+            let forward = gva.wrapping_add(delta * 0x1000);
+            if self.vmm.gpt_lookup(&self.mem, pid, forward).is_some() {
+                return Some(forward);
+            }
+            let back = gva.wrapping_sub(delta * 0x1000);
+            if self.vmm.gpt_lookup(&self.mem, pid, back).is_some() {
+                return Some(back);
+            }
+        }
+        None
     }
 
     /// Keeps at least [`OOM_WATERMARK`] frames of budget headroom, running
@@ -741,6 +946,9 @@ impl Machine {
         let asid = Asid::from(pid);
         self.tlb.invalidate_page(asid, GuestVirtAddr::new(va));
         self.pwc.flush_asid(asid);
+        // The direct walk-cache purge closes any open shootdown window for
+        // this address space; tell the race detector.
+        self.log_applied_asid(asid);
         self.ntlb.flush_vm(self.vmm.vm());
         self.vmm.chaos_heal_shadow(&mut self.mem, pid, va);
         self.drain_flushes_reliable();
@@ -756,6 +964,7 @@ impl Machine {
             let asid = Asid::from(pid);
             self.tlb.flush_asid(asid);
             self.pwc.flush_asid(asid);
+            self.log_applied_asid(asid);
         }
         self.ntlb.flush_vm(self.vmm.vm());
         let pid = self.current_pid();

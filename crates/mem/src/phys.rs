@@ -92,6 +92,8 @@ pub struct PhysMem {
     freed_table_pages: u64,
     frame_budget: Option<u64>,
     charged: u64,
+    track_frees: bool,
+    freed_log: Vec<HostFrame>,
 }
 
 impl PhysMem {
@@ -108,6 +110,8 @@ impl PhysMem {
             freed_table_pages: 0,
             frame_budget: None,
             charged: 0,
+            track_frees: false,
+            freed_log: Vec::new(),
         }
     }
 
@@ -250,7 +254,27 @@ impl PhysMem {
         let removed = self.tables.remove(&frame);
         assert!(removed.is_some(), "free of non-table frame {frame}");
         self.freed_table_pages += 1;
+        if self.track_frees {
+            self.freed_log.push(frame);
+        }
         self.credit_frames(1);
+    }
+
+    /// Turns per-frame free logging on or off (off by default). While on,
+    /// every [`PhysMem::free_table_page`] pushes the freed frame onto a log
+    /// drained by [`PhysMem::take_freed_frames`] — the shootdown-protocol
+    /// race detector uses this to order frees against flush delivery.
+    pub fn set_track_frees(&mut self, on: bool) {
+        self.track_frees = on;
+        if !on {
+            self.freed_log.clear();
+        }
+    }
+
+    /// Drains the freed-frame log recorded since the last call (empty
+    /// unless [`PhysMem::set_track_frees`] enabled tracking).
+    pub fn take_freed_frames(&mut self) -> Vec<HostFrame> {
+        std::mem::take(&mut self.freed_log)
     }
 
     /// Reads the PTE at `index` of the table page at `frame`.
@@ -301,6 +325,16 @@ impl PhysMem {
     #[must_use]
     pub fn table_page_count(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Every live page-table frame, sorted by frame number so callers (the
+    /// static analyzer's frame-ownership pass) see a deterministic order
+    /// regardless of hash-map iteration.
+    #[must_use]
+    pub fn table_frames(&self) -> Vec<HostFrame> {
+        let mut frames: Vec<HostFrame> = self.tables.keys().copied().collect();
+        frames.sort_unstable();
+        frames
     }
 
     /// Number of data frames ever allocated.
@@ -442,6 +476,29 @@ mod tests {
         let mut mem = PhysMem::new();
         mem.set_frame_budget(Some(0));
         mem.alloc_frame();
+    }
+
+    #[test]
+    fn table_frames_are_sorted_and_live_only() {
+        let mut mem = PhysMem::new();
+        let a = mem.alloc_table_page();
+        mem.alloc_frame(); // data frame: not listed
+        let b = mem.alloc_table_page();
+        assert_eq!(mem.table_frames(), vec![a, b]);
+        mem.free_table_page(a);
+        assert_eq!(mem.table_frames(), vec![b]);
+    }
+
+    #[test]
+    fn freed_frame_log_tracks_only_when_enabled() {
+        let mut mem = PhysMem::new();
+        let a = mem.alloc_table_page();
+        let b = mem.alloc_table_page();
+        mem.free_table_page(a); // tracking off: not logged
+        mem.set_track_frees(true);
+        mem.free_table_page(b);
+        assert_eq!(mem.take_freed_frames(), vec![b]);
+        assert!(mem.take_freed_frames().is_empty(), "drain empties the log");
     }
 
     #[test]

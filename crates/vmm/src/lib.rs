@@ -42,7 +42,7 @@ mod traps;
 mod vmm;
 
 pub use config::{AgileOptions, NestedToShadowPolicy, ShspOptions, Technique, VmmConfig};
-pub use proc::{GptPageMode, HwRoots};
+pub use proc::{GptPageInfo, GptPageMode, HwRoots};
 pub use shsp::{ShspController, ShspMode};
 pub use traps::{VmtrapCosts, VmtrapKind, VmtrapStats};
 pub use vmm::{FaultOutcome, FlushRequest, Vmm, VmmCounters};

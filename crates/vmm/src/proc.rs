@@ -20,9 +20,11 @@ pub enum GptPageMode {
     Nested,
 }
 
-/// What the VMM knows about one guest page-table page.
+/// What the VMM knows about one guest page-table page. Read-only views of
+/// this metadata are exposed through [`crate::Vmm::gpt_pages`] for the
+/// static analyzer and tests; the VMM alone mutates it.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct GptPageInfo {
+pub struct GptPageInfo {
     /// Radix level of the entries this page holds.
     pub level: Level,
     /// First guest virtual address covered by the page.

@@ -282,6 +282,70 @@ impl Vmm {
         self.procs.contains_key(&pid)
     }
 
+    /// Every process the VMM tracks, sorted by id. Read-only; the static
+    /// analyzer drives its per-process sweeps off this.
+    #[must_use]
+    pub fn processes(&self) -> Vec<ProcessId> {
+        let mut pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        pids.sort_unstable_by_key(|p| p.raw());
+        pids
+    }
+
+    /// Guest frame of `pid`'s guest page-table root (`gptr`), when the
+    /// process is known. Read-only.
+    #[must_use]
+    pub fn gpt_root(&self, pid: ProcessId) -> Option<GuestFrame> {
+        self.procs.get(&pid).map(ProcState::gptr)
+    }
+
+    /// Per-page metadata for every guest page-table page of `pid`, sorted
+    /// by guest frame. Read-only; used by the static analyzer's
+    /// switching-bit and mode-partition checks.
+    #[must_use]
+    pub fn gpt_pages(&self, pid: ProcessId) -> Vec<(GuestFrame, GptPageInfo)> {
+        let mut pages: Vec<(GuestFrame, GptPageInfo)> = self
+            .procs
+            .get(&pid)
+            .map(|p| p.pages.iter().map(|(g, i)| (*g, *i)).collect())
+            .unwrap_or_default();
+        pages.sort_unstable_by_key(|(g, _)| g.raw());
+        pages
+    }
+
+    /// Whether `pid`'s whole address space is currently walked in nested
+    /// mode (Technique::Nested, the SHSP nested phase, or agile before
+    /// shadow engagement). Read-only.
+    #[must_use]
+    pub fn full_nested(&self, pid: ProcessId) -> bool {
+        matches!(self.cfg.technique, Technique::Nested)
+            || self.procs.get(&pid).is_some_and(|p| p.full_nested)
+    }
+
+    /// Whether `pid`'s guest root page itself switched to nested mode
+    /// (agile register-level switching bit). Read-only.
+    #[must_use]
+    pub fn root_nested(&self, pid: ProcessId) -> bool {
+        self.procs.get(&pid).is_some_and(|p| p.root_nested)
+    }
+
+    /// Every guest frame currently registered as a guest page-table page,
+    /// sorted. Read-only; the analyzer's frame-ownership pass claims the
+    /// host backings of these for the guest tables.
+    #[must_use]
+    pub fn guest_table_frames(&self) -> Vec<GuestFrame> {
+        let mut frames: Vec<GuestFrame> = self.gmap.table_gframes().collect();
+        frames.sort_unstable_by_key(|g| g.raw());
+        frames
+    }
+
+    /// Non-draining view of the shootdown requests queued since the last
+    /// [`Vmm::take_pending_flushes`], in emission order (unsorted — the
+    /// canonical order exists only at drain time). Read-only.
+    #[must_use]
+    pub fn pending_flushes(&self) -> &[FlushRequest] {
+        &self.pending_flushes
+    }
+
     // ------------------------------------------------------------------
     // Guest memory and process lifecycle
     // ------------------------------------------------------------------
@@ -799,6 +863,29 @@ impl Vmm {
         gpt.update_entry(mem, &self.gmap, gva, level, |_| flipped)
             .ok()?;
         Some(level)
+    }
+
+    /// Chaos hook: overwrites the tracked interception mode of one guest
+    /// page-table page, bypassing the conversion machinery that keeps the
+    /// paper's shadow/nested partition consistent — models corrupted VMM
+    /// metadata for the static analyzer's `ModePartition` check. Returns
+    /// `false` when the process or page is unknown.
+    pub fn chaos_corrupt_page_mode(
+        &mut self,
+        pid: ProcessId,
+        gframe: GuestFrame,
+        mode: GptPageMode,
+    ) -> bool {
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return false;
+        };
+        match proc.pages.get_mut(&gframe) {
+            Some(info) => {
+                info.mode = mode;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Chaos recovery path: invalidate-and-rebuild for a shadow subtree the
