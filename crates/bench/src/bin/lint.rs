@@ -13,6 +13,8 @@
 //!    healed; the contract is that the report is a pure function of the
 //!    machine state, so the rendered output must be byte-stable.
 
+use agile_core::host::{Host, HostConfig};
+use agile_core::types::VmId;
 use agile_core::{
     AgileOptions, ChurnSpec, FaultPlan, Machine, Pattern, ScenarioKind, ShspOptions, SystemConfig,
     Technique, WorkloadSpec,
@@ -55,6 +57,16 @@ fn spec(label: &str, seed: u64) -> WorkloadSpec {
         prefault_writes: true,
         seed,
     }
+}
+
+/// A lighter per-VM workload for the host phase (three VMs share one
+/// pool, so the single-machine spec would be needlessly slow).
+fn host_spec(label: &str, seed: u64) -> WorkloadSpec {
+    let mut s = spec(label, seed);
+    s.footprint = 1 << 20;
+    s.accesses = 600;
+    s.accesses_per_tick = 150;
+    s
 }
 
 fn fault_matrix() -> FaultPlan {
@@ -109,6 +121,40 @@ fn main() -> ExitCode {
         println!("technique={} diagnostics={}", t.label(), report.diags.len());
         if !report.is_clean() {
             println!("{}", report.render());
+        }
+    }
+
+    println!("# agile-lint host phase: unfaulted 3-VM shared pool, deny diagnostics");
+    {
+        // Fault-free plans (all rates zero): the host arbitration itself —
+        // lease grants, balloons, demotions, migration-free teardown — must
+        // leave frame accounting that lints clean at host scope.
+        let mut host = Host::new(HostConfig::new(384).initial_lease(64));
+        let vm_techniques = [
+            Technique::Agile(AgileOptions::default()),
+            Technique::Nested,
+            Technique::Shadow,
+        ];
+        for (i, t) in vm_techniques.into_iter().enumerate() {
+            let i = i as u64;
+            host.add_vm(
+                SystemConfig::new(t),
+                host_spec(&format!("host{i}"), 0x51 + i),
+                FaultPlan::new(0x61 + i),
+            );
+        }
+        host.run();
+        host.teardown_vm(VmId::new(1));
+        let report = host.lint();
+        println!(
+            "host diagnostics={} clean={} pool_conserved={}",
+            report.diags.len(),
+            report.is_clean(),
+            host.pool().is_conserved(),
+        );
+        if !report.is_clean() {
+            println!("{}", report.render());
+            dirty = true;
         }
     }
 

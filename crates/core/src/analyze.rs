@@ -67,7 +67,7 @@ use crate::runner::Json;
 use crate::verify;
 use agile_mem::PhysMem;
 use agile_tlb::TlbHierarchy;
-use agile_types::{GuestFrame, HostFrame, Level, ProcessId, Pte, PteFlags};
+use agile_types::{GuestFrame, HostFrame, Level, ProcessId, Pte, PteFlags, VmId};
 use agile_vmm::{FlushRequest, GptPageMode, Technique, Vmm};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -114,11 +114,20 @@ pub enum LintCode {
     /// A table frame was freed and its covering shootdown still had not
     /// applied when the machine paused (no reuse observed yet).
     ShootdownNeverApplied,
+    /// Host scope: two VMs' frame extents overlap, or a VM holds more
+    /// frames than its lease on the shared pool grants — either way, a
+    /// frame is effectively owned by two VMs.
+    CrossVmFrameAlias,
+    /// Host scope: a VM still holds leased frames after teardown.
+    TeardownFrameLeak,
+    /// Host scope: frames a guest balloon surrendered never reached the
+    /// shared pool (the arbiter lost them in transit).
+    BalloonNotReturned,
 }
 
 impl LintCode {
     /// All codes, in report order.
-    pub const ALL: [LintCode; 14] = [
+    pub const ALL: [LintCode; 17] = [
         LintCode::OrphanFrame,
         LintCode::MultiOwnedFrame,
         LintCode::DanglingTablePointer,
@@ -133,6 +142,9 @@ impl LintCode {
         LintCode::HugeAliasConflict,
         LintCode::MissedShootdownReuse,
         LintCode::ShootdownNeverApplied,
+        LintCode::CrossVmFrameAlias,
+        LintCode::TeardownFrameLeak,
+        LintCode::BalloonNotReturned,
     ];
 
     /// Stable kebab-case label (used in rendered and JSON output).
@@ -153,6 +165,9 @@ impl LintCode {
             LintCode::HugeAliasConflict => "huge-alias-conflict",
             LintCode::MissedShootdownReuse => "missed-shootdown-reuse",
             LintCode::ShootdownNeverApplied => "shootdown-never-applied",
+            LintCode::CrossVmFrameAlias => "cross-vm-frame-alias",
+            LintCode::TeardownFrameLeak => "teardown-frame-leak",
+            LintCode::BalloonNotReturned => "balloon-not-returned",
         }
     }
 
@@ -195,6 +210,9 @@ pub struct LintDiag {
     pub code: LintCode,
     /// How serious it is.
     pub severity: LintSeverity,
+    /// VM the diagnostic concerns, when the analysis is host-scoped
+    /// (multi-VM). `None` for single-machine analyses.
+    pub vm: Option<VmId>,
     /// Process whose tables the diagnostic concerns, when per-process.
     pub pid: Option<ProcessId>,
     /// Offending guest virtual address, when the check concerns one.
@@ -212,12 +230,20 @@ impl LintDiag {
         LintDiag {
             code,
             severity: code.severity(),
+            vm: None,
             pid: None,
             gva: None,
             level: None,
             frame: None,
             detail,
         }
+    }
+
+    /// Tags the diagnostic with the VM it concerns (host-scope analyses).
+    #[must_use]
+    pub fn vm(mut self, vm: VmId) -> Self {
+        self.vm = Some(vm);
+        self
     }
 
     fn pid(mut self, pid: ProcessId) -> Self {
@@ -247,6 +273,11 @@ impl LintDiag {
             ("code", Json::Str(self.code.label().to_string())),
             ("severity", Json::Str(self.severity.label().to_string())),
             (
+                "vm",
+                self.vm
+                    .map_or(Json::Null, |v| Json::UInt(u64::from(v.raw()))),
+            ),
+            (
                 "pid",
                 self.pid
                     .map_or(Json::Null, |p| Json::UInt(u64::from(p.raw()))),
@@ -273,6 +304,9 @@ impl LintDiag {
 impl std::fmt::Display for LintDiag {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}[{}]", self.severity.label(), self.code.label())?;
+        if let Some(vm) = self.vm {
+            write!(f, " vm={}", vm.raw())?;
+        }
         if let Some(pid) = self.pid {
             write!(f, " pid={}", pid.raw())?;
         }
@@ -292,15 +326,21 @@ impl std::fmt::Display for LintDiag {
 /// The result of one analysis pass: diagnostics in canonical order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintReport {
-    /// All diagnostics found, sorted by (code, pid, gva, frame, detail).
+    /// All diagnostics found, sorted by (code, vm, pid, gva, frame,
+    /// detail).
     pub diags: Vec<LintDiag>,
 }
 
 impl LintReport {
-    fn from_diags(mut diags: Vec<LintDiag>) -> Self {
+    /// Builds a report from raw diagnostics, sorting them into the
+    /// canonical order (host-scope callers merge several machines'
+    /// diagnostics before sorting).
+    #[must_use]
+    pub fn from_diags(mut diags: Vec<LintDiag>) -> Self {
         diags.sort_by(|a, b| {
             (
                 a.code,
+                a.vm.map(VmId::raw),
                 a.pid.map(ProcessId::raw),
                 a.gva,
                 a.frame.map(HostFrame::raw),
@@ -308,6 +348,7 @@ impl LintReport {
             )
                 .cmp(&(
                     b.code,
+                    b.vm.map(VmId::raw),
                     b.pid.map(ProcessId::raw),
                     b.gva,
                     b.frame.map(HostFrame::raw),
@@ -924,6 +965,114 @@ pub fn analyze(
 }
 
 // ---------------------------------------------------------------------
+// Host scope: shared-pool frame accounting across VMs
+// ---------------------------------------------------------------------
+
+/// One VM's frame-accounting snapshot as the host sees it, the input to
+/// [`check_host_frames`]. Live VMs are snapshotted directly from their
+/// machines; torn-down VMs from the state captured at teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmFrameView {
+    /// Which VM this view describes.
+    pub vm: VmId,
+    /// First frame number of the VM's span (reserved, never allocated).
+    pub frame_base: u64,
+    /// Frames the VM's allocator has handed out, span-relative (its
+    /// extent is `[frame_base + 1, frame_base + frames_allocated]`).
+    pub frames_allocated: u64,
+    /// Frames currently charged against the VM's budget.
+    pub frames_charged: u64,
+    /// The VM's lease on the shared pool.
+    pub lease: u64,
+    /// Frames the guest's balloon has surrendered to the host, cumulative.
+    pub ballooned: u64,
+    /// Frames the pool records as surrendered by this VM, cumulative.
+    pub pool_surrendered: u64,
+    /// Whether the VM has been torn down.
+    pub torn_down: bool,
+}
+
+/// Host-scope lint: no frame owned by two VMs (span overlap or a lease
+/// overrun), no VM holding leased frames after teardown, and every
+/// balloon-surrendered frame actually returned to the pool. Pure and
+/// deterministic; diagnostics come back unsorted (the caller merges them
+/// into a [`LintReport`]).
+#[must_use]
+pub fn check_host_frames(views: &[VmFrameView]) -> Vec<LintDiag> {
+    let mut out = Vec::new();
+    let mut sorted: Vec<&VmFrameView> = views.iter().collect();
+    sorted.sort_by_key(|v| v.frame_base);
+    for pair in sorted.windows(2) {
+        let (lo, hi) = (pair[0], pair[1]);
+        let lo_end = lo.frame_base + lo.frames_allocated;
+        if lo_end > hi.frame_base {
+            out.push(
+                LintDiag::new(
+                    LintCode::CrossVmFrameAlias,
+                    format!(
+                        "frame extent of vm {} (through {}) overlaps the span of vm {} \
+                         (from {})",
+                        lo.vm.raw(),
+                        lo_end,
+                        hi.vm.raw(),
+                        hi.frame_base
+                    ),
+                )
+                .vm(lo.vm)
+                .frame(HostFrame::new(hi.frame_base)),
+            );
+        }
+    }
+    for v in views {
+        // Lease enforcement concerns live VMs; a torn-down VM's charge
+        // snapshot is historical (its leak check is the lease itself).
+        if !v.torn_down && v.frames_charged > v.lease {
+            out.push(
+                LintDiag::new(
+                    LintCode::CrossVmFrameAlias,
+                    format!(
+                        "vm {} holds {} frames against a lease of {} — the excess is \
+                         capacity another VM also counts as its own",
+                        v.vm.raw(),
+                        v.frames_charged,
+                        v.lease
+                    ),
+                )
+                .vm(v.vm),
+            );
+        }
+        if v.torn_down && v.lease > 0 {
+            out.push(
+                LintDiag::new(
+                    LintCode::TeardownFrameLeak,
+                    format!(
+                        "vm {} was torn down but still leases {} frames",
+                        v.vm.raw(),
+                        v.lease
+                    ),
+                )
+                .vm(v.vm),
+            );
+        }
+        if v.ballooned != v.pool_surrendered {
+            out.push(
+                LintDiag::new(
+                    LintCode::BalloonNotReturned,
+                    format!(
+                        "vm {} ballooned {} frames but the pool recorded {}",
+                        v.vm.raw(),
+                        v.ballooned,
+                        v.pool_surrendered
+                    ),
+                )
+                .vm(v.vm),
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Part B: shootdown-protocol race detector
 // ---------------------------------------------------------------------
 
@@ -1191,6 +1340,71 @@ mod tests {
 
     fn scope(asid: u32, start: u64, len: u64) -> FlushScope {
         FlushScope { asid, start, len }
+    }
+
+    fn view(vm: u32) -> VmFrameView {
+        VmFrameView {
+            vm: VmId::new(vm),
+            frame_base: u64::from(vm) * agile_mem::VM_FRAME_SPAN,
+            frames_allocated: 100,
+            frames_charged: 100,
+            lease: 128,
+            ballooned: 0,
+            pool_surrendered: 0,
+            torn_down: false,
+        }
+    }
+
+    #[test]
+    fn clean_host_views_produce_no_diagnostics() {
+        let views = [view(0), view(1), view(2)];
+        assert!(check_host_frames(&views).is_empty());
+    }
+
+    #[test]
+    fn overlapping_extents_alias_frames() {
+        let mut a = view(0);
+        a.frames_allocated = agile_mem::VM_FRAME_SPAN + 5;
+        let diags = check_host_frames(&[a, view(1)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::CrossVmFrameAlias);
+        assert_eq!(diags[0].vm, Some(VmId::new(0)));
+    }
+
+    #[test]
+    fn lease_overrun_is_a_cross_vm_alias() {
+        let mut a = view(1);
+        a.frames_charged = a.lease + 7;
+        let diags = check_host_frames(&[view(0), a]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::CrossVmFrameAlias);
+        assert_eq!(diags[0].vm, Some(VmId::new(1)));
+    }
+
+    #[test]
+    fn teardown_leak_and_balloon_loss_are_reported() {
+        let mut a = view(0);
+        a.torn_down = true;
+        a.lease = 9;
+        let mut b = view(1);
+        b.ballooned = 20;
+        b.pool_surrendered = 15;
+        let report = LintReport::from_diags(check_host_frames(&[a, b]));
+        let codes: Vec<LintCode> = report.diags.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![LintCode::TeardownFrameLeak, LintCode::BalloonNotReturned]
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("vm=0"), "vm tag rendered: {rendered}");
+    }
+
+    #[test]
+    fn torn_down_vm_with_zero_lease_is_clean() {
+        let mut a = view(2);
+        a.torn_down = true;
+        a.lease = 0;
+        assert!(check_host_frames(&[a]).is_empty());
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub struct FaultPlan {
     /// lifts the frame budget entirely (recorded as
     /// [`DegradationKind::PressureRelieved`]).
     pub max_oom_failures: u32,
+    /// Per-mille probability that a *host-initiated* cross-VM shootdown
+    /// (balloon reclaim, live migration teardown, pressure demotion) is
+    /// dropped before reaching the target VM's caches. Rolls separate dice
+    /// from [`FaultPlan::drop_shootdown_pm`], so adding cross-VM chaos
+    /// never perturbs an existing single-VM fault stream.
+    pub cross_vm_drop_pm: u32,
 }
 
 impl FaultPlan {
@@ -125,7 +131,16 @@ impl FaultPlan {
             scenarios: Vec::new(),
             max_heals_per_access: 8,
             max_oom_failures: 4,
+            cross_vm_drop_pm: 0,
         }
+    }
+
+    /// Drops each host-initiated cross-VM shootdown with probability
+    /// `per_mille`/1000 (see [`FaultPlan::cross_vm_drop_pm`]).
+    #[must_use]
+    pub fn drop_cross_vm_shootdowns(mut self, per_mille: u32) -> Self {
+        self.cross_vm_drop_pm = per_mille.min(1000);
+        self
     }
 
     /// Drops each shootdown request with probability `per_mille`/1000.
@@ -180,6 +195,20 @@ pub enum DegradationKind {
     RunnerTimeout,
     /// A runner request was retried after a panic.
     RunnerRetry,
+    /// A host-initiated cross-VM shootdown was dropped before delivery.
+    CrossVmShootdownLoss,
+    /// The host arbiter asked a VM's balloon to surrender frames.
+    BalloonRequest,
+    /// The host grew or shrank a VM's frame lease.
+    LeaseChange,
+    /// The host demoted a VM's agile processes to nested mode to reclaim
+    /// shadow page-table frames under pressure.
+    TechniqueDemotion,
+    /// A process was live-migrated from one VM to another.
+    ProcessMigration,
+    /// Arbitration could not restore a VM's frame headroom; the VM now
+    /// degrades access-by-access (OOM skips) instead of panicking.
+    VmStarved,
 }
 
 impl DegradationKind {
@@ -198,6 +227,12 @@ impl DegradationKind {
             DegradationKind::RunnerPanic => "runner-panic",
             DegradationKind::RunnerTimeout => "runner-timeout",
             DegradationKind::RunnerRetry => "runner-retry",
+            DegradationKind::CrossVmShootdownLoss => "cross-vm-shootdown-loss",
+            DegradationKind::BalloonRequest => "balloon-request",
+            DegradationKind::LeaseChange => "lease-change",
+            DegradationKind::TechniqueDemotion => "technique-demotion",
+            DegradationKind::ProcessMigration => "process-migration",
+            DegradationKind::VmStarved => "vm-starved",
         }
     }
 }
@@ -348,6 +383,18 @@ impl ChaosState {
         } else {
             ShootdownFate::Deliver
         }
+    }
+
+    /// Rolls the cross-VM dice for one host-initiated shootdown: `true`
+    /// means the shootdown is lost. As with [`ChaosState::roll_shootdown`],
+    /// the roll is consumed only when the rate is nonzero, so single-VM
+    /// plans keep a pristine dice stream.
+    pub(crate) fn roll_cross_vm(&mut self) -> bool {
+        let drop_pm = u64::from(self.plan.cross_vm_drop_pm);
+        if drop_pm == 0 {
+            return false;
+        }
+        self.rng.below(1000) < drop_pm
     }
 
     /// Removes and returns the deferred shootdowns whose delivery access

@@ -40,6 +40,7 @@ pub mod analyze;
 pub mod chaos;
 mod config;
 pub mod experiments;
+pub mod host;
 mod machine;
 mod report;
 pub mod runner;
@@ -47,13 +48,14 @@ mod stats;
 pub mod verify;
 
 pub use analyze::{
-    detect_shootdown_races, FlushScope, LintCode, LintDiag, LintReport, LintSeverity,
-    ShootdownEvent, ShootdownLog,
+    check_host_frames, detect_shootdown_races, FlushScope, LintCode, LintDiag, LintReport,
+    LintSeverity, ShootdownEvent, ShootdownLog, VmFrameView,
 };
 pub use chaos::{
     render_log, ChaosScenario, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind,
 };
 pub use config::SystemConfig;
+pub use host::{Host, HostConfig, MigrationOutcome};
 pub use machine::{AccessError, Machine};
 pub use report::Table;
 pub use runner::{
@@ -63,7 +65,8 @@ pub use runner::{
 pub use stats::{KindCounts, Overheads, RunStats};
 pub use verify::{RefTranslation, Violation, ViolationSite};
 
-pub use agile_guest::{FaultError, GuestOs, OsStats, SegFault};
+pub use agile_guest::{FaultError, GuestOs, OsStats, SegFault, Vma, VmaBacking};
+pub use agile_mem::{FramePool, PhysMem, VM_FRAME_SPAN};
 pub use agile_tlb::{PwcConfig, TlbConfig, TlbEntry};
 pub use agile_types as types;
 pub use agile_vmm::{

@@ -7,10 +7,12 @@ use crate::chaos::{
 use crate::config::SystemConfig;
 use crate::stats::{KindCounts, RunStats};
 use crate::verify::{self, Violation};
-use agile_guest::{FaultError, GuestOs, SegFault};
+use agile_guest::{FaultError, GuestOs, SegFault, Vma, VmaBacking};
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, TlbEntry, TlbHierarchy};
-use agile_types::{AccessKind, Asid, Fault, GuestVirtAddr, HostFrame, Level, ProcessId, PteFlags};
+use agile_types::{
+    AccessKind, Asid, Fault, GuestVirtAddr, HostFrame, Level, ProcessId, PteFlags, VmId,
+};
 use agile_vmm::{FaultOutcome, FlushRequest, HwRoots, Technique, Vmm};
 use agile_walk::{WalkHw, WalkKind, WalkOk, WalkStats};
 use agile_workloads::{Event, Workload, WorkloadSpec};
@@ -68,7 +70,7 @@ pub struct Machine {
     /// Shootdown-protocol event log for the static race detector
     /// ([`crate::analyze::detect_shootdown_races`]); `None` until enabled.
     shootdown_log: Option<ShootdownLog>,
-    /// High-water mark of `mem.frames_allocated()` at the last reuse
+    /// High-water mark of `mem.next_frame_raw()` at the last reuse
     /// observation, for coalesced `FrameReused` events.
     alloc_mark: u64,
     /// Monotonic id grouping the flush requests drained together with the
@@ -109,8 +111,17 @@ impl Machine {
     /// Builds a machine with one initial guest process.
     #[must_use]
     pub fn new(cfg: SystemConfig) -> Self {
-        let mut mem = PhysMem::new();
-        let mut vmm = Vmm::new(&mut mem, cfg.vmm);
+        Machine::for_vm(cfg, VmId::new(0))
+    }
+
+    /// Builds a machine carrying an explicit VM identity, for multi-VM
+    /// hosts: frame numbers come from the VM's own span (see
+    /// [`agile_mem::VM_FRAME_SPAN`]), so no two VMs of a host can ever
+    /// alias a frame. `Machine::new` is `for_vm` of VM 0.
+    #[must_use]
+    pub fn for_vm(cfg: SystemConfig, vm: VmId) -> Self {
+        let mut mem = PhysMem::for_vm(vm);
+        let mut vmm = Vmm::new_for_vm(&mut mem, cfg.vmm, vm);
         let mut os = GuestOs::new(cfg.thp);
         let first = os.spawn(&mut mem, &mut vmm);
         Machine {
@@ -160,7 +171,7 @@ impl Machine {
     pub fn enable_shootdown_log(&mut self) {
         if self.shootdown_log.is_none() {
             self.shootdown_log = Some(ShootdownLog::new());
-            self.alloc_mark = self.mem.frames_allocated();
+            self.alloc_mark = self.mem.next_frame_raw();
             self.mem.set_track_frees(true);
         }
     }
@@ -229,10 +240,13 @@ impl Machine {
         if self.shootdown_log.is_none() {
             return;
         }
-        let allocated = self.mem.frames_allocated();
-        if allocated > self.alloc_mark {
-            let first = HostFrame::new(self.alloc_mark + 1);
-            self.alloc_mark = allocated;
+        // High-water mark over raw frame numbers (not counts), so the
+        // marker frame stays correct when this VM's span starts at a
+        // nonzero base on a multi-VM host.
+        let next = self.mem.next_frame_raw();
+        if next > self.alloc_mark {
+            let first = HostFrame::new(self.alloc_mark);
+            self.alloc_mark = next;
             let access = self.accesses;
             self.log_shootdown(ShootdownEvent::FrameReused {
                 access,
@@ -526,6 +540,50 @@ impl Machine {
         self.log_freed_frames(batch);
     }
 
+    /// Delivers pending shootdowns for a *host-initiated* cross-VM
+    /// operation (balloon reclaim, migration teardown, pressure demotion).
+    /// Each IPI-carried request rolls the separate cross-VM loss dice
+    /// ([`FaultPlan::cross_vm_drop_pm`]); `NtlbFrame` requests model the
+    /// hypervisor's synchronous local INVEPT and always deliver.
+    fn drain_flushes_cross_vm(&mut self) {
+        let batch = self.next_flush_batch();
+        for req in self.vmm.take_pending_flushes() {
+            let scope = FlushScope::of_request(&req);
+            if let Some(scope) = scope {
+                let access = self.accesses;
+                self.log_shootdown(ShootdownEvent::Requested {
+                    access,
+                    batch,
+                    scope,
+                });
+            }
+            let lost = match self.chaos.as_mut() {
+                Some(c) if !matches!(req, FlushRequest::NtlbFrame(_)) => c.roll_cross_vm(),
+                _ => false,
+            };
+            if lost {
+                let access = self.accesses;
+                let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
+                chaos.record(
+                    access,
+                    DegradationKind::CrossVmShootdownLoss,
+                    flush_gva(&req),
+                    format!("lost cross-vm {req:?}"),
+                );
+                if let Some(scope) = scope {
+                    self.log_shootdown(ShootdownEvent::Dropped {
+                        access,
+                        batch,
+                        scope,
+                    });
+                }
+            } else {
+                self.apply_flush(req);
+            }
+        }
+        self.log_freed_frames(batch);
+    }
+
     /// Applies deferred shootdowns whose delivery access has been reached.
     fn deliver_due_shootdowns(&mut self) {
         let due = match self.chaos.as_mut() {
@@ -535,6 +593,166 @@ impl Machine {
         for req in due {
             self.apply_flush(req);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Host-facing surface (multi-VM arbitration and migration:
+    // `crate::host`)
+    // ------------------------------------------------------------------
+
+    /// This machine's VM identity (VM 0 for single-VM machines).
+    #[must_use]
+    pub fn vm_id(&self) -> VmId {
+        self.vmm.vm()
+    }
+
+    /// Data accesses executed so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Caps (or uncaps) the host frame budget — how a multi-VM host
+    /// enforces this VM's lease on the shared pool.
+    pub fn set_frame_budget(&mut self, budget: Option<u64>) {
+        self.mem.set_frame_budget(budget);
+    }
+
+    /// Frames currently charged against the budget.
+    #[must_use]
+    pub fn frames_charged(&self) -> u64 {
+        self.mem.frames_charged()
+    }
+
+    /// Frames left under the budget (`None` when unlimited).
+    #[must_use]
+    pub fn frames_remaining(&self) -> Option<u64> {
+        self.mem.frames_remaining()
+    }
+
+    /// Spawns a guest process *outside* the workload's event-indexed set
+    /// (the workload never context-switches to it) — the vehicle for
+    /// host-driven service work such as live migration.
+    pub fn spawn_process(&mut self) -> ProcessId {
+        let pid = self.os.spawn(&mut self.mem, &mut self.vmm);
+        self.drain_flushes_reliable();
+        pid
+    }
+
+    /// Context-switches the guest to `pid` (which must be known).
+    pub fn switch_to(&mut self, pid: ProcessId) {
+        self.os.context_switch(&mut self.mem, &mut self.vmm, pid);
+        self.drain_flushes_reliable();
+    }
+
+    /// Host balloon request: escalating reclaim over *all* guest processes
+    /// (id order, deterministic) with `passes` clock passes, then balloon
+    /// surrender of the recycle list. Returns the frames surrendered; the
+    /// caller (the host arbiter) shrinks this VM's lease by the same
+    /// amount, so the VM's headroom is unchanged and the pool gains the
+    /// frames. Flushes ride the cross-VM dice: a lost shootdown leaves a
+    /// stale window the heal path must close.
+    pub fn host_reclaim(&mut self, passes: u32) -> u64 {
+        for pid in self.vmm.processes() {
+            self.os
+                .reclaim_pressure(&mut self.mem, &mut self.vmm, pid, passes);
+        }
+        let ballooned = self.os.balloon_surrender();
+        self.drain_flushes_cross_vm();
+        ballooned
+    }
+
+    /// Host-pressure demotion: drops every agile process to nested-from-
+    /// root mode (freeing its shadow page-table frames back to the budget).
+    /// Returns the number of processes demoted (0 for non-agile
+    /// techniques). See [`Vmm::demote_to_nested`].
+    pub fn demote_to_nested(&mut self) -> u64 {
+        let mut demoted = 0;
+        for pid in self.vmm.processes() {
+            if self.vmm.demote_to_nested(&mut self.mem, pid) {
+                demoted += 1;
+            }
+        }
+        if demoted > 0 {
+            self.drain_flushes_cross_vm();
+        }
+        demoted
+    }
+
+    /// Replays a VMA (from a migration source's snapshot) into `pid`'s
+    /// address space on this machine.
+    pub fn host_mmap_vma(&mut self, pid: ProcessId, vma: &Vma) {
+        match vma.backing {
+            VmaBacking::Anon => {
+                self.os
+                    .mmap_sized(pid, vma.start, vma.len, vma.writable, vma.max_page)
+            }
+            VmaBacking::Cow => self.os.mmap_cow(pid, vma.start, vma.len),
+        }
+    }
+
+    /// Snapshot of `pid`'s VMAs (for migration replay).
+    #[must_use]
+    pub fn vmas_of(&self, pid: ProcessId) -> Vec<Vma> {
+        self.os.vmas(pid)
+    }
+
+    /// The currently mapped leaf pages of `pid` as `(va, writable)` pairs
+    /// in ascending VA order — the pages a live migration re-touches on
+    /// the destination. One entry per leaf (a 2 MiB leaf yields one entry).
+    #[must_use]
+    pub fn mapped_leaves(&self, pid: ProcessId) -> Vec<(u64, bool)> {
+        let mut leaves = Vec::new();
+        for vma in self.os.vmas(pid) {
+            let mut va = vma.start;
+            while va < vma.end() {
+                match self.vmm.gpt_lookup(&self.mem, pid, va) {
+                    Some((pte, level)) => {
+                        leaves.push((va, pte.is_writable()));
+                        va += level.span_bytes();
+                    }
+                    None => va += 0x1000,
+                }
+            }
+        }
+        leaves
+    }
+
+    /// Tears down `pid`'s mappings over `[start, start+len)` on behalf of
+    /// the host (migration source teardown). The shootdown protocol is
+    /// emitted in full, drained through the cross-VM loss dice; the local
+    /// TLB flush (the initiating CPU flushing itself) always happens.
+    pub fn host_munmap(&mut self, pid: ProcessId, start: u64, len: u64) {
+        self.os
+            .munmap(&mut self.mem, &mut self.vmm, pid, start, len);
+        self.drain_flushes_cross_vm();
+        self.tlb.flush_asid(Asid::from(pid));
+    }
+
+    /// Audits the caching structures against the page tables and heals
+    /// whatever cross-VM shootdown loss left stale, recording one heal per
+    /// finding. Returns the residual violations (empty when healing fully
+    /// restored coherence, which it must for the chaos contract). Requires
+    /// chaos to be armed; without it, findings are recorded unhealed.
+    pub fn heal_stale_caches(&mut self) -> Vec<Violation> {
+        let found = self.audit();
+        if found.is_empty() {
+            return Vec::new();
+        }
+        if self.chaos.is_some() {
+            let residual = self.heal_audit_violations(found);
+            self.record_violations(residual.clone());
+            residual
+        } else {
+            self.record_violations(found.clone());
+            found
+        }
+    }
+
+    /// Records a host-initiated degradation event (lease change, balloon
+    /// request, demotion, migration) into this VM's typed event log.
+    pub fn record_degradation(&mut self, kind: DegradationKind, gva: Option<u64>, detail: String) {
+        self.chaos_record(kind, gva, detail);
     }
 
     /// Executes one data access at `va` by the current process, modeling
@@ -960,7 +1178,10 @@ impl Machine {
     /// heal per finding, and returns the residual violations of a clean
     /// re-audit.
     fn heal_audit_violations(&mut self, found: Vec<Violation>) -> Vec<Violation> {
-        for pid in self.procs.clone() {
+        // All processes the VMM knows (sorted), not just the workload's
+        // event-indexed ones: migrated-in and host-service processes need
+        // their caches purged too.
+        for pid in self.vmm.processes() {
             let asid = Asid::from(pid);
             self.tlb.flush_asid(asid);
             self.pwc.flush_asid(asid);

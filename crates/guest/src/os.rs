@@ -189,9 +189,31 @@ impl GuestOs {
         pid
     }
 
-    /// All process ids.
-    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.procs.keys().copied()
+    /// All process ids, in ascending id order. The sort matters: host-level
+    /// balloon arbitration iterates processes during reclaim, and hash-map
+    /// order would make same-seed chaos runs diverge byte-for-byte.
+    #[must_use]
+    pub fn processes(&self) -> Vec<ProcessId> {
+        let mut pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        pids.sort_unstable();
+        pids
+    }
+
+    /// Snapshot of `pid`'s VMAs in ascending start order (empty for an
+    /// unknown process). Live migration replays these on the destination VM.
+    #[must_use]
+    pub fn vmas(&self, pid: ProcessId) -> Vec<Vma> {
+        self.procs
+            .get(&pid)
+            .map(|p| p.vmas.values().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of frames currently parked on the guest's free list (the
+    /// frames a balloon request would surrender).
+    #[must_use]
+    pub fn free_frame_count(&self) -> u64 {
+        self.free_frames.len() as u64
     }
 
     fn proc_mut(&mut self, pid: ProcessId) -> &mut ProcInfo {

@@ -39,10 +39,12 @@
 
 mod guestmap;
 mod phys;
+mod pool;
 mod radix;
 mod space;
 
 pub use guestmap::GuestMemMap;
-pub use phys::{PhysMem, TablePage};
+pub use phys::{PhysMem, TablePage, VM_FRAME_SPAN};
+pub use pool::FramePool;
 pub use radix::{MapError, RadixTable};
 pub use space::{HostSpace, TableSpace};

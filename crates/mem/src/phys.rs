@@ -1,7 +1,12 @@
 //! Simulated host physical memory.
 
-use agile_types::{HostFrame, Pte, ENTRIES_PER_TABLE};
+use agile_types::{HostFrame, Pte, VmId, ENTRIES_PER_TABLE};
 use std::collections::HashMap;
+
+/// Frame-number span reserved per VM: VM `i` allocates frame numbers from
+/// `i * VM_FRAME_SPAN + 1`, so every frame number is globally unique across
+/// a multi-VM host and ownership is recoverable from the number alone.
+pub const VM_FRAME_SPAN: u64 = 1 << 32;
 
 /// One 4 KiB page-table page: 512 PTEs, exactly as hardware would see it.
 #[derive(Clone)]
@@ -84,9 +89,11 @@ impl std::fmt::Debug for TablePage {
 /// mem.write_pte(t, 5, Pte::leaf(0x123, true, false));
 /// assert_eq!(mem.read_pte(t, 5).frame_raw(), 0x123);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PhysMem {
     tables: HashMap<HostFrame, Box<TablePage>>,
+    owner: VmId,
+    base: u64,
     next_frame: u64,
     data_frames: u64,
     freed_table_pages: u64,
@@ -97,15 +104,30 @@ pub struct PhysMem {
 }
 
 impl PhysMem {
-    /// An empty physical memory with nothing allocated.
+    /// An empty physical memory with nothing allocated, owned by VM 0.
     ///
     /// Frame 0 is reserved (never handed out) so that a zero PTE can never
     /// alias a real allocation.
     #[must_use]
     pub fn new() -> Self {
+        PhysMem::for_vm(VmId::new(0))
+    }
+
+    /// An empty physical memory whose frame numbers carry VM ownership:
+    /// VM `i` bump-allocates from `i * VM_FRAME_SPAN + 1`. A single-VM
+    /// machine ([`PhysMem::new`]) is VM 0 with base 0, so frame numbers —
+    /// and every log derived from them — are unchanged for existing runs.
+    ///
+    /// The base frame of each VM's span plays the role frame 0 plays for
+    /// VM 0: reserved, never handed out.
+    #[must_use]
+    pub fn for_vm(owner: VmId) -> Self {
+        let base = u64::from(owner.raw()) * VM_FRAME_SPAN;
         PhysMem {
             tables: HashMap::new(),
-            next_frame: 1,
+            owner,
+            base,
+            next_frame: base + 1,
             data_frames: 0,
             freed_table_pages: 0,
             frame_budget: None,
@@ -113,6 +135,26 @@ impl PhysMem {
             track_frees: false,
             freed_log: Vec::new(),
         }
+    }
+
+    /// The VM that owns every frame this memory hands out.
+    #[must_use]
+    pub fn owner(&self) -> VmId {
+        self.owner
+    }
+
+    /// First frame number of this VM's span (reserved, never allocated).
+    #[must_use]
+    pub fn frame_base(&self) -> u64 {
+        self.base
+    }
+
+    /// The next raw frame number the bump allocator would hand out. Useful
+    /// as a high-water mark: every frame allocated after this point has a
+    /// number `>=` the mark.
+    #[must_use]
+    pub fn next_frame_raw(&self) -> u64 {
+        self.next_frame
     }
 
     /// Charges `count` frames against the budget; `false` means the machine
@@ -352,7 +394,13 @@ impl PhysMem {
     /// Total frames handed out (data + table, live or freed).
     #[must_use]
     pub fn frames_allocated(&self) -> u64 {
-        self.next_frame - 1
+        self.next_frame - self.base - 1
+    }
+}
+
+impl Default for PhysMem {
+    fn default() -> Self {
+        PhysMem::new()
     }
 }
 
@@ -499,6 +547,32 @@ mod tests {
         mem.free_table_page(b);
         assert_eq!(mem.take_freed_frames(), vec![b]);
         assert!(mem.take_freed_frames().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn per_vm_frame_spans_are_disjoint_and_based() {
+        let mut vm0 = PhysMem::new();
+        let mut vm2 = PhysMem::for_vm(VmId::new(2));
+        assert_eq!(vm0.owner(), VmId::new(0));
+        assert_eq!(vm2.owner(), VmId::new(2));
+        assert_eq!(vm2.frame_base(), 2 * VM_FRAME_SPAN);
+        let a = vm0.alloc_frame();
+        let b = vm2.alloc_frame();
+        assert_eq!(a.raw(), 1);
+        assert_eq!(b.raw(), 2 * VM_FRAME_SPAN + 1);
+        assert_eq!(vm0.frames_allocated(), 1);
+        assert_eq!(vm2.frames_allocated(), 1, "count is span-relative");
+        assert_eq!(vm2.next_frame_raw(), 2 * VM_FRAME_SPAN + 2);
+    }
+
+    #[test]
+    fn vm_zero_matches_legacy_frame_numbers() {
+        let mut legacy = PhysMem::new();
+        let mut vm0 = PhysMem::for_vm(VmId::new(0));
+        for _ in 0..8 {
+            assert_eq!(legacy.alloc_frame(), vm0.alloc_frame());
+        }
+        assert_eq!(legacy.alloc_table_page(), vm0.alloc_table_page());
     }
 
     #[test]

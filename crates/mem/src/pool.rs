@@ -1,0 +1,195 @@
+//! The shared host frame pool: a lease ledger over one physical capacity.
+//!
+//! A multi-VM host owns a single pool of physical frames. Each VM keeps its
+//! own [`crate::PhysMem`] (frame *numbers* are per-VM, disjoint by
+//! construction — see [`crate::VM_FRAME_SPAN`]), but *capacity* is shared:
+//! the host grants each VM a lease, enforces it through the VM's frame
+//! budget, and moves capacity between VMs by shrinking one lease (ballooning)
+//! and growing another. The pool never touches page contents; it is pure
+//! accounting, with one invariant the host lint audits:
+//!
+//! ```text
+//! free + Σ leases == capacity          (frame conservation)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use agile_mem::FramePool;
+//! use agile_types::VmId;
+//!
+//! let mut pool = FramePool::new(1000);
+//! let a = VmId::new(0);
+//! let b = VmId::new(1);
+//! assert_eq!(pool.grant(a, 600), 600);
+//! assert_eq!(pool.grant(b, 600), 400, "grants are clamped to free capacity");
+//! assert_eq!(pool.surrender(a, 100), 100);
+//! assert_eq!(pool.grant(b, 600), 100, "ballooned frames are grantable");
+//! assert!(pool.is_conserved());
+//! ```
+
+use agile_types::VmId;
+use std::collections::BTreeMap;
+
+/// Shared-capacity ledger for a multi-VM host (see module docs).
+///
+/// All iteration is over a `BTreeMap` keyed by raw VM id, so every pool
+/// operation and report is deterministic regardless of insertion order.
+#[derive(Debug, Clone)]
+pub struct FramePool {
+    capacity: u64,
+    free: u64,
+    leases: BTreeMap<u32, u64>,
+    surrendered: BTreeMap<u32, u64>,
+}
+
+impl FramePool {
+    /// A pool holding `capacity` frames, all free.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        FramePool {
+            capacity,
+            free: capacity,
+            leases: BTreeMap::new(),
+            surrendered: BTreeMap::new(),
+        }
+    }
+
+    /// Total frames the pool was created with.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Frames not currently leased to any VM.
+    #[must_use]
+    pub fn free(&self) -> u64 {
+        self.free
+    }
+
+    /// Current lease of `vm` (0 if it never held one).
+    #[must_use]
+    pub fn lease_of(&self, vm: VmId) -> u64 {
+        self.leases.get(&vm.raw()).copied().unwrap_or(0)
+    }
+
+    /// Sum of all outstanding leases.
+    #[must_use]
+    pub fn leased_total(&self) -> u64 {
+        self.leases.values().sum()
+    }
+
+    /// Cumulative frames `vm` has surrendered back via ballooning.
+    #[must_use]
+    pub fn surrendered_by(&self, vm: VmId) -> u64 {
+        self.surrendered.get(&vm.raw()).copied().unwrap_or(0)
+    }
+
+    /// VMs with ledger entries, in ascending id order.
+    #[must_use]
+    pub fn vms(&self) -> Vec<VmId> {
+        self.leases.keys().map(|&raw| VmId::new(raw)).collect()
+    }
+
+    /// Grants up to `want` frames to `vm`, clamped to what is free.
+    /// Returns the number actually granted (possibly 0).
+    pub fn grant(&mut self, vm: VmId, want: u64) -> u64 {
+        let granted = want.min(self.free);
+        self.free -= granted;
+        *self.leases.entry(vm.raw()).or_insert(0) += granted;
+        granted
+    }
+
+    /// Returns up to `count` frames from `vm`'s lease to the pool without
+    /// marking them balloon-surrendered (plain lease shrink, e.g. VM
+    /// teardown). Clamped to the lease; returns the number released.
+    pub fn release(&mut self, vm: VmId, count: u64) -> u64 {
+        let lease = self.leases.entry(vm.raw()).or_insert(0);
+        let released = count.min(*lease);
+        *lease -= released;
+        self.free += released;
+        released
+    }
+
+    /// Like [`FramePool::release`], but records the frames as
+    /// balloon-surrendered by `vm` so the host lint can check that every
+    /// frame a guest balloon gave up actually reached the pool.
+    pub fn surrender(&mut self, vm: VmId, count: u64) -> u64 {
+        let surrendered = self.release(vm, count);
+        *self.surrendered.entry(vm.raw()).or_insert(0) += surrendered;
+        surrendered
+    }
+
+    /// Releases `vm`'s entire remaining lease (teardown). Returns it.
+    pub fn forfeit(&mut self, vm: VmId) -> u64 {
+        let lease = self.lease_of(vm);
+        self.release(vm, lease)
+    }
+
+    /// Frame conservation: free plus all leases equals capacity.
+    #[must_use]
+    pub fn is_conserved(&self) -> bool {
+        self.free + self.leased_total() == self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_clamp_to_free_capacity() {
+        let mut pool = FramePool::new(100);
+        assert_eq!(pool.grant(VmId::new(0), 70), 70);
+        assert_eq!(pool.grant(VmId::new(1), 70), 30);
+        assert_eq!(pool.grant(VmId::new(2), 1), 0);
+        assert_eq!(pool.free(), 0);
+        assert!(pool.is_conserved());
+    }
+
+    #[test]
+    fn release_clamps_to_lease() {
+        let mut pool = FramePool::new(100);
+        pool.grant(VmId::new(3), 40);
+        assert_eq!(pool.release(VmId::new(3), 50), 40);
+        assert_eq!(pool.lease_of(VmId::new(3)), 0);
+        assert_eq!(pool.free(), 100);
+        assert!(pool.is_conserved());
+    }
+
+    #[test]
+    fn surrender_is_tracked_per_vm() {
+        let mut pool = FramePool::new(100);
+        pool.grant(VmId::new(0), 50);
+        pool.grant(VmId::new(1), 50);
+        assert_eq!(pool.surrender(VmId::new(0), 10), 10);
+        assert_eq!(pool.surrender(VmId::new(0), 5), 5);
+        assert_eq!(pool.surrendered_by(VmId::new(0)), 15);
+        assert_eq!(pool.surrendered_by(VmId::new(1)), 0);
+        assert_eq!(pool.release(VmId::new(1), 10), 10);
+        assert_eq!(
+            pool.surrendered_by(VmId::new(1)),
+            0,
+            "release is not a surrender"
+        );
+        assert!(pool.is_conserved());
+    }
+
+    #[test]
+    fn forfeit_returns_whole_lease() {
+        let mut pool = FramePool::new(64);
+        pool.grant(VmId::new(1), 48);
+        assert_eq!(pool.forfeit(VmId::new(1)), 48);
+        assert_eq!(pool.lease_of(VmId::new(1)), 0);
+        assert_eq!(pool.free(), 64);
+    }
+
+    #[test]
+    fn vms_listed_in_id_order() {
+        let mut pool = FramePool::new(10);
+        pool.grant(VmId::new(2), 1);
+        pool.grant(VmId::new(0), 1);
+        pool.grant(VmId::new(1), 1);
+        assert_eq!(pool.vms(), vec![VmId::new(0), VmId::new(1), VmId::new(2)]);
+    }
+}

@@ -116,8 +116,14 @@ pub struct Vmm {
 }
 
 impl Vmm {
-    /// Creates the VMM for a fresh VM.
+    /// Creates the VMM for a fresh VM (VM 0 — the single-VM case).
     pub fn new(mem: &mut PhysMem, cfg: VmmConfig) -> Self {
+        Vmm::new_for_vm(mem, cfg, VmId::new(0))
+    }
+
+    /// Creates the VMM for a fresh VM with an explicit id, for multi-VM
+    /// hosts where each VM's substrate carries its owner identity.
+    pub fn new_for_vm(mem: &mut PhysMem, cfg: VmmConfig, vm: VmId) -> Self {
         let mut host = HostSpace;
         let hpt = RadixTable::new(mem, &mut host);
         let ctx_cache = match cfg.technique {
@@ -131,7 +137,7 @@ impl Vmm {
             _ => None,
         };
         Vmm {
-            vm: VmId::new(0),
+            vm,
             cfg,
             gmap: GuestMemMap::new(),
             hpt,
@@ -1177,6 +1183,37 @@ impl Vmm {
         }
     }
 
+    /// Host-pressure demotion: drops an agile process to nested-from-root
+    /// mode and frees its shadow page-table frames, so a host arbiter can
+    /// reclaim the shadow tree's memory when the pool runs dry. Mirrors the
+    /// trap-storm fallback (same conversion, same hysteresis hold so the
+    /// interval policy cannot immediately re-shadow what the host just
+    /// reclaimed). Returns `false` when there is nothing to demote: the
+    /// technique is not agile, the process is unknown, or it is already
+    /// running nested from the root.
+    pub fn demote_to_nested(&mut self, mem: &mut PhysMem, pid: ProcessId) -> bool {
+        let Technique::Agile(opts) = self.cfg.technique else {
+            return false;
+        };
+        let Some(proc) = self.procs.get(&pid) else {
+            return false;
+        };
+        if proc.full_nested || proc.root_nested {
+            return false;
+        }
+        let root = GuestFrame::new(proc.gpt.root_raw());
+        self.convert_to_nested(mem, pid, root);
+        // The conversion leaves the shadow tree standing (the storm path
+        // keeps it warm for the revert); under host pressure the whole
+        // point is to return those frames, so zap down to the bare root.
+        if let Some(spt) = self.proc(pid).spt {
+            spt.zap_subtree(mem, &mut HostSpace, 0, Level::L4);
+        }
+        self.storm_hold_until = self.ticks + opts.storm_cooldown.max(1);
+        self.trap(VmtrapKind::TlbFlush, 1);
+        true
+    }
+
     /// Moves one guest page-table page back to shadow mode: re-protects it,
     /// invalidates the covering switching entry, and — for leaf-level pages
     /// — eagerly rebuilds the shadow leaves for the region in one batched
@@ -1678,7 +1715,10 @@ impl Vmm {
                     self.storm_hold_until = self.ticks + opts.storm_cooldown.max(1);
                 }
                 let holding = self.ticks < self.storm_hold_until;
-                let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+                // Id order, not map order: conversions allocate and free
+                // frames, so iteration order shapes frame numbers and logs.
+                let mut pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+                pids.sort_unstable();
                 for pid in pids {
                     if storming {
                         let root = GuestFrame::new(self.proc(pid).gpt.root_raw());
@@ -1775,7 +1815,10 @@ impl Vmm {
     }
 
     fn apply_shsp_switch(&mut self, mem: &mut PhysMem, mode: ShspMode) {
-        let pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        // Id order, not map order: the shadow rebuild allocates table pages,
+        // so iteration order shapes frame numbers and logs.
+        let mut pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        pids.sort_unstable();
         match mode {
             ShspMode::Nested => {
                 for pid in pids {

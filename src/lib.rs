@@ -29,8 +29,8 @@ pub mod prelude {
     pub use agile_core::types::SplitMix64;
     pub use agile_core::{
         micro_benches, parallel_map, profile, render_log, AgileOptions, ChurnSpec, DegradationKind,
-        FaultPlan, Json, Machine, Overheads, Pattern, Profile, RunArtifact, RunOutcome, RunPlan,
-        RunRequest, RunStats, ScenarioKind, ShspOptions, SystemConfig, Technique, VmmConfig,
-        WorkloadSpec,
+        FaultPlan, FramePool, Host, HostConfig, Json, Machine, MigrationOutcome, Overheads,
+        Pattern, Profile, RunArtifact, RunOutcome, RunPlan, RunRequest, RunStats, ScenarioKind,
+        ShspOptions, SystemConfig, Technique, VmmConfig, WorkloadSpec,
     };
 }
