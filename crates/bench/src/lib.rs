@@ -143,7 +143,13 @@ common flags (every experiment binary):
     }
 }
 
-fn write_artifact(path: &PathBuf, contents: &str) -> Result<(), String> {
+/// Writes `contents` to `path`, creating missing parent directories, and
+/// logs the path to stderr.
+///
+/// # Errors
+///
+/// Returns a message naming the path on any filesystem failure.
+pub fn write_artifact(path: &PathBuf, contents: &str) -> Result<(), String> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)
@@ -224,16 +230,7 @@ simulate — run a custom workload on the agile-paging simulator
             let mut value =
                 || -> Result<&String, String> { it.next().ok_or(format!("{flag} needs a value")) };
             match flag.as_str() {
-                "--technique" => {
-                    technique = match value()?.as_str() {
-                        "native" => Technique::Native,
-                        "nested" => Technique::Nested,
-                        "shadow" => Technique::Shadow,
-                        "agile" => Technique::Agile(AgileOptions::default()),
-                        "shsp" => Technique::Shsp(ShspOptions::default()),
-                        other => return Err(format!("unknown technique {other}")),
-                    }
-                }
+                "--technique" => technique = parse_technique(value()?)?,
                 "--pattern" => {
                     let v = value()?.clone();
                     pattern = parse_pattern(&v)?;
@@ -317,6 +314,23 @@ pub mod timing {
         let per = start.elapsed().as_nanos() / u128::from(iters.max(1));
         println!("{name:<24} {:>6} iters  {per:>12} ns/iter", iters.max(1));
     }
+}
+
+/// Parses a technique name (`native|nested|shadow|agile|shsp`) as accepted
+/// by the `simulate` and `serve` binaries.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown technique.
+pub fn parse_technique(name: &str) -> Result<Technique, String> {
+    Ok(match name {
+        "native" => Technique::Native,
+        "nested" => Technique::Nested,
+        "shadow" => Technique::Shadow,
+        "agile" => Technique::Agile(AgileOptions::default()),
+        "shsp" => Technique::Shsp(ShspOptions::default()),
+        other => return Err(format!("unknown technique {other}")),
+    })
 }
 
 fn parse_num(flag: &str, v: &str) -> Result<u64, String> {

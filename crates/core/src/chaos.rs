@@ -191,8 +191,12 @@ pub enum DegradationKind {
     LogTruncated,
     /// A runner request panicked and was isolated from its siblings.
     RunnerPanic,
-    /// A runner request exceeded its deadline and was skipped.
-    RunnerTimeout,
+    /// A job passed its cooperative deadline and stopped at the machine's
+    /// next tick boundary, keeping its partial statistics.
+    Timeout,
+    /// A job was cancelled and stopped cooperatively at the machine's next
+    /// tick boundary.
+    Cancelled,
     /// A runner request was retried after a panic.
     RunnerRetry,
     /// A host-initiated cross-VM shootdown was dropped before delivery.
@@ -225,7 +229,8 @@ impl DegradationKind {
             DegradationKind::PressureRelieved => "pressure-relieved",
             DegradationKind::LogTruncated => "log-truncated",
             DegradationKind::RunnerPanic => "runner-panic",
-            DegradationKind::RunnerTimeout => "runner-timeout",
+            DegradationKind::Timeout => "timeout",
+            DegradationKind::Cancelled => "cancelled",
             DegradationKind::RunnerRetry => "runner-retry",
             DegradationKind::CrossVmShootdownLoss => "cross-vm-shootdown-loss",
             DegradationKind::BalloonRequest => "balloon-request",

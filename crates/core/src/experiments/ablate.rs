@@ -5,7 +5,8 @@
 use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
 use crate::report::{pct, Table};
-use crate::runner::{Json, RunPlan, RunRequest};
+use crate::runner::{Json, RunOutcome, RunPlan, RunRequest};
+use crate::service::PlanOptions;
 use agile_vmm::{AgileOptions, NestedToShadowPolicy, Technique, VmtrapKind};
 use agile_workloads::{profile, ChurnSpec, Pattern, Profile, WorkloadSpec};
 
@@ -85,7 +86,7 @@ pub fn ablate_hw(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> {
         ),
         ("both (default)", AgileOptions::default()),
     ];
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for (name, opts) in variants {
         plan.push(
             RunRequest::new(SystemConfig::new(Technique::Agile(opts)), spec.clone())
@@ -93,7 +94,11 @@ pub fn ablate_hw(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> {
                 .with_label(name),
         );
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<AblateRow> = variants
         .iter()
         .zip(&artifacts)
@@ -140,7 +145,7 @@ pub fn ablate_policy(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> 
         ("periodic-reset", NestedToShadowPolicy::PeriodicReset),
         ("dirty-bit-scan", NestedToShadowPolicy::DirtyBitScan),
     ];
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for (name, policy) in policies {
         let opts = AgileOptions {
             nested_to_shadow: policy,
@@ -152,7 +157,11 @@ pub fn ablate_policy(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> 
                 .with_label(name),
         );
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<AblateRow> = policies
         .iter()
         .zip(&artifacts)
@@ -189,7 +198,7 @@ pub fn ablate_policy(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> 
 #[must_use]
 pub fn ablate_pwc(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> {
     let spec = profile(Profile::Graph500, accesses);
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     let mut labels = Vec::new();
     for technique in [
         Technique::Native,
@@ -215,7 +224,11 @@ pub fn ablate_pwc(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> {
             labels.push(label);
         }
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<AblateRow> = labels
         .iter()
         .zip(&artifacts)
@@ -271,7 +284,7 @@ pub fn ablate_pwc(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> {
 #[must_use]
 pub fn ablate_interval(accesses: u64, threads: usize) -> ExperimentRun<AblateRow> {
     let divisors = [50u64, 20, 10, 5, 2];
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for divisor in divisors {
         let mut spec = profile(Profile::Dedup, accesses);
         spec.accesses_per_tick = (accesses / divisor).max(1);
@@ -284,7 +297,11 @@ pub fn ablate_interval(accesses: u64, threads: usize) -> ExperimentRun<AblateRow
             .with_label(divisor.to_string()),
         );
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<AblateRow> = divisors
         .iter()
         .zip(&artifacts)

@@ -4,7 +4,8 @@
 use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
 use crate::report::{pct, Table};
-use crate::runner::{Json, RunPlan, RunRequest};
+use crate::runner::{Json, RunOutcome, RunPlan, RunRequest};
+use crate::service::PlanOptions;
 use crate::stats::RunStats;
 use agile_vmm::{AgileOptions, Technique};
 use agile_workloads::{profile, Profile};
@@ -69,7 +70,7 @@ pub fn fig5(
     threads: usize,
 ) -> ExperimentRun<Fig5Row> {
     let list = workloads.unwrap_or(&Profile::ALL);
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for &wl in list {
         for thp in [false, true] {
             for technique in techniques() {
@@ -83,7 +84,11 @@ pub fn fig5(
             }
         }
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows = artifacts
         .iter()
         .map(|a| {

@@ -10,7 +10,8 @@
 use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
 use crate::report::{pct, Table};
-use crate::runner::{Json, RunPlan, RunRequest};
+use crate::runner::{Json, RunOutcome, RunPlan, RunRequest};
+use crate::service::PlanOptions;
 use crate::stats::RunStats;
 use agile_vmm::{AgileOptions, ShspOptions, Technique};
 use agile_workloads::{ChurnSpec, Pattern, WorkloadSpec};
@@ -76,7 +77,7 @@ pub fn shsp_compare(accesses: u64, threads: usize) -> ExperimentRun<ShspRow> {
         ("SHSP", Technique::Shsp(ShspOptions::default())),
         ("Agile", Technique::Agile(AgileOptions::default())),
     ];
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for (name, t) in techniques {
         plan.push(
             RunRequest::new(SystemConfig::new(t), phase_spec(accesses))
@@ -84,7 +85,11 @@ pub fn shsp_compare(accesses: u64, threads: usize) -> ExperimentRun<ShspRow> {
                 .with_label(name),
         );
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<ShspRow> = techniques
         .iter()
         .zip(&artifacts)

@@ -8,7 +8,8 @@
 use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
 use crate::report::Table;
-use crate::runner::{Json, RunPlan, RunRequest};
+use crate::runner::{Json, RunOutcome, RunPlan, RunRequest};
+use crate::service::PlanOptions;
 use agile_vmm::{AgileOptions, Technique, VmtrapKind};
 use agile_workloads::{ChurnSpec, Pattern, WorkloadSpec};
 
@@ -81,12 +82,16 @@ pub fn table1(accesses: u64, threads: usize) -> ExperimentRun<Table1Row> {
         ("Shadow Paging", Technique::Shadow),
         ("Agile Paging", Technique::Agile(AgileOptions::default())),
     ];
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for (_, t) in techniques {
         let cfg = SystemConfig::new(t).without_pwc();
         plan.push(RunRequest::new(cfg, probe_spec(accesses)).with_warmup(accesses / 4));
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<Table1Row> = techniques
         .iter()
         .zip(&artifacts)

@@ -4,7 +4,8 @@
 use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
 use crate::report::Table;
-use crate::runner::{Json, RunPlan, RunRequest};
+use crate::runner::{Json, RunOutcome, RunPlan, RunRequest};
+use crate::service::PlanOptions;
 use crate::stats::KindCounts;
 use agile_vmm::{AgileOptions, Technique};
 use agile_workloads::{profile, Profile};
@@ -45,12 +46,16 @@ pub fn table6(
     threads: usize,
 ) -> ExperimentRun<Table6Row> {
     let list = workloads.unwrap_or(&Profile::ALL);
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for &wl in list {
         let cfg = SystemConfig::new(Technique::Agile(AgileOptions::default())).without_pwc();
         plan.push(RunRequest::new(cfg, profile(wl, accesses)).with_warmup(accesses / 3));
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<Table6Row> = artifacts
         .iter()
         .map(|a| {

@@ -12,7 +12,8 @@
 use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
 use crate::report::{pct, Table};
-use crate::runner::{Json, RunArtifact, RunPlan, RunRequest};
+use crate::runner::{Json, RunArtifact, RunOutcome, RunPlan, RunRequest};
+use crate::service::PlanOptions;
 use agile_trace::{LinearModel, Step1Analysis, Step2Analysis};
 use agile_vmm::{AgileOptions, Technique};
 use agile_workloads::{profile, Profile, WorkloadSpec};
@@ -113,13 +114,17 @@ pub fn twostep(
     ];
     let list = workloads.unwrap_or(&default);
     let warmup = accesses / 3;
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for &wl in list {
         for req in requests_for(&profile(wl, accesses), warmup) {
             plan.push(req);
         }
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<TwoStepRow> = artifacts
         .chunks_exact(3)
         .map(|triple| row_from(&triple[0], &triple[1], &triple[2]))

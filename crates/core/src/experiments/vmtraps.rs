@@ -9,7 +9,8 @@
 use super::{ExperimentRun, JsonRow};
 use crate::config::SystemConfig;
 use crate::report::Table;
-use crate::runner::{Json, RunPlan, RunRequest};
+use crate::runner::{Json, RunOutcome, RunPlan, RunRequest};
+use crate::service::PlanOptions;
 use agile_vmm::{Technique, VmtrapKind};
 use agile_workloads::micro_benches;
 
@@ -45,14 +46,18 @@ impl JsonRow for VmtrapRow {
 #[must_use]
 pub fn vmtrap_costs(accesses: u64, threads: usize) -> ExperimentRun<VmtrapRow> {
     let micros = micro_benches(accesses);
-    let mut plan = RunPlan::new().with_threads(threads);
+    let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(threads));
     for micro in &micros {
         plan.push(
             RunRequest::new(SystemConfig::new(Technique::Shadow), micro.spec.clone())
                 .with_label(micro.name),
         );
     }
-    let artifacts = plan.execute();
+    let artifacts: Vec<_> = plan
+        .run()
+        .into_iter()
+        .map(RunOutcome::into_artifact)
+        .collect();
     let rows: Vec<VmtrapRow> = micros
         .iter()
         .zip(&artifacts)

@@ -44,6 +44,7 @@ pub mod host;
 mod machine;
 mod report;
 pub mod runner;
+pub mod service;
 mod stats;
 pub mod verify;
 
@@ -61,6 +62,9 @@ pub use report::Table;
 pub use runner::{
     parallel_map, try_parallel_map, Json, RunArtifact, RunOutcome, RunPanic, RunPlan, RunRequest,
     WorkerPanic,
+};
+pub use service::{
+    CancelToken, JobId, JobState, JobStatus, PlanOptions, Service, ServiceMetrics, StopCause,
 };
 pub use stats::{KindCounts, Overheads, RunStats};
 pub use verify::{RefTranslation, Violation, ViolationSite};

@@ -5,6 +5,7 @@ use crate::chaos::{
     ChaosState, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind, ShootdownFate,
 };
 use crate::config::SystemConfig;
+use crate::service::{CancelToken, StopCause};
 use crate::stats::{KindCounts, RunStats};
 use crate::verify::{self, Violation};
 use agile_guest::{FaultError, GuestOs, SegFault, Vma, VmaBacking};
@@ -76,6 +77,13 @@ pub struct Machine {
     /// Monotonic id grouping the flush requests drained together with the
     /// table frees of the same VMM operation.
     flush_batches: u64,
+    /// Cooperative stop flag, polled at workload tick boundaries; `None`
+    /// until a control plane installs one via
+    /// [`Machine::set_cancel_token`].
+    cancel: Option<CancelToken>,
+    /// Why the last [`Machine::run_spec_measured`] stopped early, if it
+    /// did.
+    stopped: Option<StopCause>,
 }
 
 /// Worst-case number of host frames the infallible deep-map paths can
@@ -146,7 +154,25 @@ impl Machine {
             shootdown_log: None,
             alloc_mark: 0,
             flush_batches: 0,
+            cancel: None,
+            stopped: None,
         }
+    }
+
+    /// Installs the cooperative stop flag. The machine polls it at every
+    /// workload tick boundary — the quiescent point where pending
+    /// shootdowns have drained — and [`Machine::run_spec_measured`] returns
+    /// with the statistics accumulated so far instead of running to
+    /// completion. [`Machine::stop_cause`] reports what stopped it.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Why the last run stopped early (`None` when it ran to completion or
+    /// no run happened yet).
+    #[must_use]
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.stopped
     }
 
     /// Arms the deterministic fault-injection engine with `plan`.
@@ -1406,11 +1432,23 @@ impl Machine {
     /// they are not, unless excluded).
     pub fn run_spec_measured(&mut self, spec: &WorkloadSpec, warmup_accesses: u64) -> RunStats {
         let mut armed = warmup_accesses > 0;
+        self.stopped = None;
         for event in Workload::new(spec.clone()) {
+            let is_tick = matches!(&event, Event::Tick);
             self.run_event(event);
             if armed && self.accesses >= warmup_accesses {
                 self.begin_measurement();
                 armed = false;
+            }
+            // Cooperative cancellation point: ticks are the quiescent
+            // boundaries (flushes drained, interval policy run), so a
+            // cancelled or timed-out run stops here in bounded time with
+            // a consistent machine behind it — never a detached thread.
+            if is_tick {
+                if let Some(cause) = self.cancel.as_ref().and_then(CancelToken::check) {
+                    self.stopped = Some(cause);
+                    break;
+                }
             }
         }
         self.drain_write_trace();

@@ -365,17 +365,21 @@ fn runner_recovery_isolates_a_poisoned_run() {
     bad_spec.footprint = 0;
     let bad = RunRequest::new(SystemConfig::new(Technique::Shadow), bad_spec).with_label("bad-run");
 
-    let mut clean = RunPlan::new().with_threads(2);
+    let mut clean = RunPlan::new().with_options(PlanOptions::with_threads(2));
     clean.push(good(1)).push(good(2));
     let reference: Vec<String> = clean
-        .execute()
+        .run()
         .iter()
-        .map(RunArtifact::fingerprint)
+        .map(|o| o.artifact().expect("clean run completes").fingerprint())
         .collect();
 
-    let mut plan = RunPlan::new().with_threads(2).with_retries(1);
+    let mut plan = RunPlan::new().with_options(PlanOptions {
+        threads: 2,
+        retries: 1,
+        ..PlanOptions::default()
+    });
     plan.push(good(1)).push(bad).push(good(2));
-    let outcomes = plan.execute_with_recovery();
+    let outcomes = plan.run();
     assert_eq!(outcomes.len(), 3);
 
     match &outcomes[1] {
@@ -409,30 +413,39 @@ fn runner_recovery_isolates_a_poisoned_run() {
 }
 
 #[test]
-fn runner_timeout_skips_a_hung_run_and_keeps_siblings() {
-    let mut plan = RunPlan::new()
-        .with_threads(2)
-        .with_timeout(Duration::from_millis(40));
+fn runner_timeout_stops_a_hung_run_cooperatively_and_keeps_siblings() {
+    let mut plan = RunPlan::new().with_options(PlanOptions {
+        threads: 2,
+        timeout: Some(Duration::from_millis(40)),
+        ..PlanOptions::default()
+    });
     plan.push(RunRequest::new(
         SystemConfig::new(Technique::Native),
         churny_spec("quick", 500, 5),
     ));
-    // Large enough to blow any 40 ms deadline by orders of magnitude.
-    plan.push(
-        RunRequest::new(
-            SystemConfig::new(Technique::Nested),
-            churny_spec("slow", 30_000_000, 6),
-        )
-        .with_label("hung-run"),
-    );
-    let outcomes = plan.execute_with_recovery();
+    // Large enough to blow any 40 ms deadline by orders of magnitude,
+    // with frequent tick boundaries so the stop lands promptly.
+    let mut slow = churny_spec("slow", 30_000_000, 6);
+    slow.accesses_per_tick = 20_000;
+    plan.push(RunRequest::new(SystemConfig::new(Technique::Nested), slow).with_label("hung-run"));
+    let outcomes = plan.run();
     assert!(outcomes[0].artifact().is_some(), "quick sibling completes");
     match &outcomes[1] {
-        RunOutcome::Skipped { label, events, .. } => {
+        RunOutcome::TimedOut { label, partial, .. } => {
             assert_eq!(label, "hung-run");
-            assert_eq!(kinds_in(events), vec![DegradationKind::RunnerTimeout]);
+            // The run stopped at a tick boundary: partial stats were
+            // retained, but nowhere near the full access count.
+            assert!(partial.stats.accesses > 0, "partial stats retained");
+            assert!(
+                partial.stats.accesses < 30_000_000,
+                "run must stop early, saw {} accesses",
+                partial.stats.accesses
+            );
+            let last = partial.degradation.last().expect("timeout event logged");
+            assert_eq!(last.kind, DegradationKind::Timeout);
+            assert!(last.detail.contains("tick boundary"), "{}", last.detail);
         }
-        other => panic!("hung run must be skipped, got {other:?}"),
+        other => panic!("hung run must time out with partial stats, got {other:?}"),
     }
 }
 

@@ -2,12 +2,17 @@
 //! any thread count, and artifacts survive a JSON round trip.
 
 use agile_paging::experiments;
-use agile_paging::{AgileOptions, Json, Profile, RunPlan, RunRequest, SystemConfig, Technique};
+use agile_paging::{
+    AgileOptions, Json, PlanOptions, Profile, RunOutcome, RunPlan, RunRequest, Service,
+    SystemConfig, Technique,
+};
 
 fn plan(threads: usize) -> RunPlan {
-    let mut plan = RunPlan::new()
-        .with_threads(threads)
-        .with_seed_stream(0xd15c);
+    let mut plan = RunPlan::new().with_options(PlanOptions {
+        threads,
+        seed_base: Some(0xd15c),
+        ..PlanOptions::default()
+    });
     for technique in [
         Technique::Native,
         Technique::Nested,
@@ -31,12 +36,67 @@ fn plan(threads: usize) -> RunPlan {
 /// execution are byte-identical to a serial one.
 #[test]
 fn plans_are_thread_count_invariant() {
-    let serial = plan(1).execute();
-    let fanned = plan(8).execute();
+    let artifacts = |threads| {
+        plan(threads)
+            .run()
+            .into_iter()
+            .map(RunOutcome::into_artifact)
+            .collect::<Vec<_>>()
+    };
+    let serial = artifacts(1);
+    let fanned = artifacts(8);
     assert_eq!(serial.len(), fanned.len());
     for (a, b) in serial.iter().zip(&fanned) {
         assert_eq!(a.fingerprint(), b.fingerprint(), "{} diverged", a.label);
     }
+}
+
+/// The same invariance holds one layer down, at the service: per-request
+/// artifact *bytes* are identical no matter how many worker shards raced
+/// over the queue (and therefore no matter who stole what from whom).
+#[test]
+fn service_artifacts_are_shard_count_invariant() {
+    let render = |shards: usize| {
+        let service = Service::new(PlanOptions {
+            threads: shards,
+            seed_base: Some(0xd15c),
+            ..PlanOptions::default()
+        });
+        let requests: Vec<RunRequest> = [
+            Technique::Native,
+            Technique::Nested,
+            Technique::Shadow,
+            Technique::Agile(AgileOptions::default()),
+        ]
+        .into_iter()
+        .map(|t| {
+            RunRequest::new(
+                SystemConfig::new(t),
+                agile_paging::profile(Profile::Astar, 3_000),
+            )
+            .with_warmup(500)
+        })
+        .collect();
+        let ids = service.submit_all(requests);
+        let docs: Vec<String> = ids
+            .into_iter()
+            .map(|id| {
+                service
+                    .wait(id)
+                    .artifact()
+                    .expect("run completes")
+                    .deterministic_json()
+                    .render()
+            })
+            .collect();
+        service.shutdown();
+        docs
+    };
+    let one = render(1);
+    let two = render(2);
+    let eight = render(8);
+    assert_eq!(one, two, "2-shard artifacts diverged from serial");
+    assert_eq!(one, eight, "8-shard artifacts diverged from serial");
 }
 
 /// An experiment fanned across threads is also invariant end to end — the
