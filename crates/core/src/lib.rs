@@ -42,6 +42,7 @@ mod config;
 pub mod experiments;
 pub mod host;
 mod machine;
+pub mod profile;
 mod report;
 pub mod runner;
 pub mod service;
@@ -58,6 +59,7 @@ pub use chaos::{
 pub use config::SystemConfig;
 pub use host::{Host, HostConfig, MigrationOutcome};
 pub use machine::{AccessError, Machine};
+pub use profile::{FlushApplyStats, HotPathProfile};
 pub use report::Table;
 pub use runner::{
     parallel_map, try_parallel_map, Json, RunArtifact, RunOutcome, RunPanic, RunPlan, RunRequest,

@@ -5,8 +5,9 @@ use crate::chaos::{
     ChaosState, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind, ShootdownFate,
 };
 use crate::config::SystemConfig;
+use crate::profile::{FlushApplyStats, HotPathProfile};
 use crate::service::{CancelToken, StopCause};
-use crate::stats::{KindCounts, RunStats};
+use crate::stats::{HotCounters, KindCounts, RunStats};
 use crate::verify::{self, Violation};
 use agile_guest::{FaultError, GuestOs, SegFault, Vma, VmaBacking};
 use agile_mem::PhysMem;
@@ -14,7 +15,7 @@ use agile_tlb::{NestedTlb, PageWalkCaches, TlbEntry, TlbHierarchy};
 use agile_types::{
     AccessKind, Asid, Fault, GuestVirtAddr, HostFrame, Level, ProcessId, PteFlags, VmId,
 };
-use agile_vmm::{FaultOutcome, FlushRequest, HwRoots, Technique, Vmm};
+use agile_vmm::{coalesce, FaultOutcome, FlushRequest, HwRoots, Technique, Vmm};
 use agile_walk::{WalkHw, WalkKind, WalkOk, WalkStats};
 use agile_workloads::{Event, Workload, WorkloadSpec};
 
@@ -59,11 +60,10 @@ pub struct Machine {
     ntlb: NestedTlb,
     walk_stats: WalkStats,
     kinds: KindCounts,
-    walk_cycles: u64,
-    ad_walks: u64,
-    accesses: u64,
+    /// Per-access hot counters, grouped so the inner loop touches one
+    /// contiguous block (see [`HotCounters`]).
+    hot: HotCounters,
     procs: Vec<ProcessId>,
-    misses_at_last_tick: u64,
     baseline: Baseline,
     trace: Option<agile_trace::TraceLog>,
     violations: Vec<Violation>,
@@ -77,6 +77,8 @@ pub struct Machine {
     /// Monotonic id grouping the flush requests drained together with the
     /// table frees of the same VMM operation.
     flush_batches: u64,
+    /// Coalesced shootdown-application counters (see [`FlushApplyStats`]).
+    flush_stats: FlushApplyStats,
     /// Cooperative stop flag, polled at workload tick boundaries; `None`
     /// until a control plane installs one via
     /// [`Machine::set_cancel_token`].
@@ -142,11 +144,8 @@ impl Machine {
             ntlb: NestedTlb::new(&cfg.pwc),
             walk_stats: WalkStats::default(),
             kinds: KindCounts::default(),
-            walk_cycles: 0,
-            ad_walks: 0,
-            accesses: 0,
+            hot: HotCounters::default(),
             procs: vec![first],
-            misses_at_last_tick: 0,
             baseline: Baseline::default(),
             trace: None,
             violations: Vec::new(),
@@ -154,6 +153,7 @@ impl Machine {
             shootdown_log: None,
             alloc_mark: 0,
             flush_batches: 0,
+            flush_stats: FlushApplyStats::default(),
             cancel: None,
             stopped: None,
         }
@@ -230,7 +230,7 @@ impl Machine {
     /// window close.
     fn log_applied_asid(&mut self, asid: Asid) {
         if self.shootdown_log.is_some() {
-            let access = self.accesses;
+            let access = self.hot.accesses;
             self.log_shootdown(ShootdownEvent::Applied {
                 access,
                 scope: FlushScope::asid_full(asid.raw()),
@@ -249,7 +249,7 @@ impl Machine {
         if self.shootdown_log.is_none() {
             return;
         }
-        let access = self.accesses;
+        let access = self.hot.accesses;
         for frame in self.mem.take_freed_frames() {
             self.log_shootdown(ShootdownEvent::FrameFreed {
                 access,
@@ -273,7 +273,7 @@ impl Machine {
         if next > self.alloc_mark {
             let first = HostFrame::new(self.alloc_mark);
             self.alloc_mark = next;
-            let access = self.accesses;
+            let access = self.hot.accesses;
             self.log_shootdown(ShootdownEvent::FrameReused {
                 access,
                 frame: first,
@@ -363,9 +363,9 @@ impl Machine {
     /// (warm-up exclusion). Hardware structures stay warm.
     pub fn begin_measurement(&mut self) {
         self.baseline = Baseline {
-            accesses: self.accesses,
-            walk_cycles: self.walk_cycles,
-            ad_walks: self.ad_walks,
+            accesses: self.hot.accesses,
+            walk_cycles: self.hot.walk_cycles,
+            ad_walks: self.hot.ad_walks,
             tlb: self.tlb.stats(),
             walks: self.walk_stats,
             kinds: self.kinds,
@@ -450,36 +450,53 @@ impl Machine {
         self.procs[index]
     }
 
-    fn apply_flush(&mut self, req: FlushRequest) {
+    /// Records the per-request `Applied` protocol event. Application
+    /// itself happens batched in [`Machine::apply_flush_batch`]; the log
+    /// keeps one event per request so the race detector's happens-before
+    /// replay (and the log bytes) are independent of coalescing.
+    fn log_applied(&mut self, req: &FlushRequest) {
         if self.shootdown_log.is_some() {
-            if let Some(scope) = FlushScope::of_request(&req) {
-                let access = self.accesses;
+            if let Some(scope) = FlushScope::of_request(req) {
+                let access = self.hot.accesses;
                 self.log_shootdown(ShootdownEvent::Applied { access, scope });
             }
         }
-        match req {
-            FlushRequest::Asid(asid) => {
-                self.tlb.flush_asid(asid);
-                self.pwc.flush_asid(asid);
-            }
-            FlushRequest::NtlbFrame(gframe) => {
-                self.ntlb.invalidate(self.vmm.vm(), gframe);
-            }
-            FlushRequest::Range { asid, start, len } => {
-                self.pwc.invalidate_range(asid, start, len);
-                // Invalidate the covered TLB pages (ranges are one
-                // subtree span; cap the per-page loop at the 2 MiB
-                // granularity and fall back to an ASID flush above it).
-                if len <= (2 << 20) {
-                    let mut va = start;
-                    while va < start + len {
-                        self.tlb.invalidate_page(asid, GuestVirtAddr::new(va));
-                        va += 0x1000;
-                    }
-                } else {
-                    self.tlb.flush_asid(asid);
+    }
+
+    /// Applies one delivered batch of shootdowns, coalesced to at most
+    /// one operation per structure per scope (see [`agile_vmm::coalesce`]
+    /// for the equivalence contract: identical final cache state and
+    /// identical invalidation counts as sequential application, because
+    /// every operation is a destructive removal and no lookup or fill
+    /// interleaves within a batch).
+    fn apply_flush_batch(&mut self, delivered: &[FlushRequest]) {
+        if delivered.is_empty() {
+            return;
+        }
+        let batch = coalesce(delivered);
+        self.flush_stats.note(&batch);
+        for &asid in &batch.asid_flushes {
+            self.tlb.flush_asid(asid);
+            self.pwc.flush_asid(asid);
+        }
+        // Oversized ranges escalate their TLB side to a full ASID flush
+        // (the PWC side stays ranged below).
+        for &asid in &batch.tlb_escalations {
+            self.tlb.flush_asid(asid);
+        }
+        for r in &batch.ranges {
+            self.pwc.invalidate_range(r.asid, r.start, r.len);
+            if r.tlb_sweep {
+                let mut va = r.start;
+                while va < r.start + r.len {
+                    self.tlb.invalidate_page(r.asid, GuestVirtAddr::new(va));
+                    va += 0x1000;
                 }
             }
+        }
+        let vm = self.vmm.vm();
+        for &gframe in &batch.ntlb_frames {
+            self.ntlb.invalidate(vm, gframe);
         }
     }
 
@@ -490,10 +507,11 @@ impl Machine {
     /// *synchronous* local INVEPT on its own EPT edit and always deliver.
     fn drain_flushes(&mut self) {
         let batch = self.next_flush_batch();
+        let mut delivered: Vec<FlushRequest> = Vec::new();
         for req in self.vmm.take_pending_flushes() {
             let scope = FlushScope::of_request(&req);
             if let Some(scope) = scope {
-                let access = self.accesses;
+                let access = self.hot.accesses;
                 self.log_shootdown(ShootdownEvent::Requested {
                     access,
                     batch,
@@ -505,9 +523,12 @@ impl Machine {
                 _ => ShootdownFate::Deliver,
             };
             match fate {
-                ShootdownFate::Deliver => self.apply_flush(req),
+                ShootdownFate::Deliver => {
+                    self.log_applied(&req);
+                    delivered.push(req);
+                }
                 ShootdownFate::Drop => {
-                    let access = self.accesses;
+                    let access = self.hot.accesses;
                     let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
                     chaos.record(
                         access,
@@ -524,7 +545,7 @@ impl Machine {
                     }
                 }
                 ShootdownFate::Defer(delay) => {
-                    let access = self.accesses;
+                    let access = self.hot.accesses;
                     let due = access + delay;
                     let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
                     chaos.record(
@@ -545,6 +566,7 @@ impl Machine {
                 }
             }
         }
+        self.apply_flush_batch(&delivered);
         self.log_freed_frames(batch);
     }
 
@@ -552,17 +574,19 @@ impl Machine {
     /// paths use this: a recovery-issued flush must never itself be dropped.
     fn drain_flushes_reliable(&mut self) {
         let batch = self.next_flush_batch();
-        for req in self.vmm.take_pending_flushes() {
-            if let Some(scope) = FlushScope::of_request(&req) {
-                let access = self.accesses;
+        let delivered = self.vmm.take_pending_flushes();
+        for req in &delivered {
+            if let Some(scope) = FlushScope::of_request(req) {
+                let access = self.hot.accesses;
                 self.log_shootdown(ShootdownEvent::Requested {
                     access,
                     batch,
                     scope,
                 });
             }
-            self.apply_flush(req);
+            self.log_applied(req);
         }
+        self.apply_flush_batch(&delivered);
         self.log_freed_frames(batch);
     }
 
@@ -573,10 +597,11 @@ impl Machine {
     /// hypervisor's synchronous local INVEPT and always deliver.
     fn drain_flushes_cross_vm(&mut self) {
         let batch = self.next_flush_batch();
+        let mut delivered: Vec<FlushRequest> = Vec::new();
         for req in self.vmm.take_pending_flushes() {
             let scope = FlushScope::of_request(&req);
             if let Some(scope) = scope {
-                let access = self.accesses;
+                let access = self.hot.accesses;
                 self.log_shootdown(ShootdownEvent::Requested {
                     access,
                     batch,
@@ -588,7 +613,7 @@ impl Machine {
                 _ => false,
             };
             if lost {
-                let access = self.accesses;
+                let access = self.hot.accesses;
                 let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
                 chaos.record(
                     access,
@@ -604,21 +629,24 @@ impl Machine {
                     });
                 }
             } else {
-                self.apply_flush(req);
+                self.log_applied(&req);
+                delivered.push(req);
             }
         }
+        self.apply_flush_batch(&delivered);
         self.log_freed_frames(batch);
     }
 
     /// Applies deferred shootdowns whose delivery access has been reached.
     fn deliver_due_shootdowns(&mut self) {
         let due = match self.chaos.as_mut() {
-            Some(c) => c.take_due_deferred(self.accesses),
+            Some(c) => c.take_due_deferred(self.hot.accesses),
             None => return,
         };
-        for req in due {
-            self.apply_flush(req);
+        for req in &due {
+            self.log_applied(req);
         }
+        self.apply_flush_batch(&due);
     }
 
     // ------------------------------------------------------------------
@@ -635,7 +663,7 @@ impl Machine {
     /// Data accesses executed so far.
     #[must_use]
     pub fn accesses(&self) -> u64 {
-        self.accesses
+        self.hot.accesses
     }
 
     /// Caps (or uncaps) the host frame budget — how a multi-VM host
@@ -813,7 +841,7 @@ impl Machine {
     /// relieved by reclaim (the access is abandoned; the machine stays
     /// consistent).
     pub fn try_touch(&mut self, va: u64, write: bool) -> Result<(), AccessError> {
-        self.accesses += 1;
+        self.hot.accesses += 1;
         self.note_frame_reuse();
         if self.chaos.is_some() {
             if let Some(c) = self.chaos.as_mut() {
@@ -874,14 +902,20 @@ impl Machine {
                         if let Some(first) = found.first() {
                             if self.heal_translation(pid, va, first) {
                                 // Healed: retry the walk instead of filling
-                                // the TLB with a corrupted translation.
+                                // the TLB with a corrupted translation. The
+                                // hardware still completed (and the walker
+                                // counted) this walk, so classify and
+                                // charge it before discarding its result —
+                                // otherwise completed != classified.
+                                self.kinds.record(ok.kind, ok.refs);
+                                self.hot.walk_cycles += self.walk_cost(ok.refs, ok.host_refs);
                                 continue;
                             }
                         }
                         self.record_violations(found);
                     }
                     self.kinds.record(ok.kind, ok.refs);
-                    self.walk_cycles += self.walk_cost(ok.refs, ok.host_refs);
+                    self.hot.walk_cycles += self.walk_cost(ok.refs, ok.host_refs);
                     self.tlb.fill_for(
                         asid,
                         gva,
@@ -961,7 +995,7 @@ impl Machine {
             let Some(scenario) = chaos.plan.scenarios.get(chaos.next_scenario) else {
                 return;
             };
-            if scenario.at_access > self.accesses {
+            if scenario.at_access > self.hot.accesses {
                 return;
             }
             let kind = scenario.kind.clone();
@@ -971,7 +1005,7 @@ impl Machine {
     }
 
     fn chaos_record(&mut self, kind: DegradationKind, gva: Option<u64>, detail: String) {
-        let access = self.accesses;
+        let access = self.hot.accesses;
         if let Some(c) = self.chaos.as_mut() {
             c.record(access, kind, gva, detail);
         }
@@ -1296,8 +1330,8 @@ impl Machine {
             };
             match hw.nested_walk(Asid::from(pid), gva, gptr, hptr, access) {
                 Ok(ok) => {
-                    self.walk_cycles += self.walk_cost(ok.refs, ok.host_refs);
-                    self.ad_walks += 1;
+                    self.hot.walk_cycles += self.walk_cost(ok.refs, ok.host_refs);
+                    self.hot.ad_walks += 1;
                     return;
                 }
                 Err(fault @ Fault::HostPageFault { .. }) => {
@@ -1380,8 +1414,8 @@ impl Machine {
                 audit = AuditScope::Full;
             }
             Event::Tick => {
-                let misses = self.tlb.stats().misses - self.misses_at_last_tick;
-                self.misses_at_last_tick = self.tlb.stats().misses;
+                let misses = self.tlb.stats().misses - self.hot.misses_at_last_tick;
+                self.hot.misses_at_last_tick = self.tlb.stats().misses;
                 self.vmm.interval_tick(&mut self.mem, misses);
                 self.drain_flushes();
                 self.drain_write_trace();
@@ -1436,7 +1470,7 @@ impl Machine {
         for event in Workload::new(spec.clone()) {
             let is_tick = matches!(&event, Event::Tick);
             self.run_event(event);
-            if armed && self.accesses >= warmup_accesses {
+            if armed && self.hot.accesses >= warmup_accesses {
                 self.begin_measurement();
                 armed = false;
             }
@@ -1466,7 +1500,7 @@ impl Machine {
     #[must_use]
     pub fn stats(&self, name: &str) -> RunStats {
         let b = &self.baseline;
-        let accesses = self.accesses - b.accesses;
+        let accesses = self.hot.accesses - b.accesses;
         RunStats {
             name: name.to_string(),
             config_label: self.cfg.label(),
@@ -1474,12 +1508,31 @@ impl Machine {
             tlb: self.tlb.stats().since(&b.tlb),
             walks: self.walk_stats.since(&b.walks),
             kinds: self.kinds.since(&b.kinds),
-            walk_cycles: self.walk_cycles - b.walk_cycles,
-            ad_walks: self.ad_walks - b.ad_walks,
+            walk_cycles: self.hot.walk_cycles - b.walk_cycles,
+            ad_walks: self.hot.ad_walks - b.ad_walks,
             traps: self.vmm.trap_stats().since(&b.traps),
             os: self.os.stats().since(&b.os),
             vmm: self.vmm.counters().since(&b.vmm),
             ideal_cycles: accesses * self.cfg.base_cycles_per_access,
+        }
+    }
+
+    /// Deterministic hot-path step/visit totals over the machine's whole
+    /// lifetime (no warm-up exclusion): the micro-profiling surface
+    /// behind `agile-bench --bin prof`. Pure function of simulated state
+    /// — never wall-clock — so two identically seeded runs render
+    /// byte-identical profiles.
+    #[must_use]
+    pub fn profile(&self) -> HotPathProfile {
+        HotPathProfile {
+            accesses: self.hot.accesses,
+            tlb: self.tlb.stats(),
+            pwc: self.pwc.stats(),
+            ntlb: self.ntlb.stats(),
+            walks: self.walk_stats,
+            walk_cycles: self.hot.walk_cycles,
+            ad_walks: self.hot.ad_walks,
+            flush: self.flush_stats,
         }
     }
 }

@@ -5,6 +5,23 @@ use agile_tlb::TlbStats;
 use agile_vmm::{VmmCounters, VmtrapStats};
 use agile_walk::{WalkKind, WalkStats};
 
+/// The per-access hot counters the inner access loop bumps on every data
+/// access, grouped structure-of-arrays style into one contiguous block
+/// (a single cache line) instead of four fields scattered across the
+/// machine struct between cold configuration and bookkeeping state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotCounters {
+    /// Data accesses executed.
+    pub accesses: u64,
+    /// Simulated walk cycles charged.
+    pub walk_cycles: u64,
+    /// Hardware A/D-bit update walks.
+    pub ad_walks: u64,
+    /// TLB miss total at the last interval tick (the agile switching
+    /// policy's MPKI input).
+    pub misses_at_last_tick: u64,
+}
+
 /// Completed-walk histogram by [`WalkKind`] — the classification behind
 /// Table VI.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -15,6 +15,12 @@ use std::collections::HashMap;
 /// page, so the hardware walker can read guest PTEs once it has translated
 /// the gPA (this is exactly the 2D-walk structure of nested paging).
 ///
+/// Guest frames are bump-allocated from 1 and never reused, so the raw
+/// gframe number is a dense key: the backing map and table flags live in
+/// flat vectors indexed by it, and [`TableSpace::resolve`] — on the hot
+/// path of every guest-table software edit — is a bounds check plus one
+/// load instead of a hash lookup.
+///
 /// # Example
 ///
 /// ```
@@ -25,13 +31,22 @@ use std::collections::HashMap;
 /// let gframe = gmap.alloc_data(&mut mem);
 /// assert!(gmap.backing(gframe).is_some());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GuestMemMap {
-    backing: HashMap<GuestFrame, HostFrame>,
-    table_gframes: HashMap<GuestFrame, ()>,
+    /// Raw gframe → raw backing host frame, or [`NO_BACKING`].
+    backing: Vec<u64>,
+    /// Raw gframe → holds a guest page-table page.
+    table_flag: Vec<bool>,
+    /// Live backed gframes (entries of `backing` not [`NO_BACKING`]).
+    backed: usize,
     huge_runs: HashMap<GuestFrame, PageSize>,
     next_gframe: u64,
 }
+
+/// Sentinel backing value: the guest frame has no host frame assigned.
+/// `u64::MAX` is never a real frame number (the bump allocator would have
+/// to exhaust the address space first).
+const NO_BACKING: u64 = u64::MAX;
 
 impl GuestMemMap {
     /// An empty guest physical address space. Guest frame 0 is reserved so a
@@ -39,11 +54,30 @@ impl GuestMemMap {
     #[must_use]
     pub fn new() -> Self {
         GuestMemMap {
-            backing: HashMap::new(),
-            table_gframes: HashMap::new(),
+            backing: Vec::new(),
+            table_flag: Vec::new(),
+            backed: 0,
             huge_runs: HashMap::new(),
             next_gframe: 1,
         }
+    }
+
+    /// Grows the dense maps to cover raw gframe `upto` inclusive.
+    fn ensure(&mut self, upto: u64) {
+        let need = upto as usize + 1;
+        if self.backing.len() < need {
+            self.backing.resize(need, NO_BACKING);
+            self.table_flag.resize(need, false);
+        }
+    }
+
+    fn set_backing(&mut self, g: GuestFrame, h: HostFrame) {
+        self.ensure(g.raw());
+        let slot = &mut self.backing[g.raw() as usize];
+        if *slot == NO_BACKING {
+            self.backed += 1;
+        }
+        *slot = h.raw();
     }
 
     /// Allocates one guest data frame with eager host backing.
@@ -63,7 +97,7 @@ impl GuestMemMap {
         let h = mem.try_alloc_frame()?;
         let g = GuestFrame::new(self.next_gframe);
         self.next_gframe += 1;
-        self.backing.insert(g, h);
+        self.set_backing(g, h);
         Some(g)
     }
 
@@ -87,8 +121,9 @@ impl GuestMemMap {
         let h = mem.try_alloc_frames(frames, frames)?;
         let start = self.next_gframe.div_ceil(frames) * frames;
         self.next_gframe = start + frames;
+        self.ensure(start + frames - 1);
         for i in 0..frames {
-            self.backing.insert(GuestFrame::new(start + i), h.add(i));
+            self.set_backing(GuestFrame::new(start + i), h.add(i));
         }
         self.huge_runs.insert(GuestFrame::new(start), size);
         Some(GuestFrame::new(start))
@@ -109,58 +144,88 @@ impl GuestMemMap {
     }
 
     /// The host frame backing a guest frame, if assigned.
+    #[inline]
     #[must_use]
     pub fn backing(&self, gframe: GuestFrame) -> Option<HostFrame> {
-        self.backing.get(&gframe).copied()
+        match self.backing.get(gframe.raw() as usize) {
+            Some(&h) if h != NO_BACKING => Some(HostFrame::new(h)),
+            _ => None,
+        }
     }
 
     /// True if `gframe` holds a guest page-table page.
+    #[inline]
     #[must_use]
     pub fn is_table_gframe(&self, gframe: GuestFrame) -> bool {
-        self.table_gframes.contains_key(&gframe)
+        self.table_flag
+            .get(gframe.raw() as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
-    /// Iterator over the guest frames that hold guest page-table pages.
+    /// Iterator over the guest frames that hold guest page-table pages, in
+    /// ascending gframe order (deterministic by construction).
     pub fn table_gframes(&self) -> impl Iterator<Item = GuestFrame> + '_ {
-        self.table_gframes.keys().copied()
+        self.table_flag
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t)
+            .map(|(g, _)| GuestFrame::new(g as u64))
     }
 
-    /// Number of guest frames allocated so far.
+    /// Number of guest frames currently backed.
     #[must_use]
     pub fn gframe_count(&self) -> usize {
-        self.backing.len()
+        self.backed
     }
 
-    /// Iterator over every `(guest frame, host frame)` backing pair. The
-    /// VMM uses this when it needs to pre-populate or scan the host table.
+    /// Iterator over every `(guest frame, host frame)` backing pair in
+    /// ascending gframe order. The VMM uses this when it needs to
+    /// pre-populate or scan the host table.
     pub fn frames(&self) -> impl Iterator<Item = (GuestFrame, HostFrame)> + '_ {
-        self.backing.iter().map(|(g, h)| (*g, *h))
+        self.backing
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h != NO_BACKING)
+            .map(|(g, &h)| (GuestFrame::new(g as u64), HostFrame::new(h)))
     }
 }
 
 impl TableSpace for GuestMemMap {
+    #[inline]
     fn resolve(&self, frame_raw: u64) -> HostFrame {
-        self.backing
-            .get(&GuestFrame::new(frame_raw))
-            .copied()
-            .unwrap_or_else(|| panic!("guest frame {frame_raw:#x} has no host backing"))
+        match self.backing.get(frame_raw as usize) {
+            Some(&h) if h != NO_BACKING => HostFrame::new(h),
+            _ => panic!("guest frame {frame_raw:#x} has no host backing"),
+        }
     }
 
     fn alloc_table(&mut self, mem: &mut PhysMem) -> u64 {
         let g = GuestFrame::new(self.next_gframe);
         self.next_gframe += 1;
         let h = mem.alloc_table_page();
-        self.backing.insert(g, h);
-        self.table_gframes.insert(g, ());
+        self.set_backing(g, h);
+        self.table_flag[g.raw() as usize] = true;
         g.raw()
     }
 
     fn free_table(&mut self, mem: &mut PhysMem, frame_raw: u64) {
-        let g = GuestFrame::new(frame_raw);
-        self.table_gframes.remove(&g);
-        if let Some(h) = self.backing.remove(&g) {
-            mem.free_table_page(h);
+        let g = frame_raw as usize;
+        if let (Some(flag), Some(slot)) = (self.table_flag.get_mut(g), self.backing.get_mut(g)) {
+            *flag = false;
+            if *slot != NO_BACKING {
+                let h = HostFrame::new(*slot);
+                *slot = NO_BACKING;
+                self.backed -= 1;
+                mem.free_table_page(h);
+            }
         }
+    }
+}
+
+impl Default for GuestMemMap {
+    fn default() -> Self {
+        GuestMemMap::new()
     }
 }
 

@@ -1,7 +1,6 @@
 //! Simulated host physical memory.
 
 use agile_types::{HostFrame, Pte, VmId, ENTRIES_PER_TABLE};
-use std::collections::HashMap;
 
 /// Frame-number span reserved per VM: VM `i` allocates frame numbers from
 /// `i * VM_FRAME_SPAN + 1`, so every frame number is globally unique across
@@ -78,6 +77,15 @@ impl std::fmt::Debug for TablePage {
 /// hardware walker's loads — and therefore the paper's memory-reference
 /// counts — are structural.
 ///
+/// Table pages live in a contiguous arena (`slab`) rather than one heap
+/// box per page: the walker's PTE loads index-chase through two dense
+/// vectors (`slots[frame - base]` → slab slot → entry) instead of hashing
+/// the frame number on every reference, which keeps the hot loop
+/// cache-local. Frame numbers are bump-allocated and never reused, so the
+/// span-relative offset is a stable dense key; slab slots *are* reused
+/// (zeroed on reuse) so long churny runs don't grow the arena without
+/// bound.
+///
 /// # Example
 ///
 /// ```
@@ -89,9 +97,14 @@ impl std::fmt::Debug for TablePage {
 /// mem.write_pte(t, 5, Pte::leaf(0x123, true, false));
 /// assert_eq!(mem.read_pte(t, 5).frame_raw(), 0x123);
 /// ```
-#[derive(Debug)]
 pub struct PhysMem {
-    tables: HashMap<HostFrame, Box<TablePage>>,
+    /// Arena of table-page contents; live and free slots interleave.
+    slab: Vec<TablePage>,
+    /// Span-relative frame number → slab slot, or [`NON_TABLE`].
+    slots: Vec<u32>,
+    /// Slab slots freed by [`PhysMem::free_table_page`], ready for reuse.
+    free_slots: Vec<u32>,
+    live_tables: usize,
     owner: VmId,
     base: u64,
     next_frame: u64,
@@ -102,6 +115,9 @@ pub struct PhysMem {
     track_frees: bool,
     freed_log: Vec<HostFrame>,
 }
+
+/// Sentinel slot value: the frame is not (or no longer) a table page.
+const NON_TABLE: u32 = u32::MAX;
 
 impl PhysMem {
     /// An empty physical memory with nothing allocated, owned by VM 0.
@@ -124,7 +140,10 @@ impl PhysMem {
     pub fn for_vm(owner: VmId) -> Self {
         let base = u64::from(owner.raw()) * VM_FRAME_SPAN;
         PhysMem {
-            tables: HashMap::new(),
+            slab: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            live_tables: 0,
             owner,
             base,
             next_frame: base + 1,
@@ -280,8 +299,41 @@ impl PhysMem {
         }
         let f = HostFrame::new(self.next_frame);
         self.next_frame += 1;
-        self.tables.insert(f, Box::new(TablePage::new()));
+        let off = (f.raw() - self.base) as usize;
+        if self.slots.len() <= off {
+            self.slots.resize(off + 1, NON_TABLE);
+        }
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                // Reused slots must look freshly allocated: zero the page.
+                self.slab[s as usize] = TablePage::new();
+                s
+            }
+            None => {
+                self.slab.push(TablePage::new());
+                u32::try_from(self.slab.len() - 1).expect("table arena exceeds u32 slots")
+            }
+        };
+        self.slots[off] = slot;
+        self.live_tables += 1;
         Some(f)
+    }
+
+    /// Slab slot of `frame`, or `None` when it is not a live table page
+    /// (data frame, freed table, reserved base, or a foreign VM's span).
+    #[inline]
+    fn slot_of(&self, frame: HostFrame) -> Option<usize> {
+        // Frames below `base` wrap to huge offsets and fall out of range.
+        let off = frame.raw().wrapping_sub(self.base);
+        if off >= self.slots.len() as u64 {
+            return None;
+        }
+        let slot = self.slots[off as usize];
+        if slot == NON_TABLE {
+            None
+        } else {
+            Some(slot as usize)
+        }
     }
 
     /// Frees a page-table page. The frame number is not reused (bump
@@ -293,8 +345,13 @@ impl PhysMem {
     /// Panics if `frame` is not a live table page — freeing a data frame or
     /// double-freeing indicates a simulator bug.
     pub fn free_table_page(&mut self, frame: HostFrame) {
-        let removed = self.tables.remove(&frame);
-        assert!(removed.is_some(), "free of non-table frame {frame}");
+        let slot = self
+            .slot_of(frame)
+            .unwrap_or_else(|| panic!("free of non-table frame {frame}"));
+        self.slots[(frame.raw() - self.base) as usize] = NON_TABLE;
+        self.free_slots
+            .push(u32::try_from(slot).expect("table arena exceeds u32 slots"));
+        self.live_tables -= 1;
         self.freed_table_pages += 1;
         if self.track_frees {
             self.freed_log.push(frame);
@@ -325,18 +382,20 @@ impl PhysMem {
     ///
     /// Panics if `frame` is not a live table page or `index >= 512`; the
     /// hardware walker dereferencing a non-table frame is a simulator bug.
+    #[inline]
     #[must_use]
     pub fn read_pte(&self, frame: HostFrame, index: usize) -> Pte {
-        self.tables
-            .get(&frame)
-            .unwrap_or_else(|| panic!("PTE read from non-table frame {frame}"))
-            .entry(index)
+        match self.slot_of(frame) {
+            Some(slot) => self.slab[slot].entry(index),
+            None => panic!("PTE read from non-table frame {frame}"),
+        }
     }
 
     /// Fallible variant of [`PhysMem::read_pte`] for software probing.
+    #[inline]
     #[must_use]
     pub fn try_read_pte(&self, frame: HostFrame, index: usize) -> Option<Pte> {
-        self.tables.get(&frame).map(|t| t.entry(index))
+        self.slot_of(frame).map(|slot| self.slab[slot].entry(index))
     }
 
     /// Writes the PTE at `index` of the table page at `frame`.
@@ -344,39 +403,45 @@ impl PhysMem {
     /// # Panics
     ///
     /// Panics if `frame` is not a live table page or `index >= 512`.
+    #[inline]
     pub fn write_pte(&mut self, frame: HostFrame, index: usize, pte: Pte) {
-        self.tables
-            .get_mut(&frame)
-            .unwrap_or_else(|| panic!("PTE write to non-table frame {frame}"))
-            .set_entry(index, pte);
+        match self.slot_of(frame) {
+            Some(slot) => self.slab[slot].set_entry(index, pte),
+            None => panic!("PTE write to non-table frame {frame}"),
+        }
     }
 
     /// Borrow of the table page at `frame`, if it is one.
+    #[inline]
     #[must_use]
     pub fn table(&self, frame: HostFrame) -> Option<&TablePage> {
-        self.tables.get(&frame).map(|b| b.as_ref())
+        self.slot_of(frame).map(|slot| &self.slab[slot])
     }
 
     /// True if `frame` currently holds a page-table page.
+    #[inline]
     #[must_use]
     pub fn is_table(&self, frame: HostFrame) -> bool {
-        self.tables.contains_key(&frame)
+        self.slot_of(frame).is_some()
     }
 
     /// Number of live page-table pages.
     #[must_use]
     pub fn table_page_count(&self) -> usize {
-        self.tables.len()
+        self.live_tables
     }
 
-    /// Every live page-table frame, sorted by frame number so callers (the
-    /// static analyzer's frame-ownership pass) see a deterministic order
-    /// regardless of hash-map iteration.
+    /// Every live page-table frame, sorted by frame number. The slot index
+    /// is already frame-ordered, so callers (the static analyzer's
+    /// frame-ownership pass) get a deterministic order by construction.
     #[must_use]
     pub fn table_frames(&self) -> Vec<HostFrame> {
-        let mut frames: Vec<HostFrame> = self.tables.keys().copied().collect();
-        frames.sort_unstable();
-        frames
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot != NON_TABLE)
+            .map(|(off, _)| HostFrame::new(self.base + off as u64))
+            .collect()
     }
 
     /// Number of data frames ever allocated.
@@ -401,6 +466,20 @@ impl PhysMem {
 impl Default for PhysMem {
     fn default() -> Self {
         PhysMem::new()
+    }
+}
+
+impl std::fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("owner", &self.owner)
+            .field("live_tables", &self.live_tables)
+            .field("arena_slots", &self.slab.len())
+            .field("data_frames", &self.data_frames)
+            .field("frames_allocated", &self.frames_allocated())
+            .field("frame_budget", &self.frame_budget)
+            .field("charged", &self.charged)
+            .finish()
     }
 }
 
@@ -573,6 +652,36 @@ mod tests {
             assert_eq!(legacy.alloc_frame(), vm0.alloc_frame());
         }
         assert_eq!(legacy.alloc_table_page(), vm0.alloc_table_page());
+    }
+
+    #[test]
+    fn reused_arena_slot_comes_back_zeroed() {
+        let mut mem = PhysMem::new();
+        let a = mem.alloc_table_page();
+        mem.write_pte(a, 17, Pte::leaf(0x42, true, false));
+        mem.free_table_page(a);
+        // The next table page reuses a's arena slot; it must not see a's PTEs.
+        let b = mem.alloc_table_page();
+        assert_ne!(a, b, "frame numbers are never reused");
+        for i in 0..ENTRIES_PER_TABLE {
+            assert!(!mem.read_pte(b, i).is_present());
+        }
+        // The freed frame stays dead even though its slot is live again.
+        assert!(!mem.is_table(a));
+        assert!(mem.try_read_pte(a, 17).is_none());
+    }
+
+    #[test]
+    fn foreign_span_frames_probe_as_non_table() {
+        let mut vm1 = PhysMem::for_vm(VmId::new(1));
+        let t = vm1.alloc_table_page();
+        assert!(vm1.is_table(t));
+        // Frames below this VM's base (VM 0's span) and far above the
+        // high-water mark both probe cleanly as non-table.
+        assert!(!vm1.is_table(HostFrame::new(1)));
+        assert!(vm1.try_read_pte(HostFrame::new(1), 0).is_none());
+        assert!(vm1.table(HostFrame::new(5 * VM_FRAME_SPAN)).is_none());
+        assert!(vm1.try_read_pte(HostFrame::new(t.raw() + 100), 0).is_none());
     }
 
     #[test]

@@ -378,8 +378,7 @@ fn visit_tree(
     let Some(page) = mem.table(host) else {
         return;
     };
-    let entries: Vec<(usize, Pte)> = page.present_entries().collect();
-    for (idx, pte) in entries {
+    for (idx, pte) in page.present_entries() {
         let child_base = va_base + (idx as u64) * level.span_bytes();
         visit(child_base, level, pte);
         if !pte.is_leaf_at(level) && !pte.is_switching() {

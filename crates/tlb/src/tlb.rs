@@ -115,7 +115,18 @@ impl SizedTlb {
 
     fn key(&self, asid: Asid, va: GuestVirtAddr) -> (usize, Key) {
         let vpn = va.page_number(self.size);
-        (vpn as usize, (asid, vpn))
+        // Reduce to a set index in the u64 domain *before* narrowing to
+        // usize: `vpn as usize` on a 32-bit target drops VPN bits ≥ 32,
+        // so two VPNs differing only above the set field would silently
+        // alias onto different sets than the u64 modulo dictates (and the
+        // set choice would differ across platforms). The tag stays the
+        // full `(asid, vpn)`, so correctness never depended on this — but
+        // set placement, eviction, and cross-platform determinism do.
+        let set = match &self.cache {
+            Some(c) => (vpn % c.set_count() as u64) as usize,
+            None => 0,
+        };
+        (set, (asid, vpn))
     }
 
     fn lookup(&mut self, asid: Asid, va: GuestVirtAddr) -> Option<TlbEntry> {
@@ -373,6 +384,30 @@ mod tests {
         assert_eq!(e.frame, HostFrame::new(0x42));
         assert_eq!(tlb.stats().misses, 1);
         assert_eq!(tlb.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn vpns_differing_only_above_set_bits_do_not_alias() {
+        // Default L1-D 4K geometry is 64 entries / 4 ways = 16 sets, so
+        // these two VPNs (low bits equal, differing only at VPN bit 33 —
+        // above both the set field and a 32-bit usize, within the 48-bit
+        // VA space) land in the same set and must coexist as distinct
+        // tags, regardless of platform word width.
+        let mut tlb = TlbHierarchy::new(&TlbConfig::default());
+        let asid = Asid::new(1);
+        let lo = GuestVirtAddr::new(0x5 << 12);
+        let hi = GuestVirtAddr::new((0x5_u64 + (1 << 33)) << 12);
+        assert_ne!(lo, hi);
+        tlb.fill(asid, lo, entry(0xaa));
+        tlb.fill(asid, hi, entry(0xbb));
+        let e_lo = tlb.lookup(asid, lo, AccessKind::Read).unwrap();
+        let e_hi = tlb.lookup(asid, hi, AccessKind::Read).unwrap();
+        assert_eq!(e_lo.frame, HostFrame::new(0xaa));
+        assert_eq!(e_hi.frame, HostFrame::new(0xbb));
+        // Invalidating one must not take out its above-set-bits twin.
+        tlb.invalidate_page(asid, hi);
+        assert!(tlb.lookup(asid, hi, AccessKind::Read).is_none());
+        assert!(tlb.lookup(asid, lo, AccessKind::Read).is_some());
     }
 
     #[test]

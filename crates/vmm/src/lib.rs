@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod flush;
 mod proc;
 mod shsp;
 mod traps;
 mod vmm;
 
 pub use config::{AgileOptions, NestedToShadowPolicy, ShspOptions, Technique, VmmConfig};
+pub use flush::{coalesce, CoalesceStats, CoalescedRange, FlushBatch, TLB_RANGE_SWEEP_CAP};
 pub use proc::{GptPageInfo, GptPageMode, HwRoots};
 pub use shsp::{ShspController, ShspMode};
 pub use traps::{VmtrapCosts, VmtrapKind, VmtrapStats};
