@@ -32,7 +32,8 @@ job file schema:
       \"threads\": 4,          // worker shards (0 = one per core)
       \"timeout_ms\": 60000,   // cooperative per-job deadline
       \"retries\": 1,          // retry budget for panicking jobs
-      \"seed_base\": 3405691582 // deterministic seed stream by job id
+      \"seed_base\": 3405691582, // deterministic seed stream by job id
+      \"checkpoint_ticks\": 8   // checkpoint cadence for crash recovery
     },
     \"jobs\": [
       {
@@ -110,6 +111,9 @@ fn load_jobs(doc: &Json) -> Result<(PlanOptions, Vec<RunRequest>), String> {
         }
         if let Some(base) = o.get("seed_base").and_then(Json::as_u64) {
             opts.seed_base = Some(base);
+        }
+        if let Some(ticks) = o.get("checkpoint_ticks").and_then(Json::as_u64) {
+            opts = opts.checkpoint_every(ticks);
         }
     }
     let Some(Json::Arr(jobs)) = doc.get("jobs") else {
@@ -290,6 +294,10 @@ fn main() {
         metrics.max_queue_depth,
         metrics.mean_queue_latency(),
         metrics.mean_run_latency()
+    );
+    eprintln!(
+        "serve: {} checkpoints stored, {} orphaned jobs, {} resumed from checkpoint",
+        metrics.checkpoints, metrics.orphans, metrics.resumes
     );
     if metrics.skipped > 0 {
         std::process::exit(1);

@@ -67,7 +67,9 @@ use crate::runner::Json;
 use crate::verify;
 use agile_mem::PhysMem;
 use agile_tlb::TlbHierarchy;
-use agile_types::{GuestFrame, HostFrame, Level, ProcessId, Pte, PteFlags, VmId};
+use agile_types::{
+    CodecError, Dec, Enc, GuestFrame, HostFrame, Level, Persist, ProcessId, Pte, PteFlags, VmId,
+};
 use agile_vmm::{FlushRequest, GptPageMode, Technique, Vmm};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -123,11 +125,15 @@ pub enum LintCode {
     /// Host scope: frames a guest balloon surrendered never reached the
     /// shared pool (the arbiter lost them in transit).
     BalloonNotReturned,
+    /// A technique-switch or migration transition changed the translation
+    /// function, or moved state outside the intended subtree (found by the
+    /// two-state differ, [`crate::snapshot::diff`]).
+    TransitionDiverged,
 }
 
 impl LintCode {
     /// All codes, in report order.
-    pub const ALL: [LintCode; 17] = [
+    pub const ALL: [LintCode; 18] = [
         LintCode::OrphanFrame,
         LintCode::MultiOwnedFrame,
         LintCode::DanglingTablePointer,
@@ -145,6 +151,7 @@ impl LintCode {
         LintCode::CrossVmFrameAlias,
         LintCode::TeardownFrameLeak,
         LintCode::BalloonNotReturned,
+        LintCode::TransitionDiverged,
     ];
 
     /// Stable kebab-case label (used in rendered and JSON output).
@@ -168,6 +175,7 @@ impl LintCode {
             LintCode::CrossVmFrameAlias => "cross-vm-frame-alias",
             LintCode::TeardownFrameLeak => "teardown-frame-leak",
             LintCode::BalloonNotReturned => "balloon-not-returned",
+            LintCode::TransitionDiverged => "transition-diverged",
         }
     }
 
@@ -226,7 +234,7 @@ pub struct LintDiag {
 }
 
 impl LintDiag {
-    fn new(code: LintCode, detail: String) -> Self {
+    pub(crate) fn new(code: LintCode, detail: String) -> Self {
         LintDiag {
             code,
             severity: code.severity(),
@@ -246,12 +254,12 @@ impl LintDiag {
         self
     }
 
-    fn pid(mut self, pid: ProcessId) -> Self {
+    pub(crate) fn pid(mut self, pid: ProcessId) -> Self {
         self.pid = Some(pid);
         self
     }
 
-    fn gva(mut self, gva: u64) -> Self {
+    pub(crate) fn gva(mut self, gva: u64) -> Self {
         self.gva = Some(gva);
         self
     }
@@ -1185,6 +1193,128 @@ pub enum ShootdownEvent {
         /// First frame allocated since the last observation.
         frame: HostFrame,
     },
+}
+
+impl Persist for FlushScope {
+    fn save(&self, e: &mut Enc) {
+        e.u32(self.asid);
+        e.u64(self.start);
+        e.u64(self.len);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(FlushScope {
+            asid: d.u32()?,
+            start: d.u64()?,
+            len: d.u64()?,
+        })
+    }
+}
+
+impl Persist for ShootdownEvent {
+    fn save(&self, e: &mut Enc) {
+        match *self {
+            ShootdownEvent::Requested {
+                access,
+                batch,
+                scope,
+            } => {
+                e.u8(0);
+                e.u64(access);
+                e.u64(batch);
+                scope.save(e);
+            }
+            ShootdownEvent::Applied { access, scope } => {
+                e.u8(1);
+                e.u64(access);
+                scope.save(e);
+            }
+            ShootdownEvent::Dropped {
+                access,
+                batch,
+                scope,
+            } => {
+                e.u8(2);
+                e.u64(access);
+                e.u64(batch);
+                scope.save(e);
+            }
+            ShootdownEvent::Deferred {
+                access,
+                batch,
+                due,
+                scope,
+            } => {
+                e.u8(3);
+                e.u64(access);
+                e.u64(batch);
+                e.u64(due);
+                scope.save(e);
+            }
+            ShootdownEvent::FrameFreed {
+                access,
+                batch,
+                frame,
+            } => {
+                e.u8(4);
+                e.u64(access);
+                e.u64(batch);
+                frame.save(e);
+            }
+            ShootdownEvent::FrameReused { access, frame } => {
+                e.u8(5);
+                e.u64(access);
+                frame.save(e);
+            }
+        }
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        let tag = d.u8()?;
+        Ok(match tag {
+            0 => ShootdownEvent::Requested {
+                access: d.u64()?,
+                batch: d.u64()?,
+                scope: FlushScope::load(d)?,
+            },
+            1 => ShootdownEvent::Applied {
+                access: d.u64()?,
+                scope: FlushScope::load(d)?,
+            },
+            2 => ShootdownEvent::Dropped {
+                access: d.u64()?,
+                batch: d.u64()?,
+                scope: FlushScope::load(d)?,
+            },
+            3 => ShootdownEvent::Deferred {
+                access: d.u64()?,
+                batch: d.u64()?,
+                due: d.u64()?,
+                scope: FlushScope::load(d)?,
+            },
+            4 => ShootdownEvent::FrameFreed {
+                access: d.u64()?,
+                batch: d.u64()?,
+                frame: HostFrame::load(d)?,
+            },
+            5 => ShootdownEvent::FrameReused {
+                access: d.u64()?,
+                frame: HostFrame::load(d)?,
+            },
+            _ => return d.fail("unknown ShootdownEvent variant tag"),
+        })
+    }
+}
+
+impl Persist for ShootdownLog {
+    fn save(&self, e: &mut Enc) {
+        self.events.save(e);
+        e.u64(self.truncated);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(ShootdownLog {
+            events: Vec::load(d)?,
+            truncated: d.u64()?,
+        })
+    }
 }
 
 /// Cap on recorded protocol events; a truncated log is reported by the

@@ -20,7 +20,7 @@
 //! log ([`render_log`]) is byte-identical across runs, hosts, and thread
 //! counts. CI asserts exactly that.
 
-use agile_types::SplitMix64;
+use agile_types::{CodecError, Dec, Enc, Persist, SplitMix64};
 use agile_vmm::FlushRequest;
 
 /// Cap on stored degradation events: a high drop rate over a long run
@@ -116,6 +116,13 @@ pub struct FaultPlan {
     /// from [`FaultPlan::drop_shootdown_pm`], so adding cross-VM chaos
     /// never perturbs an existing single-VM fault stream.
     pub cross_vm_drop_pm: u32,
+    /// Kills the worker thread executing this job at the given workload
+    /// tick boundary (1 = the first tick). The fault is armed only when the
+    /// job runs under the [`crate::Service`]: the service detects the
+    /// orphaned job and resumes it from its last checkpoint on another
+    /// worker, so direct [`crate::RunRequest::run`] calls (the unkilled
+    /// reference) ignore it and per-seed artifacts stay byte-identical.
+    pub kill_worker_midrun: Option<u64>,
 }
 
 impl FaultPlan {
@@ -132,7 +139,17 @@ impl FaultPlan {
             max_heals_per_access: 8,
             max_oom_failures: 4,
             cross_vm_drop_pm: 0,
+            kill_worker_midrun: None,
         }
+    }
+
+    /// Kills the executing worker at workload tick `tick` (1-based); the
+    /// service resumes the job from its last checkpoint on another worker.
+    /// See [`FaultPlan::kill_worker_midrun`].
+    #[must_use]
+    pub fn kill_worker_at_tick(mut self, tick: u64) -> Self {
+        self.kill_worker_midrun = Some(tick.max(1));
+        self
     }
 
     /// Drops each host-initiated cross-VM shootdown with probability
@@ -213,6 +230,11 @@ pub enum DegradationKind {
     /// Arbitration could not restore a VM's frame headroom; the VM now
     /// degrades access-by-access (OOM skips) instead of panicking.
     VmStarved,
+    /// A worker died mid-job ([`FaultPlan::kill_worker_midrun`]); the
+    /// service restored the job from its last checkpoint on another worker.
+    /// Surfaced in the service's degradation log — never grafted into the
+    /// artifact, which must stay byte-identical to an unkilled run.
+    ResumedFromCheckpoint,
 }
 
 impl DegradationKind {
@@ -238,7 +260,48 @@ impl DegradationKind {
             DegradationKind::TechniqueDemotion => "technique-demotion",
             DegradationKind::ProcessMigration => "process-migration",
             DegradationKind::VmStarved => "vm-starved",
+            DegradationKind::ResumedFromCheckpoint => "resumed-from-checkpoint",
         }
+    }
+
+    /// Every kind, in tag order (the [`Persist`] encoding's order).
+    pub const ALL: [DegradationKind; 19] = [
+        DegradationKind::DroppedShootdown,
+        DegradationKind::DeferredShootdown,
+        DegradationKind::InjectedFault,
+        DegradationKind::HealedTranslation,
+        DegradationKind::OomReclaim,
+        DegradationKind::OomSkip,
+        DegradationKind::PressureRelieved,
+        DegradationKind::LogTruncated,
+        DegradationKind::RunnerPanic,
+        DegradationKind::Timeout,
+        DegradationKind::Cancelled,
+        DegradationKind::RunnerRetry,
+        DegradationKind::CrossVmShootdownLoss,
+        DegradationKind::BalloonRequest,
+        DegradationKind::LeaseChange,
+        DegradationKind::TechniqueDemotion,
+        DegradationKind::ProcessMigration,
+        DegradationKind::VmStarved,
+        DegradationKind::ResumedFromCheckpoint,
+    ];
+}
+
+impl Persist for DegradationKind {
+    fn save(&self, e: &mut Enc) {
+        let tag = DegradationKind::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("kind in ALL") as u8;
+        e.u8(tag);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        let tag = d.u8()?;
+        DegradationKind::ALL
+            .get(usize::from(tag))
+            .copied()
+            .map_or_else(|| d.fail(format!("bad DegradationKind tag {tag}")), Ok)
     }
 }
 
@@ -257,6 +320,25 @@ pub struct DegradationEvent {
     pub gva: Option<u64>,
     /// Free-form (but deterministic) description.
     pub detail: String,
+}
+
+impl Persist for DegradationEvent {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.seq);
+        e.u64(self.access);
+        self.kind.save(e);
+        self.gva.save(e);
+        e.str(&self.detail);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(DegradationEvent {
+            seq: d.u64()?,
+            access: d.u64()?,
+            kind: DegradationKind::load(d)?,
+            gva: Option::<u64>::load(d)?,
+            detail: d.str()?,
+        })
+    }
 }
 
 impl std::fmt::Display for DegradationEvent {
@@ -400,6 +482,41 @@ impl ChaosState {
             return false;
         }
         self.rng.below(1000) < drop_pm
+    }
+
+    /// Serializes the live injection state: dice stream position, deferred
+    /// queue, event log, and the per-run counters. The [`FaultPlan`] is
+    /// configuration (it arrives with the request) and is not written.
+    pub(crate) fn save_state(&self, e: &mut Enc) {
+        e.u64(self.rng.state());
+        self.deferred.save(e);
+        self.events.save(e);
+        e.bool(self.truncated);
+        e.u64(self.next_scenario as u64);
+        e.u32(self.heals_this_access);
+        e.u32(self.oom_failures);
+        e.u64(self.next_seq);
+    }
+
+    /// Restores state saved by [`ChaosState::save_state`] into this state,
+    /// keeping its configured plan.
+    pub(crate) fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.rng = SplitMix64::from_state(d.u64()?);
+        self.deferred = Vec::load(d)?;
+        self.events = Vec::load(d)?;
+        self.truncated = d.bool()?;
+        let next_scenario = d.u64()? as usize;
+        if next_scenario > self.plan.scenarios.len() {
+            return d.fail(format!(
+                "next_scenario {next_scenario} exceeds the plan's {} scenarios",
+                self.plan.scenarios.len()
+            ));
+        }
+        self.next_scenario = next_scenario;
+        self.heals_this_access = d.u32()?;
+        self.oom_failures = d.u32()?;
+        self.next_seq = d.u64()?;
+        Ok(())
     }
 
     /// Removes and returns the deferred shootdowns whose delivery access

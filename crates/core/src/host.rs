@@ -33,16 +33,22 @@
 //! contract extended to host scope.
 //!
 //! **Live migration.** [`Host::migrate_process`] re-homes a process from
-//! one VM to another: snapshot its VMAs and mapped leaves, replay them on
-//! the destination (demand-faulting fresh frames under the destination's
-//! lease), tear down the source mappings with the full shootdown protocol,
-//! balloon the freed frames back to the pool, and heal whatever the
-//! cross-VM dice dropped.
+//! one VM to another: capture its [`ProcessImage`] (VMAs, mapped leaves,
+//! and a translation view), replay it on the destination (demand-faulting
+//! fresh frames under the destination's lease), tear down the source
+//! mappings with the full shootdown protocol, balloon the freed frames
+//! back to the pool, and heal whatever the cross-VM dice dropped. When
+//! every leaf lands, the [`snapshot::diff`] migration differ compares the
+//! source and destination views — same pages present, same writability —
+//! and records any unintended change as an oracle violation on the
+//! destination machine, where [`Machine::lint`] and the chaos contract
+//! surface it.
 
 use crate::analyze::{check_host_frames, LintReport, VmFrameView};
 use crate::chaos::{render_log, DegradationEvent, DegradationKind, FaultPlan, MAX_EVENTS};
 use crate::config::SystemConfig;
 use crate::machine::{AccessError, Machine};
+use crate::snapshot::{self, DiffIntent, ProcessImage, TransitionView};
 use crate::stats::RunStats;
 use crate::verify::Violation;
 use agile_mem::FramePool;
@@ -126,9 +132,15 @@ pub struct MigrationOutcome {
     pub pages_skipped: u64,
     /// Frames the source ballooned back to the pool after teardown.
     pub frames_surrendered: u64,
-    /// Oracle violations left after healing on both machines (must be 0
-    /// for the chaos contract).
+    /// Oracle violations left after healing on both machines, plus any
+    /// unintended changes the migration differ caught when comparing the
+    /// source and destination translation views (must be 0 for the chaos
+    /// contract).
     pub residual_violations: usize,
+    /// Whether the migration differ ran: true when no leaf was skipped
+    /// and the destination evicted nothing during the replay, so the
+    /// source and destination views were comparable.
+    pub diff_checked: bool,
 }
 
 #[derive(Debug)]
@@ -564,10 +576,16 @@ impl Host {
     /// Live VM-to-VM process migration. `pid` must be a host-managed
     /// service process on `src` (spawned via [`Machine::spawn_process`] —
     /// never one of the workload's event-indexed processes, whose later
-    /// events would still target the source VM). Re-homes every mapped
-    /// leaf onto `dst` under its lease, tears the source mappings down
-    /// with the full shootdown protocol (cross-VM loss dice), balloons the
-    /// freed frames back to the pool, and heals both machines.
+    /// events would still target the source VM). Captures the process's
+    /// [`ProcessImage`], re-homes every mapped leaf onto `dst` under its
+    /// lease, tears the source mappings down with the full shootdown
+    /// protocol (cross-VM loss dice), balloons the freed frames back to
+    /// the pool, and heals both machines. When no leaf was skipped, the
+    /// [`snapshot::diff`] migration differ then asserts the destination
+    /// reproduced the source's translation view exactly (same pages, same
+    /// writability — frames and sizes are *expected* to change); caught
+    /// divergence is recorded on the destination machine and counted in
+    /// [`MigrationOutcome::residual_violations`].
     ///
     /// # Panics
     ///
@@ -580,16 +598,16 @@ impl Host {
             self.vms[si].machine.is_some() && self.vms[di].machine.is_some(),
             "both migration endpoints must be live"
         );
-        let (vmas, leaves) = {
+        let image = {
             let m = self.vms[si].machine.as_ref().expect("live src");
-            (m.vmas_of(pid), m.mapped_leaves(pid))
+            ProcessImage::capture(m, pid)
         };
         // Destination: replay the address space and re-touch every leaf.
         let (new_pid, dst_prev) = {
             let m = self.vms[di].machine.as_mut().expect("live dst");
             let prev = m.current_pid();
             let new_pid = m.spawn_process();
-            for vma in &vmas {
+            for vma in &image.vmas {
                 m.host_mmap_vma(new_pid, vma);
             }
             m.switch_to(new_pid);
@@ -597,8 +615,12 @@ impl Host {
         };
         let mut moved = 0u64;
         let mut skipped = 0u64;
+        let dst_reclaimed_before = {
+            let m = self.vms[di].machine.as_ref().expect("live dst");
+            m.os().stats().pages_reclaimed
+        };
         self.balloon_pin = Some(si);
-        for &(va, write) in &leaves {
+        for &(va, write) in &image.leaves {
             self.ensure_headroom(di);
             let m = self.vms[di].machine.as_mut().expect("live dst");
             match m.try_touch(va, write) {
@@ -617,6 +639,26 @@ impl Host {
             }
         }
         self.balloon_pin = None;
+        // Differ: on a non-degraded migration, the destination's
+        // translation view of the new process must match the source's
+        // image — any page lost, invented, or with flipped writability is
+        // an unintended change. A degraded migration diverges by design
+        // and is excluded: an OomSkip abandons leaves outright, and frame
+        // pressure can make the destination's internal reclaim evict
+        // just-replayed pages (visible as a pages_reclaimed delta) — both
+        // already surface as degradation events.
+        let dst_reclaimed = {
+            let m = self.vms[di].machine.as_ref().expect("live dst");
+            m.os().stats().pages_reclaimed - dst_reclaimed_before
+        };
+        let diff_checked = skipped == 0 && dst_reclaimed == 0;
+        let diff_violations = if diff_checked {
+            let m = self.vms[di].machine.as_ref().expect("live dst");
+            let dst_view = TransitionView::capture_process(m, new_pid);
+            snapshot::diff(image.view(), &dst_view, DiffIntent::Migration)
+        } else {
+            Vec::new()
+        };
         self.vms[di]
             .machine
             .as_mut()
@@ -625,7 +667,7 @@ impl Host {
         // Source: tear down, surrender the freed frames, heal.
         let surrendered = {
             let m = self.vms[si].machine.as_mut().expect("live src");
-            for vma in &vmas {
+            for vma in &image.vmas {
                 m.host_munmap(pid, vma.start, vma.len);
             }
             m.host_reclaim(0)
@@ -643,7 +685,7 @@ impl Host {
                     "pid {} migrated out: {} leaves snapshotted, {surrendered} frames \
                      surrendered",
                     pid.raw(),
-                    leaves.len()
+                    image.leaves.len()
                 ),
             );
             let mut residual = m.heal_stale_caches().len();
@@ -658,6 +700,8 @@ impl Host {
                 ),
             );
             residual += m.heal_stale_caches().len();
+            residual += diff_violations.len();
+            m.record_violations(diff_violations);
             residual
         };
         self.record_host(
@@ -677,6 +721,7 @@ impl Host {
             pages_skipped: skipped,
             frames_surrendered: surrendered,
             residual_violations: residual,
+            diff_checked,
         }
     }
 
@@ -1033,6 +1078,50 @@ mod tests {
             "post-migration lint: {:?}",
             report.diags
         );
+    }
+
+    #[test]
+    fn pressure_free_migration_passes_the_differ() {
+        // A pool big enough that neither replay skips nor reclaim fires:
+        // the differ must actually run and find zero unintended changes.
+        let mut host = Host::new(HostConfig::new(2048).initial_lease(512));
+        for i in 0..2u64 {
+            host.add_vm(
+                SystemConfig::new(Technique::Agile(AgileOptions::default())),
+                spec(&format!("roomy{i}"), 400, 0xE0 + i),
+                FaultPlan::new(0xF0 + i),
+            );
+        }
+        host.run_steps(200);
+        let src = VmId::new(0);
+        let dst = VmId::new(1);
+        let pid = {
+            let m = host.machine_mut(src).expect("live src");
+            let pid = m.spawn_process();
+            let prev = m.current_pid();
+            let vma = Vma {
+                start: 0x5000_0000,
+                len: 64 * 0x1000,
+                writable: true,
+                backing: VmaBacking::Anon,
+                max_page: PageSize::Size4K,
+            };
+            m.host_mmap_vma(pid, &vma);
+            m.switch_to(pid);
+            for p in 0..64u64 {
+                m.try_touch(0x5000_0000 + p * 0x1000, p % 2 == 0)
+                    .expect("service touch");
+            }
+            m.switch_to(prev);
+            pid
+        };
+        let outcome = host.migrate_process(src, pid, dst);
+        assert!(outcome.diff_checked, "no pressure: the differ must run");
+        assert_eq!(outcome.pages_moved, 64);
+        assert_eq!(outcome.pages_skipped, 0);
+        assert_eq!(outcome.residual_violations, 0, "differ must come up clean");
+        host.run();
+        assert_eq!(host.total_violations(), 0);
     }
 
     #[test]

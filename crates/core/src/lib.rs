@@ -46,6 +46,7 @@ pub mod profile;
 mod report;
 pub mod runner;
 pub mod service;
+pub mod snapshot;
 mod stats;
 pub mod verify;
 
@@ -62,11 +63,15 @@ pub use machine::{AccessError, Machine};
 pub use profile::{FlushApplyStats, HotPathProfile};
 pub use report::Table;
 pub use runner::{
-    parallel_map, try_parallel_map, Json, RunArtifact, RunOutcome, RunPanic, RunPlan, RunRequest,
-    WorkerPanic,
+    parallel_map, try_parallel_map, Json, RecoveryControls, RunArtifact, RunOutcome, RunPlan,
+    RunRequest, WorkerPanic,
 };
 pub use service::{
     CancelToken, JobId, JobState, JobStatus, PlanOptions, Service, ServiceMetrics, StopCause,
+};
+pub use snapshot::{
+    diff, Checkpoint, CheckpointSlot, DiffIntent, MachineSnapshot, ProcessImage, TransitionView,
+    WorkerKill, SNAPSHOT_VERSION,
 };
 pub use stats::{KindCounts, Overheads, RunStats};
 pub use verify::{RefTranslation, Violation, ViolationSite};

@@ -1,19 +1,23 @@
 //! The machine: one VM (guest OS + VMM) on simulated translation hardware.
 
-use crate::analyze::{self, FlushScope, LintReport, ShootdownEvent, ShootdownLog};
+use crate::analyze::{
+    self, FlushScope, LintCode, LintDiag, LintReport, ShootdownEvent, ShootdownLog,
+};
 use crate::chaos::{
     ChaosState, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind, ShootdownFate,
 };
 use crate::config::SystemConfig;
 use crate::profile::{FlushApplyStats, HotPathProfile};
 use crate::service::{CancelToken, StopCause};
+use crate::snapshot::{self, Checkpoint, CheckpointSlot, DiffIntent, MachineSnapshot, WorkerKill};
 use crate::stats::{HotCounters, KindCounts, RunStats};
-use crate::verify::{self, Violation};
+use crate::verify::{self, Violation, ViolationSite};
 use agile_guest::{FaultError, GuestOs, SegFault, Vma, VmaBacking};
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, TlbEntry, TlbHierarchy};
 use agile_types::{
-    AccessKind, Asid, Fault, GuestVirtAddr, HostFrame, Level, ProcessId, PteFlags, VmId,
+    AccessKind, Asid, CodecError, Dec, Enc, Fault, GuestVirtAddr, HostFrame, Level, Persist,
+    ProcessId, PteFlags, VmId,
 };
 use agile_vmm::{coalesce, FaultOutcome, FlushRequest, HwRoots, Technique, Vmm};
 use agile_walk::{WalkHw, WalkKind, WalkOk, WalkStats};
@@ -86,6 +90,13 @@ pub struct Machine {
     /// Why the last [`Machine::run_spec_measured`] stopped early, if it
     /// did.
     stopped: Option<StopCause>,
+    /// Checkpoint sink `(every_ticks, slot)`: when set, the run loop
+    /// stores a [`Checkpoint`] into the slot at every `every_ticks`-th
+    /// tick boundary (see [`Machine::set_checkpoint_sink`]).
+    checkpoint_sink: Option<(u64, CheckpointSlot)>,
+    /// Chaos crash trigger: panic with [`WorkerKill`] at this 1-based
+    /// tick of the current run attempt ([`Machine::set_kill_at_tick`]).
+    kill_at_tick: Option<u64>,
 }
 
 /// Worst-case number of host frames the infallible deep-map paths can
@@ -156,6 +167,8 @@ impl Machine {
             flush_stats: FlushApplyStats::default(),
             cancel: None,
             stopped: None,
+            checkpoint_sink: None,
+            kill_at_tick: None,
         }
     }
 
@@ -173,6 +186,23 @@ impl Machine {
     #[must_use]
     pub fn stop_cause(&self) -> Option<StopCause> {
         self.stopped
+    }
+
+    /// Installs the checkpoint sink: at every `every_ticks`-th tick
+    /// boundary of a run (a quiescent point — flushes drained, interval
+    /// policy run), the machine stores a full [`Checkpoint`] into `slot`.
+    /// Checkpointing reads the machine without mutating it, so a
+    /// checkpointed run's results are byte-identical to an unobserved one.
+    pub fn set_checkpoint_sink(&mut self, every_ticks: u64, slot: CheckpointSlot) {
+        self.checkpoint_sink = Some((every_ticks.max(1), slot));
+    }
+
+    /// Arms the chaos crash trigger: the run loop panics with
+    /// [`WorkerKill`] at the given 1-based tick of the current attempt,
+    /// *after* storing any due checkpoint — modeling a worker dying
+    /// mid-job with its latest checkpoint already durable.
+    pub fn set_kill_at_tick(&mut self, tick: u64) {
+        self.kill_at_tick = Some(tick.max(1));
     }
 
     /// Arms the deterministic fault-injection engine with `plan`.
@@ -216,7 +246,29 @@ impl Machine {
         // Observe any allocation since the last access before analyzing,
         // so a free-then-reuse race right at the end is not missed.
         self.note_frame_reuse();
-        analyze::analyze(&self.mem, &self.vmm, &self.tlb, self.shootdown_log.as_ref())
+        let report = analyze::analyze(&self.mem, &self.vmm, &self.tlb, self.shootdown_log.as_ref());
+        // Transition-differ findings are recorded as violations when the
+        // tick-boundary differ runs; surface them through the lint report
+        // too so `lint()` alone proves transitions clean.
+        let transition: Vec<LintDiag> = self
+            .violations
+            .iter()
+            .filter(|v| v.site == ViolationSite::Transition)
+            .map(|v| {
+                let mut diag = LintDiag::new(LintCode::TransitionDiverged, v.detail.clone());
+                if let Some(gva) = v.gva {
+                    diag = diag.gva(gva);
+                }
+                diag
+            })
+            .collect();
+        if transition.is_empty() {
+            report
+        } else {
+            let mut diags = report.diags;
+            diags.extend(transition);
+            LintReport::from_diags(diags)
+        }
     }
 
     fn log_shootdown(&mut self, event: ShootdownEvent) {
@@ -294,7 +346,9 @@ impl Machine {
             .map_or_else(Vec::new, |c| c.take_events())
     }
 
-    fn record_violations(&mut self, found: impl IntoIterator<Item = Violation>) {
+    /// Records oracle violations found outside the machine's own checks
+    /// (e.g. the host's migration differ), capped like every other source.
+    pub(crate) fn record_violations(&mut self, found: impl IntoIterator<Item = Violation>) {
         for v in found {
             if self.violations.len() >= MAX_VIOLATIONS {
                 break;
@@ -1414,10 +1468,25 @@ impl Machine {
                 audit = AuditScope::Full;
             }
             Event::Tick => {
+                // Technique switches happen inside interval_tick; bracket
+                // it with the two-state differ under paranoia to prove a
+                // switch moved only page modes, never the translation
+                // function (see [`crate::snapshot::diff`]).
+                let differ = self.cfg.paranoia
+                    && matches!(self.cfg.technique, Technique::Agile(_) | Technique::Shsp(_));
+                let before = differ.then(|| {
+                    snapshot::TransitionView::capture_parts(&self.mem, &self.vmm, &self.os)
+                });
                 let misses = self.tlb.stats().misses - self.hot.misses_at_last_tick;
                 self.hot.misses_at_last_tick = self.tlb.stats().misses;
                 self.vmm.interval_tick(&mut self.mem, misses);
                 self.drain_flushes();
+                if let Some(before) = before {
+                    let after =
+                        snapshot::TransitionView::capture_parts(&self.mem, &self.vmm, &self.os);
+                    let found = snapshot::diff(&before, &after, DiffIntent::TechniqueSwitch);
+                    self.record_violations(found);
+                }
                 self.drain_write_trace();
                 if let Some(trace) = self.trace.as_mut() {
                     trace.push(agile_trace::TraceEvent::IntervalEnd);
@@ -1465,20 +1534,60 @@ impl Machine {
     /// table-construction costs are negligible there; in short simulations
     /// they are not, unless excluded).
     pub fn run_spec_measured(&mut self, spec: &WorkloadSpec, warmup_accesses: u64) -> RunStats {
-        let mut armed = warmup_accesses > 0;
+        self.run_spec_from(spec, warmup_accesses, 0, warmup_accesses > 0)
+    }
+
+    /// Runs `spec` from the middle: the first `skip_events` workload
+    /// events are regenerated and discarded (the restored snapshot already
+    /// contains their effects), then the rest are applied normally.
+    /// `armed` carries the warm-up trigger state across the resume (a
+    /// checkpoint's [`Checkpoint::warmup_armed`]). With `skip_events = 0`
+    /// this is exactly [`Machine::run_spec_measured`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`WorkerKill`] payload when the chaos crash trigger
+    /// ([`Machine::set_kill_at_tick`]) fires.
+    pub fn run_spec_from(
+        &mut self,
+        spec: &WorkloadSpec,
+        warmup_accesses: u64,
+        skip_events: u64,
+        mut armed: bool,
+    ) -> RunStats {
         self.stopped = None;
+        let mut consumed: u64 = 0;
+        let mut run_ticks: u64 = 0;
         for event in Workload::new(spec.clone()) {
+            consumed += 1;
+            if consumed <= skip_events {
+                continue;
+            }
             let is_tick = matches!(&event, Event::Tick);
             self.run_event(event);
             if armed && self.hot.accesses >= warmup_accesses {
                 self.begin_measurement();
                 armed = false;
             }
-            // Cooperative cancellation point: ticks are the quiescent
-            // boundaries (flushes drained, interval policy run), so a
-            // cancelled or timed-out run stops here in bounded time with
-            // a consistent machine behind it — never a detached thread.
+            // Ticks are the quiescent boundaries (flushes drained,
+            // interval policy run): the checkpoint store, the chaos kill,
+            // and the cooperative cancellation point all live here, in
+            // that order — a killed worker's latest checkpoint is already
+            // durable, so recovery never replays from before it.
             if is_tick {
+                run_ticks += 1;
+                if let Some((every, slot)) = self.checkpoint_sink.clone() {
+                    if run_ticks.is_multiple_of(every) {
+                        slot.store(Checkpoint {
+                            snapshot: self.snapshot(),
+                            events_consumed: consumed,
+                            warmup_armed: armed,
+                        });
+                    }
+                }
+                if self.kill_at_tick == Some(run_ticks) {
+                    std::panic::panic_any(WorkerKill);
+                }
                 if let Some(cause) = self.cancel.as_ref().and_then(CancelToken::check) {
                     self.stopped = Some(cause);
                     break;
@@ -1534,6 +1643,198 @@ impl Machine {
             ad_walks: self.hot.ad_walks,
             flush: self.flush_stats,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (`crate::snapshot`)
+    // ------------------------------------------------------------------
+
+    /// Captures the machine's complete simulated state as a versioned,
+    /// byte-stable [`MachineSnapshot`]. Read-only: snapshotting never
+    /// perturbs the run, so checkpointed and unobserved runs produce
+    /// byte-identical results.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut e = Enc::new();
+        self.save_state(&mut e);
+        MachineSnapshot::from_parts(self.cfg.label(), self.vmm.vm(), e.into_bytes())
+    }
+
+    /// Builds a fresh machine from `cfg` and restores `snap` into it.
+    /// Running the remaining workload events on the result is
+    /// byte-identical to having run straight through on the original.
+    ///
+    /// For machines that need control-plane state armed before the load
+    /// (a chaos plan, tracing), build the machine first and use
+    /// [`Machine::restore_from`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot's configuration label or VM identity do
+    /// not match `cfg`, or on malformed payload bytes.
+    pub fn restore(cfg: SystemConfig, snap: &MachineSnapshot) -> Result<Machine, CodecError> {
+        let mut machine = Machine::for_vm(cfg, snap.vm());
+        machine.restore_from(snap)?;
+        Ok(machine)
+    }
+
+    /// Restores `snap` into this machine, replacing all simulated state.
+    /// Control-plane wiring (cancel token, checkpoint sink, kill trigger)
+    /// is untouched; the chaos arming and tracing enablement must match
+    /// the snapshot's (arm the same plan before restoring).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a configuration-label, VM-identity, paranoia, chaos, or
+    /// tracing mismatch, and on malformed payload bytes.
+    pub fn restore_from(&mut self, snap: &MachineSnapshot) -> Result<(), CodecError> {
+        if snap.config_label() != self.cfg.label() {
+            return Err(CodecError::new(
+                0,
+                format!(
+                    "configuration mismatch: snapshot is '{}', machine is '{}'",
+                    snap.config_label(),
+                    self.cfg.label()
+                ),
+            ));
+        }
+        if snap.vm() != self.vmm.vm() {
+            return Err(CodecError::new(
+                0,
+                format!(
+                    "VM mismatch: snapshot is vm {}, machine is vm {}",
+                    snap.vm().raw(),
+                    self.vmm.vm().raw()
+                ),
+            ));
+        }
+        let mut d = Dec::new(snap.payload());
+        self.load_state(&mut d)?;
+        d.finish()
+    }
+
+    /// Serializes all simulated state in declaration order. The encoding
+    /// is the deterministic codec of [`agile_types::codec`]; cooperative
+    /// control-plane state (cancel token, checkpoint sink, kill trigger,
+    /// stop cause) is deliberately excluded — it belongs to the worker,
+    /// not the simulation.
+    fn save_state(&self, e: &mut Enc) {
+        self.mem.save_state(e);
+        self.vmm.save_state(e);
+        self.os.save_state(e);
+        self.tlb.save_state(e);
+        self.pwc.save_state(e);
+        self.ntlb.save_state(e);
+        self.walk_stats.save(e);
+        self.kinds.save(e);
+        self.hot.save(e);
+        self.procs.save(e);
+        self.baseline.save(e);
+        e.bool(self.cfg.paranoia);
+        match self.trace.as_ref() {
+            Some(trace) => {
+                e.u8(1);
+                e.str(&trace.to_text());
+            }
+            None => e.u8(0),
+        }
+        self.violations.save(e);
+        match self.chaos.as_ref() {
+            Some(chaos) => {
+                e.u8(1);
+                chaos.save_state(e);
+            }
+            None => e.u8(0),
+        }
+        match self.shootdown_log.as_ref() {
+            Some(log) => {
+                e.u8(1);
+                log.save(e);
+            }
+            None => e.u8(0),
+        }
+        e.u64(self.alloc_mark);
+        e.u64(self.flush_batches);
+        self.flush_stats.save(e);
+    }
+
+    /// Restores state saved by [`Machine::save_state`], replacing every
+    /// simulated structure.
+    fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.mem.load_state(d)?;
+        self.vmm.load_state(&self.mem, d)?;
+        self.os.load_state(d)?;
+        self.tlb.load_state(d)?;
+        self.pwc.load_state(d)?;
+        self.ntlb.load_state(d)?;
+        self.walk_stats = WalkStats::load(d)?;
+        self.kinds = KindCounts::load(d)?;
+        self.hot = HotCounters::load(d)?;
+        self.procs = Vec::load(d)?;
+        self.baseline = Baseline::load(d)?;
+        let paranoia = d.bool()?;
+        if paranoia != self.cfg.paranoia {
+            return d.fail(format!(
+                "paranoia mismatch: snapshot {}, machine {}",
+                paranoia, self.cfg.paranoia
+            ));
+        }
+        match (d.u8()?, self.trace.is_some()) {
+            (1, true) => {
+                let text = d.str()?;
+                let log = agile_trace::TraceLog::parse(&text)
+                    .map_err(|e| CodecError::new(d.pos(), format!("bad trace: {e}")))?;
+                self.trace = Some(log);
+            }
+            (0, false) => {}
+            (1, false) | (0, true) => return d.fail("tracing enablement contradicts the snapshot"),
+            (b, _) => return d.fail(format!("bad trace tag {b}")),
+        }
+        self.violations = Vec::load(d)?;
+        match (d.u8()?, self.chaos.as_mut()) {
+            (1, Some(chaos)) => chaos.load_state(d)?,
+            (0, None) => {}
+            (1, None) => return d.fail("snapshot has chaos state but no fault plan is armed"),
+            (0, Some(_)) => return d.fail("machine has chaos armed but the snapshot has none"),
+            (b, _) => return d.fail(format!("bad chaos tag {b}")),
+        }
+        match d.u8()? {
+            1 => self.shootdown_log = Some(ShootdownLog::load(d)?),
+            0 => self.shootdown_log = None,
+            b => return d.fail(format!("bad shootdown-log tag {b}")),
+        }
+        self.alloc_mark = d.u64()?;
+        self.flush_batches = d.u64()?;
+        self.flush_stats = FlushApplyStats::load(d)?;
+        self.stopped = None;
+        Ok(())
+    }
+}
+
+impl Persist for Baseline {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.accesses);
+        e.u64(self.walk_cycles);
+        e.u64(self.ad_walks);
+        self.tlb.save(e);
+        self.walks.save(e);
+        self.kinds.save(e);
+        self.traps.save(e);
+        self.os.save(e);
+        self.vmm.save(e);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(Baseline {
+            accesses: d.u64()?,
+            walk_cycles: d.u64()?,
+            ad_walks: d.u64()?,
+            tlb: agile_tlb::TlbStats::load(d)?,
+            walks: WalkStats::load(d)?,
+            kinds: KindCounts::load(d)?,
+            traps: agile_vmm::VmtrapStats::load(d)?,
+            os: agile_guest::OsStats::load(d)?,
+            vmm: agile_vmm::VmmCounters::load(d)?,
+        })
     }
 }
 
@@ -1611,6 +1912,53 @@ mod tests {
         );
         assert!(stats.overheads().vmm == 0.0);
         assert!(stats.overheads().page_walk > 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_run() {
+        let cfg = SystemConfig::new(Technique::Agile(AgileOptions::default()));
+        let spec = small_spec(2_000);
+        let mut m = Machine::new(cfg);
+        m.run_spec(&spec);
+        let snap = m.snapshot();
+        assert_eq!(snap.to_bytes(), m.snapshot().to_bytes(), "byte-stable");
+        let restored = Machine::restore(cfg, &snap).expect("restores");
+        assert_eq!(restored.snapshot().to_bytes(), snap.to_bytes());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let m = Machine::new(SystemConfig::new(Technique::Shadow));
+        let snap = m.snapshot();
+        let err = Machine::restore(SystemConfig::new(Technique::Nested), &snap);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_straight_through() {
+        let cfg = SystemConfig::new(Technique::Agile(AgileOptions::default()));
+        let mut spec = small_spec(4_000);
+        spec.accesses_per_tick = 500;
+        let straight = {
+            let mut m = Machine::new(cfg);
+            let stats = m.run_spec(&spec);
+            (stats.accesses, stats.tlb, m.snapshot().to_bytes())
+        };
+        let slot = crate::snapshot::CheckpointSlot::new();
+        let mut first = Machine::new(cfg);
+        first.set_checkpoint_sink(2, slot.clone());
+        first.run_spec(&spec);
+        assert!(slot.stores() > 0, "checkpoints were taken");
+        let cp = slot.latest().expect("checkpointed");
+        let mut resumed = Machine::restore(cfg, &cp.snapshot).expect("restores");
+        let stats = resumed.run_spec_from(&spec, 0, cp.events_consumed, cp.warmup_armed);
+        assert_eq!(stats.accesses, straight.0);
+        assert_eq!(stats.tlb, straight.1);
+        assert_eq!(
+            resumed.snapshot().to_bytes(),
+            straight.2,
+            "final state matches"
+        );
     }
 
     #[test]

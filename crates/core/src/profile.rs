@@ -15,6 +15,7 @@
 //! (`agile-bench --bin prof`).
 
 use agile_tlb::{CacheStats, TlbStats};
+use agile_types::{CodecError, Dec, Enc, Persist};
 use agile_vmm::FlushBatch;
 use agile_walk::WalkStats;
 
@@ -68,6 +69,33 @@ impl FlushApplyStats {
     #[must_use]
     pub fn eliminated(&self) -> u64 {
         self.ranges_subsumed + self.ranges_merged + self.ntlb_deduped
+    }
+}
+
+impl Persist for FlushApplyStats {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.batches);
+        e.u64(self.requests);
+        e.u64(self.asid_flushes);
+        e.u64(self.range_ops);
+        e.u64(self.pages_swept);
+        e.u64(self.ranges_subsumed);
+        e.u64(self.ranges_merged);
+        e.u64(self.ntlb_deduped);
+        e.u64(self.ntlb_ops);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(FlushApplyStats {
+            batches: d.u64()?,
+            requests: d.u64()?,
+            asid_flushes: d.u64()?,
+            range_ops: d.u64()?,
+            pages_swept: d.u64()?,
+            ranges_subsumed: d.u64()?,
+            ranges_merged: d.u64()?,
+            ntlb_deduped: d.u64()?,
+            ntlb_ops: d.u64()?,
+        })
     }
 }
 

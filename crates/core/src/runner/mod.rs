@@ -18,11 +18,9 @@
 //!
 //! [`RunPlan::run`] is the one execution entry point; it returns a
 //! [`RunOutcome`] per request (completed, timed out with partial stats,
-//! cancelled, or skipped after exhausting its retry budget). The older
-//! `execute` / `try_execute` / `execute_with_recovery` trio survives as
-//! deprecated shims for one release. Execution knobs (threads, timeout,
-//! retries, seed stream) live in one [`PlanOptions`] struct shared with
-//! the service.
+//! cancelled, or skipped after exhausting its retry budget). Execution
+//! knobs (threads, timeout, retries, seed stream, checkpoint cadence)
+//! live in one [`PlanOptions`] struct shared with the service.
 //!
 //! [`parallel_map`] is the underlying order-preserving pool, exposed for
 //! experiments (like Table II) whose unit of work is not a full machine
@@ -56,6 +54,7 @@ use crate::chaos::{DegradationEvent, FaultPlan};
 use crate::config::SystemConfig;
 use crate::machine::Machine;
 use crate::service::{CancelToken, PlanOptions, Service, StopCause};
+use crate::snapshot::{Checkpoint, CheckpointSlot};
 use crate::stats::{KindCounts, RunStats};
 use agile_trace::TraceLog;
 use agile_types::SplitMix64;
@@ -65,7 +64,7 @@ use agile_workloads::WorkloadSpec;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Schema tag embedded in every serialized artifact.
 pub const ARTIFACT_SCHEMA: &str = "agile-paging/run/v1";
@@ -164,6 +163,32 @@ impl RunRequest {
     /// As [`RunRequest::run`] (unhealed paranoia violations).
     #[must_use]
     pub fn run_cancellable(&self, token: &CancelToken) -> (RunArtifact, Option<StopCause>) {
+        self.run_with_recovery(token, &RecoveryControls::default())
+    }
+
+    /// [`RunRequest::run_cancellable`] with crash-recovery wiring: the
+    /// machine checkpoints into `recovery.slot` every
+    /// `recovery.checkpoint_interval` ticks, optionally arms the request's
+    /// [`FaultPlan::kill_worker_midrun`] trigger, and — when
+    /// `recovery.resume` is set — restores that checkpoint and replays
+    /// only the workload events past its cursor. A resumed run's artifact
+    /// is byte-identical to an uninterrupted run of the same request.
+    ///
+    /// The everything-off default ([`RecoveryControls::default`]) is
+    /// exactly [`RunRequest::run_cancellable`]; the service's worker-death
+    /// path is the intended caller of the rest.
+    ///
+    /// # Panics
+    ///
+    /// As [`RunRequest::run`] (unhealed paranoia violations), or when
+    /// `recovery.resume` carries a checkpoint from a different request
+    /// (mismatched configuration or VM identity).
+    #[must_use]
+    pub fn run_with_recovery(
+        &self,
+        token: &CancelToken,
+        recovery: &RecoveryControls,
+    ) -> (RunArtifact, Option<StopCause>) {
         let mut spec = self.spec.clone();
         if let Some(seed) = self.seed {
             spec.seed = seed;
@@ -177,7 +202,24 @@ impl RunRequest {
         if let Some(plan) = &self.chaos {
             machine.enable_chaos(plan.clone());
         }
-        let stats = machine.run_spec_measured(&spec, self.warmup);
+        if let Some(every) = recovery.checkpoint_interval {
+            machine.set_checkpoint_sink(every, recovery.slot.clone());
+        }
+        if recovery.arm_kill {
+            if let Some(tick) = self.chaos.as_ref().and_then(|p| p.kill_worker_midrun) {
+                machine.set_kill_at_tick(tick);
+            }
+        }
+        let (skip_events, warmup_armed) = match &recovery.resume {
+            Some(cp) => {
+                machine
+                    .restore_from(&cp.snapshot)
+                    .expect("checkpoint restores onto a machine built from its own request");
+                (cp.events_consumed, cp.warmup_armed)
+            }
+            None => (0, self.warmup > 0),
+        };
+        let stats = machine.run_spec_from(&spec, self.warmup, skip_events, warmup_armed);
         if self.config.paranoia || self.chaos.is_some() {
             let violations = machine.take_violations();
             assert!(
@@ -206,6 +248,29 @@ impl RunRequest {
         };
         (artifact, machine.stop_cause())
     }
+}
+
+/// Checkpoint/crash-recovery wiring for one run attempt, threaded through
+/// [`RunRequest::run_with_recovery`] by the service's worker-death path.
+/// The default — no checkpointing, kill trigger disarmed, no resume — is
+/// exactly an ordinary run, so direct [`RunRequest::run`] calls stay
+/// byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryControls {
+    /// Store a checkpoint into `slot` every this-many workload ticks
+    /// (`None` = no checkpointing).
+    pub checkpoint_interval: Option<u64>,
+    /// Shared mailbox the machine checkpoints into; the service keeps a
+    /// clone so it can take the latest checkpoint after a worker death.
+    pub slot: CheckpointSlot,
+    /// Arm the request's [`FaultPlan::kill_worker_midrun`] trigger. The
+    /// service arms it only on a job's first life, so the resumed attempt
+    /// is not killed again.
+    pub arm_kill: bool,
+    /// Resume from this checkpoint instead of starting from scratch: the
+    /// machine restores the snapshot and skips the already-consumed
+    /// workload events.
+    pub resume: Option<Checkpoint>,
 }
 
 /// The structured result of one run: statistics, configuration echo,
@@ -457,53 +522,6 @@ impl RunPlan {
         &mut self.opts
     }
 
-    /// Sets the worker count (clamped to ≥ 1 at execution).
-    #[deprecated(
-        since = "0.2.0",
-        note = "set PlanOptions::threads via RunPlan::with_options"
-    )]
-    #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.opts.threads = threads;
-        self
-    }
-
-    /// Cooperative per-request wall-clock limit (see
-    /// [`PlanOptions::timeout`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "set PlanOptions::timeout via RunPlan::with_options"
-    )]
-    #[must_use]
-    pub fn with_timeout(mut self, limit: Duration) -> Self {
-        self.opts.timeout = Some(limit);
-        self
-    }
-
-    /// Bounded retry count for panicking requests (see
-    /// [`PlanOptions::retries`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "set PlanOptions::retries via RunPlan::with_options"
-    )]
-    #[must_use]
-    pub fn with_retries(mut self, retries: u32) -> Self {
-        self.opts.retries = retries;
-        self
-    }
-
-    /// Derives a deterministic per-run seed from `base` (see
-    /// [`PlanOptions::seed_base`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "set PlanOptions::seed_base via RunPlan::with_options"
-    )]
-    #[must_use]
-    pub fn with_seed_stream(mut self, base: u64) -> Self {
-        self.opts.seed_base = Some(base);
-        self
-    }
-
     /// Appends a request.
     pub fn push(&mut self, request: RunRequest) -> &mut Self {
         self.requests.push(request);
@@ -544,74 +562,12 @@ impl RunPlan {
             retries: self.opts.retries,
             // Seeds were already fixed request-by-request above.
             seed_base: None,
+            checkpoint_interval: self.opts.checkpoint_interval,
         });
         let ids = service.submit_all(requests);
         let outcomes = ids.into_iter().map(|id| service.wait(id)).collect();
         service.shutdown();
         outcomes
-    }
-
-    /// Executes every request and returns artifacts in request order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any run did not complete, naming the offending request's
-    /// label.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use RunPlan::run and RunOutcome::into_artifact"
-    )]
-    #[must_use]
-    pub fn execute(&self) -> Vec<RunArtifact> {
-        self.run()
-            .into_iter()
-            .map(RunOutcome::into_artifact)
-            .collect()
-    }
-
-    /// Executes every request, returning artifacts in request order or the
-    /// identity of the first request that did not complete.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RunPanic`] if any request's simulation panicked (or was
-    /// stopped by the plan's timeout).
-    #[deprecated(since = "0.2.0", note = "use RunPlan::run and match RunOutcome")]
-    pub fn try_execute(&self) -> Result<Vec<RunArtifact>, RunPanic> {
-        let mut artifacts = Vec::with_capacity(self.len());
-        for outcome in self.run() {
-            match outcome {
-                RunOutcome::Completed(a) => artifacts.push(*a),
-                other => {
-                    let label = other.label().to_string();
-                    let index = other.index();
-                    let message = match other {
-                        RunOutcome::Skipped { events, .. } => events
-                            .first()
-                            .map_or_else(|| "run skipped".into(), |e| e.detail.clone()),
-                        RunOutcome::TimedOut { .. } => "run timed out".into(),
-                        RunOutcome::Cancelled { .. } => "run cancelled".into(),
-                        RunOutcome::Completed(_) => unreachable!("matched above"),
-                    };
-                    return Err(RunPanic {
-                        label,
-                        index,
-                        message,
-                    });
-                }
-            }
-        }
-        Ok(artifacts)
-    }
-
-    /// Executes every request with runner-level fault containment.
-    #[deprecated(
-        since = "0.2.0",
-        note = "RunPlan::run always recovers; call it directly"
-    )]
-    #[must_use]
-    pub fn execute_with_recovery(&self) -> Vec<RunOutcome> {
-        self.run()
     }
 
     fn seeded_requests(&self) -> Vec<RunRequest> {
@@ -768,29 +724,6 @@ impl RunOutcome {
         matches!(self, RunOutcome::Cancelled { .. })
     }
 }
-
-/// A panic raised by one run of a [`RunPlan`], identified by request.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunPanic {
-    /// Label of the request whose simulation panicked.
-    pub label: String,
-    /// Position of that request in the plan.
-    pub index: usize,
-    /// The panic payload, when it was a string.
-    pub message: String,
-}
-
-impl std::fmt::Display for RunPanic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "run {:?} (request #{}) panicked: {}",
-            self.label, self.index, self.message
-        )
-    }
-}
-
-impl std::error::Error for RunPanic {}
 
 /// A panic raised by one item of a [`try_parallel_map`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -1023,9 +956,8 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the legacy try_execute shim end-to-end
     fn plan_surfaces_the_label_of_a_panicking_run() {
-        let mut plan = RunPlan::new().with_threads(2);
+        let mut plan = RunPlan::new().with_options(PlanOptions::with_threads(2));
         plan.push(RunRequest::new(
             SystemConfig::new(Technique::Native),
             spec(200, 1),
@@ -1035,11 +967,21 @@ mod tests {
         let mut bad = spec(200, 2);
         bad.footprint = 0;
         plan.push(RunRequest::new(SystemConfig::new(Technique::Native), bad).with_label("bad-run"));
-        let err = plan.try_execute().unwrap_err();
-        assert_eq!(err.index, 1);
-        assert_eq!(err.label, "bad-run");
-        assert!(err.message.contains("workload accesses"), "{}", err.message);
-        assert!(err.to_string().contains("bad-run"), "{err}");
+        let outcomes = plan.run();
+        assert!(outcomes[0].artifact().is_some(), "good run completes");
+        match &outcomes[1] {
+            RunOutcome::Skipped {
+                label,
+                index,
+                events,
+            } => {
+                assert_eq!(*index, 1);
+                assert_eq!(label, "bad-run");
+                let detail = &events.first().expect("panic event recorded").detail;
+                assert!(detail.contains("workload accesses"), "{detail}");
+            }
+            other => panic!("expected the bad run to be skipped, got {other:?}"),
+        }
     }
 
     #[test]

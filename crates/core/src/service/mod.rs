@@ -22,6 +22,17 @@
 //!   run surfaces as [`RunOutcome::TimedOut`] with partial stats instead
 //!   of being abandoned on a detached thread (no thread ever outlives
 //!   [`Service::shutdown`]).
+//! * **Crash recovery**: with [`PlanOptions::checkpoint_interval`] set,
+//!   every running machine checkpoints into its job's
+//!   [`CheckpointSlot`] at tick
+//!   boundaries. When a worker dies mid-job (the chaos layer's
+//!   [`FaultPlan::kill_worker_midrun`](crate::chaos::FaultPlan) fault),
+//!   the service detects the orphan, re-queues it with its last
+//!   checkpoint, and a surviving worker restores the machine and replays
+//!   only the remaining workload events. The resumed artifact is
+//!   **byte-identical** to an uninterrupted run's; the death and resume
+//!   are recorded service-side ([`Service::drain_degradations`],
+//!   [`ServiceMetrics`]) and never grafted into the artifact.
 //!
 //! **Determinism contract:** an artifact is a pure function of its
 //! request. Seeds are fixed at submission (the [`PlanOptions::seed_base`]
@@ -39,7 +50,8 @@ mod cancel;
 pub use cancel::{CancelToken, StopCause};
 
 use crate::chaos::{DegradationEvent, DegradationKind};
-use crate::runner::{panic_message, RunOutcome, RunRequest};
+use crate::runner::{panic_message, RecoveryControls, RunOutcome, RunRequest};
+use crate::snapshot::{Checkpoint, CheckpointSlot, WorkerKill};
 use agile_types::SplitMix64;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -67,6 +79,11 @@ pub struct PlanOptions {
     /// override) runs with `SplitMix64::derive(base, i)`, independent of
     /// shard count and execution order.
     pub seed_base: Option<u64>,
+    /// Checkpoint the running machine into its job's slot every this-many
+    /// workload ticks (`None` = no checkpointing). Powers crash recovery:
+    /// a job orphaned by a worker death resumes from its last checkpoint
+    /// on another worker with a byte-identical artifact.
+    pub checkpoint_interval: Option<u64>,
 }
 
 impl PlanOptions {
@@ -77,6 +94,14 @@ impl PlanOptions {
             threads,
             ..PlanOptions::default()
         }
+    }
+
+    /// Returns the options with checkpointing every `ticks` workload
+    /// ticks (clamped to ≥ 1).
+    #[must_use]
+    pub fn checkpoint_every(mut self, ticks: u64) -> Self {
+        self.checkpoint_interval = Some(ticks.max(1));
+        self
     }
 
     fn resolved_threads(&self) -> usize {
@@ -181,6 +206,14 @@ pub struct ServiceMetrics {
     pub queue_nanos: u64,
     /// Total nanoseconds jobs spent executing.
     pub run_nanos: u64,
+    /// Checkpoints stored by running jobs (counted when the job reaches a
+    /// terminal state).
+    pub checkpoints: u64,
+    /// Orphaned jobs resumed from a checkpoint on another worker.
+    pub resumes: u64,
+    /// Worker deaths detected mid-job; each orphaned job is re-queued
+    /// (from its checkpoint when one exists, from scratch otherwise).
+    pub orphans: u64,
 }
 
 impl ServiceMetrics {
@@ -214,6 +247,9 @@ struct MetricCells {
     max_queue_depth: AtomicU64,
     queue_nanos: AtomicU64,
     run_nanos: AtomicU64,
+    checkpoints: AtomicU64,
+    resumes: AtomicU64,
+    orphans: AtomicU64,
 }
 
 impl MetricCells {
@@ -228,6 +264,9 @@ impl MetricCells {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             queue_nanos: self.queue_nanos.load(Ordering::Relaxed),
             run_nanos: self.run_nanos.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            orphans: self.orphans.load(Ordering::Relaxed),
         }
     }
 }
@@ -245,6 +284,15 @@ struct Job {
     phase: Phase,
     outcome: Option<RunOutcome>,
     enqueued: Instant,
+    /// Checkpoint mailbox shared with the machine executing this job.
+    slot: CheckpointSlot,
+    /// Checkpoint to resume from after a worker death.
+    resume: Option<Checkpoint>,
+    /// Runner-level degradation events carried across a worker death (so
+    /// a pre-kill panic's record survives the re-queue).
+    events: Vec<DegradationEvent>,
+    /// The job's kill trigger already fired; it is disarmed on re-run.
+    killed: bool,
 }
 
 struct State {
@@ -270,6 +318,12 @@ struct Inner {
     timeout: Option<Duration>,
     retries: u32,
     seed_base: Option<u64>,
+    checkpoint_interval: Option<u64>,
+    /// Service-side degradation log (worker deaths, checkpoint resumes).
+    /// Provenance only — never grafted into artifacts.
+    degradations: Mutex<Vec<DegradationEvent>>,
+    /// Replacement workers spawned after a death; joined at shutdown.
+    replacements: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// The long-running job engine. See the [module docs](self) for the
@@ -287,12 +341,29 @@ impl std::fmt::Debug for Service {
     }
 }
 
+/// Installs (once, wrapping any existing hook) a panic hook that
+/// silences the intentional [`WorkerKill`] unwind: chaos kills are
+/// simulated worker crashes, not bugs, and their backtraces would drown
+/// real panic output. Every other panic still reaches the previous hook.
+fn silence_worker_kills() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<WorkerKill>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
 impl Service {
     /// Starts the worker fleet: one long-lived worker (and queue shard)
     /// per `opts.threads` (0 = one per core). Timeout, retries, and the
     /// seed stream come from `opts` too.
     #[must_use]
     pub fn new(opts: PlanOptions) -> Self {
+        silence_worker_kills();
         let shards = opts.resolved_threads().max(1);
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
@@ -309,6 +380,9 @@ impl Service {
             timeout: opts.timeout,
             retries: opts.retries,
             seed_base: opts.seed_base,
+            checkpoint_interval: opts.checkpoint_interval,
+            degradations: Mutex::new(Vec::new()),
+            replacements: Mutex::new(Vec::new()),
         });
         let workers = (0..shards)
             .map(|w| {
@@ -356,6 +430,10 @@ impl Service {
             phase: Phase::Queued,
             outcome: None,
             enqueued: Instant::now(),
+            slot: CheckpointSlot::new(),
+            resume: None,
+            events: Vec::new(),
+            killed: false,
         });
         let shard = st.next_shard;
         st.next_shard = (st.next_shard + 1) % st.shards.len();
@@ -471,6 +549,22 @@ impl Service {
         self.inner.metrics.snapshot()
     }
 
+    /// Drains the service-side degradation log: one
+    /// [`DegradationKind::ResumedFromCheckpoint`] event per worker death,
+    /// saying which job was orphaned and where it resumed. These events
+    /// are service provenance — they are **never** grafted into
+    /// artifacts, which stay byte-identical to an undisturbed run's.
+    #[must_use]
+    pub fn drain_degradations(&self) -> Vec<DegradationEvent> {
+        std::mem::take(
+            &mut *self
+                .inner
+                .degradations
+                .lock()
+                .expect("service degradations"),
+        )
+    }
+
     /// Drains the queues and stops the fleet: already-submitted jobs run
     /// to a terminal state, further submissions panic, and every worker
     /// thread is joined before this returns (the no-detached-threads
@@ -484,6 +578,20 @@ impl Service {
         let workers = std::mem::take(&mut *self.workers.lock().expect("worker handles"));
         for handle in workers {
             handle.join().expect("service worker never panics");
+        }
+        // Replacement workers (spawned after a death) can themselves die
+        // and spawn further replacements while we join, so drain until the
+        // list stays empty. Kills are finite — at most one per job — so
+        // this terminates.
+        loop {
+            let replacements =
+                std::mem::take(&mut *self.inner.replacements.lock().expect("replacement handles"));
+            if replacements.is_empty() {
+                break;
+            }
+            for handle in replacements {
+                handle.join().expect("service worker never panics");
+            }
         }
         self.inner.metrics.snapshot()
     }
@@ -545,7 +653,7 @@ fn claim_job(st: &mut State, w: usize) -> Option<(usize, bool)> {
     }
 }
 
-fn worker_loop(inner: &Inner, w: usize) {
+fn worker_loop(inner: &Arc<Inner>, w: usize) {
     loop {
         let claimed = {
             let mut st = inner.state.lock().expect("service state");
@@ -562,7 +670,16 @@ fn worker_loop(inner: &Inner, w: usize) {
                     if stolen {
                         inner.metrics.steals.fetch_add(1, Ordering::Relaxed);
                     }
-                    break Some((id, job.request.clone(), job.token.clone()));
+                    let recovery = RecoveryControls {
+                        checkpoint_interval: inner.checkpoint_interval,
+                        slot: job.slot.clone(),
+                        // The kill trigger fires at most once per job: a
+                        // resumed (or restarted) life runs it disarmed.
+                        arm_kill: !job.killed,
+                        resume: job.resume.clone(),
+                    };
+                    let events = std::mem::take(&mut job.events);
+                    break Some((id, job.request.clone(), job.token.clone(), recovery, events));
                 }
                 if st.shutdown {
                     break None;
@@ -570,35 +687,125 @@ fn worker_loop(inner: &Inner, w: usize) {
                 st = inner.work_cv.wait(st).expect("service state");
             }
         };
-        let Some((id, request, token)) = claimed else {
+        let Some((id, request, token, recovery, events)) = claimed else {
             return;
         };
         let started = Instant::now();
         if let Some(limit) = inner.timeout {
             token.set_deadline(started + limit);
         }
-        let outcome = run_job(&request, &token, id, inner.retries);
+        let run = run_job(&request, &token, id, inner.retries, &recovery, events);
         inner
             .metrics
             .run_nanos
             .fetch_add(saturating_nanos(started.elapsed()), Ordering::Relaxed);
-        {
-            let mut st = inner.state.lock().expect("service state");
-            finish_job(inner, &mut st, id, outcome);
+        match run {
+            JobRun::Done(outcome) => {
+                inner
+                    .metrics
+                    .checkpoints
+                    .fetch_add(recovery.slot.stores(), Ordering::Relaxed);
+                {
+                    let mut st = inner.state.lock().expect("service state");
+                    finish_job(inner, &mut st, id, outcome);
+                }
+                inner.done_cv.notify_all();
+            }
+            JobRun::Killed(events) => {
+                orphan_job(inner, w, id, &request.label, events);
+                // This worker is dead. Spawn its replacement on the same
+                // shard, then let the thread exit.
+                let replacement = {
+                    let inner = Arc::clone(inner);
+                    std::thread::Builder::new()
+                        .name(format!("agile-svc-{w}r"))
+                        .spawn(move || worker_loop(&inner, w))
+                        .expect("spawn replacement service worker")
+                };
+                inner
+                    .replacements
+                    .lock()
+                    .expect("replacement handles")
+                    .push(replacement);
+                return;
+            }
         }
-        inner.done_cv.notify_all();
     }
+}
+
+/// Handles a worker death: takes the orphaned job's last checkpoint,
+/// re-queues it on the next shard over, logs the resume service-side, and
+/// bumps the orphan/resume metrics. The job's carried runner-level events
+/// survive in the job record.
+fn orphan_job(inner: &Arc<Inner>, w: usize, id: usize, label: &str, events: Vec<DegradationEvent>) {
+    inner.metrics.orphans.fetch_add(1, Ordering::Relaxed);
+    let mut st = inner.state.lock().expect("service state");
+    let resume = st.jobs[id].slot.take();
+    let detail = match &resume {
+        Some(cp) => {
+            inner.metrics.resumes.fetch_add(1, Ordering::Relaxed);
+            format!(
+                "job-{id} ({label}): worker {w} died mid-run; resuming from the checkpoint \
+                 at workload event {} on another worker",
+                cp.events_consumed
+            )
+        }
+        None => format!(
+            "job-{id} ({label}): worker {w} died mid-run with no checkpoint stored; \
+             restarting from scratch on another worker"
+        ),
+    };
+    let job = &mut st.jobs[id];
+    job.phase = Phase::Queued;
+    job.killed = true;
+    job.resume = resume;
+    job.events = events;
+    job.enqueued = Instant::now();
+    let shard = (w + 1) % st.shards.len();
+    st.shards[shard].push_back(id);
+    drop(st);
+    {
+        let mut log = inner.degradations.lock().expect("service degradations");
+        let seq = log.len() as u64;
+        log.push(DegradationEvent {
+            seq,
+            access: 0,
+            kind: DegradationKind::ResumedFromCheckpoint,
+            gva: None,
+            detail,
+        });
+    }
+    inner.work_cv.notify_all();
 }
 
 fn saturating_nanos(d: Duration) -> u64 {
     d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
+/// What one [`run_job`] call did with its job.
+enum JobRun {
+    /// The job reached a terminal outcome on this worker.
+    Done(RunOutcome),
+    /// The chaos layer killed this worker mid-attempt; the job is an
+    /// orphan. Carries the runner-level events accumulated so far so a
+    /// pre-kill panic's record survives the re-queue.
+    Killed(Vec<DegradationEvent>),
+}
+
 /// Runs one job to a terminal outcome on the calling worker: panics are
 /// caught and retried up to `retries` times; a cooperative stop (cancel
 /// or deadline) ends the job with its partial artifact. The deadline
-/// spans the whole job, retries included.
-fn run_job(request: &RunRequest, token: &CancelToken, index: usize, retries: u32) -> RunOutcome {
+/// spans the whole job, retries included. A [`WorkerKill`] unwind is
+/// *not* a retryable panic — it means this worker died, and the job is
+/// handed back as an orphan.
+fn run_job(
+    request: &RunRequest,
+    token: &CancelToken,
+    index: usize,
+    retries: u32,
+    recovery: &RecoveryControls,
+    mut events: Vec<DegradationEvent>,
+) -> JobRun {
     fn note(events: &mut Vec<DegradationEvent>, kind: DegradationKind, detail: String) {
         events.push(DegradationEvent {
             seq: events.len() as u64,
@@ -627,20 +834,21 @@ fn run_job(request: &RunRequest, token: &CancelToken, index: usize, retries: u32
         }
     }
 
-    let mut events: Vec<DegradationEvent> = Vec::new();
     for attempt in 0..=retries {
         // A cancel that lands between attempts still stops the job.
         if let Some(StopCause::Cancelled) = token.check() {
-            return RunOutcome::Cancelled {
+            return JobRun::Done(RunOutcome::Cancelled {
                 label: request.label.clone(),
                 index,
                 partial: None,
-            };
+            });
         }
-        match catch_unwind(AssertUnwindSafe(|| request.run_cancellable(token))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            request.run_with_recovery(token, recovery)
+        })) {
             Ok((mut artifact, None)) => {
                 graft(&mut artifact, events, None);
-                return RunOutcome::Completed(Box::new(artifact));
+                return JobRun::Done(RunOutcome::Completed(Box::new(artifact)));
             }
             Ok((mut artifact, Some(StopCause::TimedOut))) => {
                 let accesses = artifact.stats.accesses;
@@ -655,11 +863,11 @@ fn run_job(request: &RunRequest, token: &CancelToken, index: usize, retries: u32
                         ),
                     )),
                 );
-                return RunOutcome::TimedOut {
+                return JobRun::Done(RunOutcome::TimedOut {
                     label: request.label.clone(),
                     index,
                     partial: Box::new(artifact),
-                };
+                });
             }
             Ok((mut artifact, Some(StopCause::Cancelled))) => {
                 let accesses = artifact.stats.accesses;
@@ -674,13 +882,16 @@ fn run_job(request: &RunRequest, token: &CancelToken, index: usize, retries: u32
                         ),
                     )),
                 );
-                return RunOutcome::Cancelled {
+                return JobRun::Done(RunOutcome::Cancelled {
                     label: request.label.clone(),
                     index,
                     partial: Some(Box::new(artifact)),
-                };
+                });
             }
             Err(payload) => {
+                if payload.downcast_ref::<WorkerKill>().is_some() {
+                    return JobRun::Killed(events);
+                }
                 note(
                     &mut events,
                     DegradationKind::RunnerPanic,
@@ -696,9 +907,9 @@ fn run_job(request: &RunRequest, token: &CancelToken, index: usize, retries: u32
             }
         }
     }
-    RunOutcome::Skipped {
+    JobRun::Done(RunOutcome::Skipped {
         label: request.label.clone(),
         index,
         events,
-    }
+    })
 }

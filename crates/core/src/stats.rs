@@ -2,6 +2,7 @@
 
 use agile_guest::OsStats;
 use agile_tlb::TlbStats;
+use agile_types::{CodecError, Dec, Enc, Persist};
 use agile_vmm::{VmmCounters, VmtrapStats};
 use agile_walk::{WalkKind, WalkStats};
 
@@ -20,6 +21,23 @@ pub struct HotCounters {
     /// TLB miss total at the last interval tick (the agile switching
     /// policy's MPKI input).
     pub misses_at_last_tick: u64,
+}
+
+impl Persist for HotCounters {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.accesses);
+        e.u64(self.walk_cycles);
+        e.u64(self.ad_walks);
+        e.u64(self.misses_at_last_tick);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(HotCounters {
+            accesses: d.u64()?,
+            walk_cycles: d.u64()?,
+            ad_walks: d.u64()?,
+            misses_at_last_tick: d.u64()?,
+        })
+    }
 }
 
 /// Completed-walk histogram by [`WalkKind`] — the classification behind
@@ -106,6 +124,27 @@ impl KindCounts {
         } else {
             self.refs.iter().sum::<u64>() as f64 / total as f64
         }
+    }
+}
+
+impl Persist for KindCounts {
+    fn save(&self, e: &mut Enc) {
+        for c in self.counts {
+            e.u64(c);
+        }
+        for r in self.refs {
+            e.u64(r);
+        }
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        let mut out = KindCounts::default();
+        for c in &mut out.counts {
+            *c = d.u64()?;
+        }
+        for r in &mut out.refs {
+            *r = d.u64()?;
+        }
+        Ok(out)
     }
 }
 

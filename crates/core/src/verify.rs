@@ -35,7 +35,7 @@ use crate::config::SystemConfig;
 use crate::stats::RunStats;
 use agile_mem::PhysMem;
 use agile_tlb::{NestedTlb, PageWalkCaches, TlbEntry, TlbHierarchy};
-use agile_types::{Asid, GuestFrame, Level, PageSize, ProcessId};
+use agile_types::{Asid, CodecError, Dec, Enc, GuestFrame, Level, PageSize, Persist, ProcessId};
 use agile_vmm::{Vmm, VmtrapKind};
 use agile_walk::{WalkKind, WalkOk};
 
@@ -54,10 +54,16 @@ pub enum ViolationSite {
     StaleNtlb,
     /// A [`RunStats`] conservation identity failed.
     Stats,
+    /// A technique-switch (or migration) transition changed the
+    /// translation function or left the switching partition malformed
+    /// (found by the two-state differ, [`crate::snapshot::diff`]).
+    Transition,
 }
 
 impl ViolationSite {
-    fn label(self) -> &'static str {
+    /// Stable identifier used in rendered reports and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
         match self {
             ViolationSite::TlbHit => "tlb-hit",
             ViolationSite::Walk => "walk",
@@ -65,7 +71,36 @@ impl ViolationSite {
             ViolationSite::StalePwc => "stale-pwc",
             ViolationSite::StaleNtlb => "stale-ntlb",
             ViolationSite::Stats => "stats",
+            ViolationSite::Transition => "transition",
         }
+    }
+
+    /// Every site, in tag order (the [`Persist`] encoding's order).
+    pub const ALL: [ViolationSite; 7] = [
+        ViolationSite::TlbHit,
+        ViolationSite::Walk,
+        ViolationSite::StaleTlb,
+        ViolationSite::StalePwc,
+        ViolationSite::StaleNtlb,
+        ViolationSite::Stats,
+        ViolationSite::Transition,
+    ];
+}
+
+impl Persist for ViolationSite {
+    fn save(&self, e: &mut Enc) {
+        let tag = ViolationSite::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("site in ALL") as u8;
+        e.u8(tag);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        let tag = d.u8()?;
+        ViolationSite::ALL
+            .get(usize::from(tag))
+            .copied()
+            .map_or_else(|| d.fail(format!("bad ViolationSite tag {tag}")), Ok)
     }
 }
 
@@ -81,6 +116,23 @@ pub struct Violation {
     pub level: Option<Level>,
     /// What exactly disagreed.
     pub detail: String,
+}
+
+impl Persist for Violation {
+    fn save(&self, e: &mut Enc) {
+        self.site.save(e);
+        self.gva.save(e);
+        self.level.save(e);
+        e.str(&self.detail);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(Violation {
+            site: ViolationSite::load(d)?,
+            gva: Option::<u64>::load(d)?,
+            level: Option::<Level>::load(d)?,
+            detail: d.str()?,
+        })
+    }
 }
 
 impl std::fmt::Display for Violation {

@@ -11,9 +11,10 @@
 //!    twice produces byte-identical artifact fingerprints and rendered
 //!    degradation logs for all five techniques: batching cache
 //!    invalidations must not perturb event order or content.
-//! 3. **Shim equivalence** — the deprecated `execute` /` try_execute` /
-//!    `execute_with_recovery` entry points remain byte-equivalent to
-//!    [`RunPlan::run`], including how non-completed outcomes surface.
+//! 3. **Options invariance** — execution knobs that only affect *how* a
+//!    plan runs (checkpoint cadence, timeouts) never change *what* it
+//!    computes: artifacts stay byte-equivalent, and non-completed
+//!    outcomes surface deterministically.
 
 use agile_core::verify::check_stats;
 use agile_core::{
@@ -163,51 +164,42 @@ fn small_plan() -> RunPlan {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_are_byte_equivalent_to_run() {
-    let plan = small_plan();
-    let via_run: Vec<String> = plan
+fn checkpointing_never_touches_artifact_bytes() {
+    // Checkpoint capture is a pure read of machine state at tick
+    // boundaries: a plan run with an aggressive checkpoint cadence must
+    // be byte-equivalent to the same plan run without one.
+    let plain: Vec<String> = small_plan()
         .run()
         .into_iter()
         .map(|o| o.into_artifact().fingerprint())
         .collect();
-    let via_execute: Vec<String> = plan.execute().iter().map(|a| a.fingerprint()).collect();
-    let via_try: Vec<String> = plan
-        .try_execute()
-        .expect("healthy plan must not error")
-        .iter()
-        .map(|a| a.fingerprint())
-        .collect();
-    let via_recovery: Vec<String> = plan
-        .execute_with_recovery()
+    let checkpointed: Vec<String> = small_plan()
+        .with_options(PlanOptions::with_threads(2).checkpoint_every(1))
+        .run()
         .into_iter()
         .map(|o| o.into_artifact().fingerprint())
         .collect();
-    assert_eq!(via_run, via_execute);
-    assert_eq!(via_run, via_try);
-    assert_eq!(via_run, via_recovery);
+    assert_eq!(plain, checkpointed);
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_surface_timeouts_identically() {
+fn timeouts_surface_deterministic_partial_artifacts() {
     // A zero deadline is already expired at the first tick boundary, so
     // every request deterministically times out with partial statistics.
-    let plan = small_plan().with_options(PlanOptions {
-        threads: 1,
-        timeout: Some(Duration::ZERO),
-        retries: 0,
-        seed_base: None,
-    });
-    let outcomes = plan.run();
+    let timed = || {
+        small_plan().with_options(PlanOptions {
+            threads: 1,
+            timeout: Some(Duration::ZERO),
+            retries: 0,
+            seed_base: None,
+            checkpoint_interval: None,
+        })
+    };
+    let outcomes = timed().run();
     assert!(outcomes.iter().all(RunOutcome::is_timed_out));
-    let err = plan.try_execute().expect_err("timeout must surface");
-    assert_eq!(err.index, 0);
-    assert_eq!(err.label, outcomes[0].label());
-    assert_eq!(err.message, "run timed out");
-    let recovered = plan.execute_with_recovery();
-    assert_eq!(recovered.len(), outcomes.len());
-    for (r, o) in recovered.iter().zip(&outcomes) {
+    let replay = timed().run();
+    assert_eq!(replay.len(), outcomes.len());
+    for (r, o) in replay.iter().zip(&outcomes) {
         assert!(r.is_timed_out());
         assert_eq!(r.label(), o.label());
         let (rp, op) = (r.partial_artifact().unwrap(), o.partial_artifact().unwrap());

@@ -2,7 +2,9 @@
 
 use crate::vma::{Vma, VmaBacking};
 use agile_mem::PhysMem;
-use agile_types::{AccessKind, GuestFrame, Level, PageSize, ProcessId, PteFlags};
+use agile_types::{
+    AccessKind, CodecError, Dec, Enc, GuestFrame, Level, PageSize, Persist, ProcessId, PteFlags,
+};
 use agile_vmm::Vmm;
 use std::collections::{BTreeMap, HashMap};
 
@@ -594,6 +596,82 @@ impl GuestOs {
     pub fn context_switch(&mut self, mem: &mut PhysMem, vmm: &mut Vmm, to: ProcessId) {
         assert!(self.procs.contains_key(&to), "unknown process");
         vmm.guest_context_switch(mem, to);
+    }
+
+    /// Appends the OS's full dynamic state to `e`: per-process VMA lists
+    /// (processes sorted by pid, VMAs in start order), the pid cursor,
+    /// counters, the shared COW frame, and the free list in exact LIFO
+    /// order (reuse order is simulated state).
+    pub fn save_state(&self, e: &mut Enc) {
+        e.u32(self.next_pid);
+        e.bool(self.thp);
+        self.stats.save(e);
+        self.shared_cow_frame.save(e);
+        self.free_frames.save(e);
+        let mut pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        pids.sort_unstable();
+        e.seq(pids.len());
+        for pid in pids {
+            pid.save(e);
+            let vmas: Vec<Vma> = self.procs[&pid].vmas.values().copied().collect();
+            vmas.save(e);
+        }
+    }
+
+    /// Restores state captured by [`GuestOs::save_state`], replacing
+    /// everything. The THP setting must match (it comes from the system
+    /// configuration, not the snapshot).
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let next_pid = d.u32()?;
+        let thp = d.bool()?;
+        if thp != self.thp {
+            return d.fail("THP setting mismatch");
+        }
+        let stats = OsStats::load(d)?;
+        let shared_cow_frame = Option::<GuestFrame>::load(d)?;
+        let free_frames = Vec::<GuestFrame>::load(d)?;
+        let nprocs = d.len_prefix()?;
+        let mut procs = HashMap::new();
+        for _ in 0..nprocs {
+            let pid = ProcessId::load(d)?;
+            let vmas = Vec::<Vma>::load(d)?;
+            let mut info = ProcInfo::default();
+            for vma in vmas {
+                info.vmas.insert(vma.start, vma);
+            }
+            procs.insert(pid, info);
+        }
+        self.next_pid = next_pid;
+        self.stats = stats;
+        self.shared_cow_frame = shared_cow_frame;
+        self.free_frames = free_frames;
+        self.procs = procs;
+        Ok(())
+    }
+}
+
+impl Persist for OsStats {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.minor_faults);
+        e.u64(self.cow_breaks);
+        e.u64(self.pages_mapped);
+        e.u64(self.huge_mappings);
+        e.u64(self.pages_unmapped);
+        e.u64(self.clock_scans);
+        e.u64(self.pages_reclaimed);
+        e.u64(self.cow_marked);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(OsStats {
+            minor_faults: d.u64()?,
+            cow_breaks: d.u64()?,
+            pages_mapped: d.u64()?,
+            huge_mappings: d.u64()?,
+            pages_unmapped: d.u64()?,
+            clock_scans: d.u64()?,
+            pages_reclaimed: d.u64()?,
+            cow_marked: d.u64()?,
+        })
     }
 }
 

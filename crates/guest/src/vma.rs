@@ -1,6 +1,6 @@
 //! Virtual memory areas of a guest process.
 
-use agile_types::PageSize;
+use agile_types::{CodecError, Dec, Enc, PageSize, Persist};
 
 /// What backs a VMA's pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +50,41 @@ impl Vma {
     pub fn supports_huge(&self, va: u64, size: PageSize) -> bool {
         let huge_base = va & !size.offset_mask();
         huge_base >= self.start && huge_base + size.bytes() <= self.end()
+    }
+}
+
+impl Persist for VmaBacking {
+    fn save(&self, e: &mut Enc) {
+        e.u8(match self {
+            VmaBacking::Anon => 0,
+            VmaBacking::Cow => 1,
+        });
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        match d.u8()? {
+            0 => Ok(VmaBacking::Anon),
+            1 => Ok(VmaBacking::Cow),
+            b => d.fail(format!("bad VmaBacking tag {b}")),
+        }
+    }
+}
+
+impl Persist for Vma {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.start);
+        e.u64(self.len);
+        e.bool(self.writable);
+        self.backing.save(e);
+        self.max_page.save(e);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(Vma {
+            start: d.u64()?,
+            len: d.u64()?,
+            writable: d.bool()?,
+            backing: VmaBacking::load(d)?,
+            max_page: PageSize::load(d)?,
+        })
     }
 }
 

@@ -1,7 +1,10 @@
 //! The VM's guest-physical address space and its host backing.
 
 use crate::{PhysMem, TableSpace};
-use agile_types::{GuestFrame, HostFrame, PageSize};
+use agile_types::{
+    load_map_entries, save_sorted_map, CodecError, Dec, Enc, GuestFrame, HostFrame, PageSize,
+    Persist,
+};
 use std::collections::HashMap;
 
 /// One virtual machine's guest-physical memory: a guest frame allocator plus
@@ -188,6 +191,58 @@ impl GuestMemMap {
             .enumerate()
             .filter(|&(_, &h)| h != NO_BACKING)
             .map(|(g, &h)| (GuestFrame::new(g as u64), HostFrame::new(h)))
+    }
+
+    /// Appends the map's full state to `e`: backed pairs and table flags
+    /// sparsely (ascending gframe order), huge runs sorted by start frame,
+    /// and the bump cursor.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.u64(self.next_gframe);
+        let pairs: Vec<(u64, u64)> = self
+            .backing
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h != NO_BACKING)
+            .map(|(g, &h)| (g as u64, h))
+            .collect();
+        pairs.save(e);
+        let tables: Vec<u64> = self
+            .table_flag
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t)
+            .map(|(g, _)| g as u64)
+            .collect();
+        tables.save(e);
+        save_sorted_map(e, self.huge_runs.iter());
+    }
+
+    /// Restores state captured by [`GuestMemMap::save_state`], replacing
+    /// everything.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let next_gframe = d.u64()?;
+        let pairs = Vec::<(u64, u64)>::load(d)?;
+        let tables = Vec::<u64>::load(d)?;
+        let huge = load_map_entries::<GuestFrame, PageSize>(d)?;
+        self.backing.clear();
+        self.table_flag.clear();
+        self.backed = 0;
+        self.huge_runs.clear();
+        self.next_gframe = next_gframe;
+        for (g, h) in pairs {
+            if g >= next_gframe {
+                return d.fail(format!("gframe {g:#x} beyond bump cursor"));
+            }
+            self.set_backing(GuestFrame::new(g), HostFrame::new(h));
+        }
+        for g in tables {
+            let slot = self.table_flag.get_mut(g as usize).ok_or_else(|| {
+                CodecError::new(d.pos(), format!("table flag on unbacked gframe {g:#x}"))
+            })?;
+            *slot = true;
+        }
+        self.huge_runs.extend(huge);
+        Ok(())
     }
 }
 

@@ -1,6 +1,6 @@
 //! Simulated host physical memory.
 
-use agile_types::{HostFrame, Pte, VmId, ENTRIES_PER_TABLE};
+use agile_types::{CodecError, Dec, Enc, HostFrame, Persist, Pte, VmId, ENTRIES_PER_TABLE};
 
 /// Frame-number span reserved per VM: VM `i` allocates frame numbers from
 /// `i * VM_FRAME_SPAN + 1`, so every frame number is globally unique across
@@ -460,6 +460,92 @@ impl PhysMem {
     #[must_use]
     pub fn frames_allocated(&self) -> u64 {
         self.next_frame - self.base - 1
+    }
+
+    /// Appends the memory's full dynamic state to `e`: the allocator
+    /// bookkeeping plus every live table page as `(frame, present
+    /// entries)`. Byte-stable: table pages are emitted in frame order
+    /// (the slot index is frame-ordered by construction) and only present
+    /// entries are written. Arena slot numbers are *not* saved — they are
+    /// an unobservable packing detail; restore re-packs densely.
+    pub fn save_state(&self, e: &mut Enc) {
+        self.owner.save(e);
+        e.u64(self.base);
+        e.u64(self.next_frame);
+        e.u64(self.data_frames);
+        e.u64(self.freed_table_pages);
+        self.frame_budget.save(e);
+        e.u64(self.charged);
+        e.bool(self.track_frees);
+        self.freed_log.save(e);
+        let frames = self.table_frames();
+        e.seq(frames.len());
+        for f in frames {
+            e.u64(f.raw());
+            let page = self.table(f).expect("table_frames listed a live table");
+            e.seq(page.present_count());
+            for (i, pte) in page.present_entries() {
+                e.u32(i as u32);
+                pte.save(e);
+            }
+        }
+    }
+
+    /// Restores state captured by [`PhysMem::save_state`] onto this
+    /// memory, replacing everything. The owner VM must match — snapshots
+    /// restore onto a machine built for the same VM.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let owner = VmId::load(d)?;
+        if owner != self.owner {
+            return d.fail(format!(
+                "snapshot owned by {owner}, live memory is {}",
+                self.owner
+            ));
+        }
+        let base = d.u64()?;
+        if base != self.base {
+            return d.fail("frame-span base mismatch");
+        }
+        self.next_frame = d.u64()?;
+        self.data_frames = d.u64()?;
+        self.freed_table_pages = d.u64()?;
+        self.frame_budget = Option::<u64>::load(d)?;
+        self.charged = d.u64()?;
+        self.track_frees = d.bool()?;
+        self.freed_log = Vec::<HostFrame>::load(d)?;
+        self.slab.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.live_tables = 0;
+        let tables = d.len_prefix()?;
+        for _ in 0..tables {
+            let frame = d.u64()?;
+            let off = frame.wrapping_sub(self.base);
+            if frame <= self.base || frame >= self.next_frame {
+                return d.fail(format!("table frame {frame:#x} outside span"));
+            }
+            let off = off as usize;
+            if self.slots.len() <= off {
+                self.slots.resize(off + 1, NON_TABLE);
+            }
+            if self.slots[off] != NON_TABLE {
+                return d.fail(format!("duplicate table frame {frame:#x}"));
+            }
+            let mut page = TablePage::new();
+            let present = d.len_prefix()?;
+            for _ in 0..present {
+                let i = d.u32()? as usize;
+                if i >= ENTRIES_PER_TABLE {
+                    return d.fail(format!("PTE index {i} out of range"));
+                }
+                page.set_entry(i, Pte::load(d)?);
+            }
+            self.slab.push(page);
+            self.slots[off] =
+                u32::try_from(self.slab.len() - 1).expect("table arena exceeds u32 slots");
+            self.live_tables += 1;
+        }
+        Ok(())
     }
 }
 

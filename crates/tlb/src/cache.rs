@@ -1,5 +1,7 @@
 //! A generic set-associative cache with true-LRU replacement.
 
+use agile_types::{CodecError, Dec, Enc, Persist};
+
 /// Hit/miss/eviction counters for one cache structure.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -218,6 +220,80 @@ impl<K: Eq + Clone, V: Clone> SetAssocCache<K, V> {
     /// Resets the counters to zero.
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+}
+
+impl Persist for CacheStats {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.hits);
+        e.u64(self.misses);
+        e.u64(self.evictions);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(CacheStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            evictions: d.u64()?,
+        })
+    }
+}
+
+impl<K: Eq + Clone + Persist, V: Clone + Persist> SetAssocCache<K, V> {
+    /// Appends the cache's full dynamic state — every slot in per-set
+    /// insertion order with its LRU stamp, the global stamp, and the
+    /// counters — to `e`. Byte-stable: slot order within a set is part of
+    /// the simulated state (it breaks `min_by_key` ties on eviction), so
+    /// it is preserved exactly rather than canonicalized.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.u64(self.ways as u64);
+        e.u64(self.stamp);
+        self.stats.save(e);
+        e.seq(self.sets.len());
+        for set in &self.sets {
+            e.seq(set.len());
+            for slot in set {
+                slot.key.save(e);
+                slot.value.save(e);
+                e.u64(slot.last_use);
+            }
+        }
+    }
+
+    /// Restores state captured by [`SetAssocCache::save_state`] onto this
+    /// cache. The geometry (sets × ways) must match — state moves between
+    /// identically configured machines, never across geometries.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let ways = d.u64()? as usize;
+        let stamp = d.u64()?;
+        let stats = CacheStats::load(d)?;
+        let nsets = d.len_prefix()?;
+        if ways != self.ways || nsets != self.sets.len() {
+            return d.fail(format!(
+                "cache geometry mismatch: snapshot {nsets}x{ways}, live {}x{}",
+                self.sets.len(),
+                self.ways
+            ));
+        }
+        for set in &mut self.sets {
+            let n = d.len_prefix()?;
+            if n > self.ways {
+                return d.fail(format!("set holds {n} slots, ways is {}", self.ways));
+            }
+            set.clear();
+            for _ in 0..n {
+                let key = K::load(d)?;
+                let value = V::load(d)?;
+                let last_use = d.u64()?;
+                set.push(Slot {
+                    key,
+                    value,
+                    last_use,
+                });
+            }
+        }
+        self.stamp = stamp;
+        self.stats = stats;
+        Ok(())
     }
 }
 

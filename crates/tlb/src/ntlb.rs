@@ -2,7 +2,7 @@
 
 use crate::cache::{CacheStats, SetAssocCache};
 use crate::config::PwcConfig;
-use agile_types::{GuestFrame, HostFrame, PageSize, VmId};
+use agile_types::{CodecError, Dec, Enc, GuestFrame, HostFrame, PageSize, Persist, VmId};
 
 /// A cached gPA⇒hPA translation: the backing host frame of one guest 4 KiB
 /// frame, plus the host mapping's page size and writability (so the final
@@ -105,6 +105,37 @@ impl NestedTlb {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Appends the structure's contents, LRU state, and counters to `e`.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.bool(self.enabled);
+        self.cache.save_state(e);
+    }
+
+    /// Restores state captured by [`NestedTlb::save_state`]. The geometry
+    /// (same [`PwcConfig`]) must match.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let enabled = d.bool()?;
+        if enabled != self.enabled {
+            return d.fail("nested-TLB enable bit mismatch");
+        }
+        self.cache.load_state(d)
+    }
+}
+
+impl Persist for NtlbEntry {
+    fn save(&self, e: &mut Enc) {
+        self.frame.save(e);
+        self.size.save(e);
+        e.bool(self.writable);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(NtlbEntry {
+            frame: HostFrame::load(d)?,
+            size: PageSize::load(d)?,
+            writable: d.bool()?,
+        })
     }
 }
 

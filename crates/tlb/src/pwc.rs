@@ -14,7 +14,7 @@
 
 use crate::cache::{CacheStats, SetAssocCache};
 use crate::config::PwcConfig;
-use agile_types::{Asid, GuestVirtAddr, HostFrame, Level};
+use agile_types::{Asid, CodecError, Dec, Enc, GuestVirtAddr, HostFrame, Level, Persist};
 
 /// Which kind of table page a PWC entry points into — determines the mode
 /// in which the walk resumes.
@@ -198,6 +198,55 @@ impl PageWalkCaches {
             misses: a.misses + b.misses + c.misses,
             evictions: a.evictions + b.evictions + c.evictions,
         }
+    }
+
+    /// Appends all three tables' contents, LRU state, and counters to `e`.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.bool(self.enabled);
+        self.skip1.save_state(e);
+        self.skip2.save_state(e);
+        self.skip3.save_state(e);
+    }
+
+    /// Restores state captured by [`PageWalkCaches::save_state`]. The
+    /// geometry (same [`PwcConfig`]) must match.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let enabled = d.bool()?;
+        if enabled != self.enabled {
+            return d.fail("PWC enable bit mismatch");
+        }
+        self.skip1.load_state(d)?;
+        self.skip2.load_state(d)?;
+        self.skip3.load_state(d)
+    }
+}
+
+impl Persist for PwcTableKind {
+    fn save(&self, e: &mut Enc) {
+        e.u8(match self {
+            PwcTableKind::Shadow => 0,
+            PwcTableKind::Guest => 1,
+        });
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        match d.u8()? {
+            0 => Ok(PwcTableKind::Shadow),
+            1 => Ok(PwcTableKind::Guest),
+            b => d.fail(format!("bad PwcTableKind tag {b}")),
+        }
+    }
+}
+
+impl Persist for PwcEntry {
+    fn save(&self, e: &mut Enc) {
+        self.frame.save(e);
+        self.kind.save(e);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(PwcEntry {
+            frame: HostFrame::load(d)?,
+            kind: PwcTableKind::load(d)?,
+        })
     }
 }
 

@@ -2,7 +2,9 @@
 
 use crate::cache::{CacheStats, SetAssocCache};
 use crate::config::{SizedTlbConfig, TlbConfig};
-use agile_types::{AccessKind, Asid, GuestVirtAddr, HostFrame, PageSize};
+use agile_types::{
+    AccessKind, Asid, CodecError, Dec, Enc, GuestVirtAddr, HostFrame, PageSize, Persist,
+};
 
 /// A TLB entry: the final translation the paper cares about. Under
 /// virtualization this maps gVA⇒hPA regardless of technique (nested, shadow,
@@ -362,6 +364,80 @@ impl TlbHierarchy {
     #[must_use]
     pub fn l1d_4k_stats(&self) -> CacheStats {
         self.l1d[0].stats()
+    }
+
+    /// Appends the hierarchy's full dynamic state (every structure's
+    /// contents, LRU state, and counters) to `e`.
+    pub fn save_state(&self, e: &mut Enc) {
+        self.stats.save(e);
+        for t in self.l1d.iter().chain(self.l1i.iter()).chain(self.l2.iter()) {
+            match t.cache.as_ref() {
+                None => e.u8(0),
+                Some(c) => {
+                    e.u8(1);
+                    c.save_state(e);
+                }
+            }
+        }
+    }
+
+    /// Restores state captured by [`TlbHierarchy::save_state`]. The
+    /// hierarchy geometry (same [`TlbConfig`]) must match.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        let stats = TlbStats::load(d)?;
+        for t in self
+            .l1d
+            .iter_mut()
+            .chain(self.l1i.iter_mut())
+            .chain(self.l2.iter_mut())
+        {
+            let tag = d.u8()?;
+            match (tag, t.cache.as_mut()) {
+                (0, None) => {}
+                (1, Some(c)) => c.load_state(d)?,
+                _ => return d.fail("TLB partition presence mismatch"),
+            }
+        }
+        self.stats = stats;
+        Ok(())
+    }
+}
+
+impl Persist for TlbStats {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.lookups);
+        e.u64(self.l1_hits);
+        e.u64(self.l2_hits);
+        e.u64(self.misses);
+        e.u64(self.fills);
+        e.u64(self.invalidations);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(TlbStats {
+            lookups: d.u64()?,
+            l1_hits: d.u64()?,
+            l2_hits: d.u64()?,
+            misses: d.u64()?,
+            fills: d.u64()?,
+            invalidations: d.u64()?,
+        })
+    }
+}
+
+impl Persist for TlbEntry {
+    fn save(&self, e: &mut Enc) {
+        self.frame.save(e);
+        self.size.save(e);
+        e.bool(self.writable);
+        e.bool(self.dirty);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(TlbEntry {
+            frame: HostFrame::load(d)?,
+            size: PageSize::load(d)?,
+            writable: d.bool()?,
+            dirty: d.bool()?,
+        })
     }
 }
 

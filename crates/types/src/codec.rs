@@ -1,0 +1,648 @@
+//! Deterministic binary codec for snapshot serialization.
+//!
+//! Snapshots (`agile_core::snapshot`) must be **byte-stable**: the same
+//! machine state encodes to the same bytes on every host, every run, every
+//! thread count. The approved dependency list has no serde, so this module
+//! provides the tiny amount of machinery needed: an append-only encoder
+//! ([`Enc`]), a position-tracked decoder ([`Dec`]) whose reads are all
+//! fallible, and a [`Persist`] trait each crate implements for its own
+//! (often private-field) state types.
+//!
+//! Encoding rules, chosen for determinism and debuggability:
+//!
+//! * all integers are fixed-width little-endian (no varints — byte offsets
+//!   stay predictable),
+//! * sequences are length-prefixed with a `u64` count,
+//! * maps are emitted **sorted by key** (hash-map iteration order must
+//!   never leak into the bytes),
+//! * `Option` is a one-byte tag (0/1) followed by the payload,
+//! * there is no padding, framing, or alignment — concatenation of field
+//!   encodings in declaration order.
+//!
+//! # Example
+//!
+//! ```
+//! use agile_types::{Dec, Enc, Persist};
+//!
+//! let mut e = Enc::new();
+//! (7u64, "hello".to_string()).save(&mut e);
+//! let bytes = e.into_bytes();
+//! let mut d = Dec::new(&bytes);
+//! let (n, s) = <(u64, String)>::load(&mut d).unwrap();
+//! assert_eq!((n, s.as_str()), (7, "hello"));
+//! assert!(d.finish().is_ok());
+//! ```
+
+use crate::{
+    Asid, GuestFrame, GuestPhysAddr, GuestVirtAddr, HostFrame, HostPhysAddr, Level, PageSize,
+    ProcessId, Pte, PteFlags, SplitMix64, VmId,
+};
+
+/// A decoding failure: truncated input, a bad tag byte, or a value that
+/// fails domain validation (e.g. a [`Level`] number outside 1..=4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset in the input at which decoding failed.
+    pub at: usize,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl CodecError {
+    /// Builds an error at `at` with message `what`.
+    #[must_use]
+    pub fn new(at: usize, what: impl Into<String>) -> Self {
+        CodecError {
+            at,
+            what: what.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only byte encoder. All writes are infallible.
+#[derive(Debug, Default, Clone)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Consumes the encoder, returning the bytes written so far.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends an `f64` by its IEEE-754 bit pattern (byte-stable).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends raw bytes with a length prefix.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u64` sequence-length prefix (callers then save each item).
+    pub fn seq(&mut self, len: usize) {
+        self.u64(len as u64);
+    }
+}
+
+/// Position-tracked byte decoder. Every read returns a [`CodecError`] on
+/// truncation or malformed data instead of panicking.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decoder over `buf`, starting at byte 0.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    #[must_use]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with `what` at the current offset.
+    pub fn fail<T>(&self, what: impl Into<String>) -> Result<T, CodecError> {
+        Err(CodecError::new(self.pos, what))
+    }
+
+    /// Checks that the whole input was consumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::new(
+                self.pos,
+                format!("{} trailing bytes", self.remaining()),
+            ))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::new(
+                self.pos,
+                format!("need {n} bytes, {} remain", self.remaining()),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a bool byte, rejecting anything but 0/1.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::new(self.pos - 1, format!("bad bool byte {b}"))),
+        }
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.len_prefix()?;
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| CodecError::new(at, format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a length-prefixed raw byte vector.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.len_prefix()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a sequence-length prefix, bounds-checked against the input so
+    /// a corrupt length cannot trigger a huge allocation.
+    pub fn len_prefix(&mut self) -> Result<usize, CodecError> {
+        let at = self.pos;
+        let len = self.u64()?;
+        if len > self.remaining() as u64 * 8 + 64 {
+            return Err(CodecError::new(
+                at,
+                format!(
+                    "implausible length {len} with {} bytes left",
+                    self.remaining()
+                ),
+            ));
+        }
+        Ok(len as usize)
+    }
+}
+
+/// Byte-stable save/load for one state type.
+///
+/// `save` must be a pure function of the value (no hash-map iteration
+/// order, no addresses, no wall-clock), and `load(save(x)) == x` for every
+/// reachable `x`.
+pub trait Persist: Sized {
+    /// Appends this value's encoding to `e`.
+    fn save(&self, e: &mut Enc);
+    /// Decodes one value from `d`.
+    fn load(d: &mut Dec) -> Result<Self, CodecError>;
+}
+
+impl Persist for u8 {
+    fn save(&self, e: &mut Enc) {
+        e.u8(*self);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        d.u8()
+    }
+}
+
+impl Persist for u32 {
+    fn save(&self, e: &mut Enc) {
+        e.u32(*self);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        d.u32()
+    }
+}
+
+impl Persist for u64 {
+    fn save(&self, e: &mut Enc) {
+        e.u64(*self);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        d.u64()
+    }
+}
+
+impl Persist for usize {
+    fn save(&self, e: &mut Enc) {
+        e.u64(*self as u64);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(d.u64()? as usize)
+    }
+}
+
+impl Persist for bool {
+    fn save(&self, e: &mut Enc) {
+        e.bool(*self);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        d.bool()
+    }
+}
+
+impl Persist for f64 {
+    fn save(&self, e: &mut Enc) {
+        e.f64(*self);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        d.f64()
+    }
+}
+
+impl Persist for String {
+    fn save(&self, e: &mut Enc) {
+        e.str(self);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        d.str()
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn save(&self, e: &mut Enc) {
+        match self {
+            None => e.u8(0),
+            Some(v) => {
+                e.u8(1);
+                v.save(e);
+            }
+        }
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        match d.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(d)?)),
+            b => d.fail(format!("bad Option tag {b}")),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn save(&self, e: &mut Enc) {
+        e.seq(self.len());
+        for v in self {
+            v.save(e);
+        }
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        let len = d.len_prefix()?;
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::load(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn save(&self, e: &mut Enc) {
+        self.0.save(e);
+        self.1.save(e);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok((A::load(d)?, B::load(d)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn save(&self, e: &mut Enc) {
+        self.0.save(e);
+        self.1.save(e);
+        self.2.save(e);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok((A::load(d)?, B::load(d)?, C::load(d)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist, D2: Persist> Persist for (A, B, C, D2) {
+    fn save(&self, e: &mut Enc) {
+        self.0.save(e);
+        self.1.save(e);
+        self.2.save(e);
+        self.3.save(e);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok((A::load(d)?, B::load(d)?, C::load(d)?, D2::load(d)?))
+    }
+}
+
+impl<const N: usize, T: Persist + Copy + Default> Persist for [T; N] {
+    fn save(&self, e: &mut Enc) {
+        for v in self {
+            v.save(e);
+        }
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::load(d)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! persist_u32_newtype {
+    ($($ty:ident),*) => {$(
+        impl Persist for $ty {
+            fn save(&self, e: &mut Enc) {
+                e.u32(self.raw());
+            }
+            fn load(d: &mut Dec) -> Result<Self, CodecError> {
+                Ok($ty::new(d.u32()?))
+            }
+        }
+    )*};
+}
+
+persist_u32_newtype!(VmId, ProcessId, Asid);
+
+macro_rules! persist_u64_newtype {
+    ($($ty:ident),*) => {$(
+        impl Persist for $ty {
+            fn save(&self, e: &mut Enc) {
+                e.u64(self.raw());
+            }
+            fn load(d: &mut Dec) -> Result<Self, CodecError> {
+                Ok($ty::new(d.u64()?))
+            }
+        }
+    )*};
+}
+
+persist_u64_newtype!(
+    GuestVirtAddr,
+    GuestPhysAddr,
+    HostPhysAddr,
+    GuestFrame,
+    HostFrame
+);
+
+impl Persist for Pte {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.raw());
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(Pte::from_raw(d.u64()?))
+    }
+}
+
+impl Persist for PteFlags {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.bits());
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        // Round-trip through Pte: flags are the non-frame bits of a PTE.
+        Ok(Pte::from_raw(d.u64()?).flags())
+    }
+}
+
+impl Persist for Level {
+    fn save(&self, e: &mut Enc) {
+        e.u8(self.number());
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        let n = d.u8()?;
+        Level::from_number(n).ok_or_else(|| CodecError::new(d.pos() - 1, format!("bad level {n}")))
+    }
+}
+
+impl Persist for PageSize {
+    fn save(&self, e: &mut Enc) {
+        e.u8(self.shift() as u8);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        match d.u8()? {
+            12 => Ok(PageSize::Size4K),
+            21 => Ok(PageSize::Size2M),
+            30 => Ok(PageSize::Size1G),
+            s => Err(CodecError::new(d.pos() - 1, format!("bad page shift {s}"))),
+        }
+    }
+}
+
+impl Persist for SplitMix64 {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.state());
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(SplitMix64::from_state(d.u64()?))
+    }
+}
+
+/// Saves a map's entries sorted by key so the bytes never depend on
+/// hash-map iteration order. Accepts any `(key, value)` iterator.
+pub fn save_sorted_map<'m, K, V, I>(e: &mut Enc, iter: I)
+where
+    K: Persist + Ord + Copy + 'm,
+    V: Persist + 'm,
+    I: Iterator<Item = (&'m K, &'m V)>,
+{
+    let mut entries: Vec<(&K, &V)> = iter.collect();
+    entries.sort_by_key(|(k, _)| **k);
+    e.seq(entries.len());
+    for (k, v) in entries {
+        k.save(e);
+        v.save(e);
+    }
+}
+
+/// Loads a `(key, value)` entry list written by [`save_sorted_map`].
+pub fn load_map_entries<K: Persist, V: Persist>(d: &mut Dec) -> Result<Vec<(K, V)>, CodecError> {
+    let len = d.len_prefix()?;
+    let mut out = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        out.push((K::load(d)?, V::load(d)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        0xabu8.save(&mut e);
+        0xdead_beefu32.save(&mut e);
+        u64::MAX.save(&mut e);
+        true.save(&mut e);
+        false.save(&mut e);
+        "héllo".to_string().save(&mut e);
+        (-0.5f64).save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(u8::load(&mut d).unwrap(), 0xab);
+        assert_eq!(u32::load(&mut d).unwrap(), 0xdead_beef);
+        assert_eq!(u64::load(&mut d).unwrap(), u64::MAX);
+        assert!(bool::load(&mut d).unwrap());
+        assert!(!bool::load(&mut d).unwrap());
+        assert_eq!(String::load(&mut d).unwrap(), "héllo");
+        assert_eq!(f64::load(&mut d).unwrap(), -0.5);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(u64, Option<String>)> = vec![(1, None), (2, Some("x".into()))];
+        let mut e = Enc::new();
+        v.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(<Vec<(u64, Option<String>)>>::load(&mut d).unwrap(), v);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn vocabulary_types_round_trip() {
+        let mut e = Enc::new();
+        Asid::new(7).save(&mut e);
+        VmId::new(3).save(&mut e);
+        ProcessId::new(11).save(&mut e);
+        GuestFrame::new(0x1234).save(&mut e);
+        HostFrame::new(0x9999).save(&mut e);
+        Level::L3.save(&mut e);
+        PageSize::Size2M.save(&mut e);
+        Pte::leaf(0x42, true, false).save(&mut e);
+        SplitMix64::from_state(0xfeed).save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(Asid::load(&mut d).unwrap(), Asid::new(7));
+        assert_eq!(VmId::load(&mut d).unwrap(), VmId::new(3));
+        assert_eq!(ProcessId::load(&mut d).unwrap(), ProcessId::new(11));
+        assert_eq!(GuestFrame::load(&mut d).unwrap(), GuestFrame::new(0x1234));
+        assert_eq!(HostFrame::load(&mut d).unwrap(), HostFrame::new(0x9999));
+        assert_eq!(Level::load(&mut d).unwrap(), Level::L3);
+        assert_eq!(PageSize::load(&mut d).unwrap(), PageSize::Size2M);
+        assert_eq!(Pte::load(&mut d).unwrap(), Pte::leaf(0x42, true, false));
+        assert_eq!(SplitMix64::load(&mut d).unwrap().state(), 0xfeed);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn sorted_map_is_order_independent() {
+        use std::collections::HashMap;
+        let mut a: HashMap<u32, u64> = HashMap::new();
+        let mut b: HashMap<u32, u64> = HashMap::new();
+        for i in 0..64 {
+            a.insert(i, u64::from(i) * 3);
+        }
+        for i in (0..64).rev() {
+            b.insert(i, u64::from(i) * 3);
+        }
+        let mut ea = Enc::new();
+        save_sorted_map(&mut ea, a.iter());
+        let mut eb = Enc::new();
+        save_sorted_map(&mut eb, b.iter());
+        assert_eq!(ea.into_bytes(), eb.into_bytes());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        "truncate me".to_string().save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..bytes.len() - 3]);
+        assert!(String::load(&mut d).is_err());
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut d = Dec::new(&[9]);
+        assert!(<Option<u8>>::load(&mut d).is_err());
+        let mut d = Dec::new(&[7]);
+        assert!(bool::load(&mut d).is_err());
+        let mut d = Dec::new(&[0]);
+        assert!(Level::load(&mut d).is_err());
+    }
+
+    #[test]
+    fn implausible_length_is_rejected() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(<Vec<u64>>::load(&mut d).is_err());
+    }
+}

@@ -29,6 +29,7 @@
 
 mod access;
 mod addr;
+mod codec;
 mod error;
 mod ids;
 mod level;
@@ -38,6 +39,7 @@ mod rng;
 
 pub use access::AccessKind;
 pub use addr::{GuestFrame, GuestPhysAddr, GuestVirtAddr, HostFrame, HostPhysAddr};
+pub use codec::{load_map_entries, save_sorted_map, CodecError, Dec, Enc, Persist};
 pub use error::{Fault, FaultCause};
 pub use ids::{Asid, ProcessId, VmId};
 pub use level::Level;

@@ -44,6 +44,21 @@ impl SplitMix64 {
         rng.next_u64()
     }
 
+    /// The raw state word — pair with [`SplitMix64::from_state`] to
+    /// serialize a generator mid-stream (snapshot/restore).
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at an exact mid-stream state captured by
+    /// [`SplitMix64::state`]. Unlike [`SplitMix64::new`] this is a restore,
+    /// not a seeding: the next output continues the original stream.
+    #[must_use]
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(Self::GAMMA);

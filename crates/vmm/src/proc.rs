@@ -1,7 +1,7 @@
 //! Per-process virtualization state tracked by the VMM.
 
 use agile_mem::RadixTable;
-use agile_types::{GuestFrame, HostFrame, Level};
+use agile_types::{CodecError, Dec, Enc, GuestFrame, HostFrame, Level, Persist};
 use agile_walk::AgileCr3;
 use std::collections::HashMap;
 
@@ -37,6 +37,43 @@ pub struct GptPageInfo {
     /// Whether the shadow table currently mirrors entries derived from this
     /// page. Only shadowed pages are write-protected, so only they trap.
     pub shadowed: bool,
+}
+
+impl Persist for GptPageMode {
+    fn save(&self, e: &mut Enc) {
+        e.u8(match self {
+            GptPageMode::Synced => 0,
+            GptPageMode::Unsynced => 1,
+            GptPageMode::Nested => 2,
+        });
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        match d.u8()? {
+            0 => Ok(GptPageMode::Synced),
+            1 => Ok(GptPageMode::Unsynced),
+            2 => Ok(GptPageMode::Nested),
+            b => d.fail(format!("bad GptPageMode tag {b}")),
+        }
+    }
+}
+
+impl Persist for GptPageInfo {
+    fn save(&self, e: &mut Enc) {
+        self.level.save(e);
+        e.u64(self.va_base);
+        self.mode.save(e);
+        e.u32(self.writes_this_interval);
+        e.bool(self.shadowed);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(GptPageInfo {
+            level: Level::load(d)?,
+            va_base: d.u64()?,
+            mode: GptPageMode::load(d)?,
+            writes_this_interval: d.u32()?,
+            shadowed: d.bool()?,
+        })
+    }
 }
 
 /// Per-process state.

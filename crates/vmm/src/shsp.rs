@@ -6,6 +6,7 @@
 //! spatially.
 
 use crate::config::ShspOptions;
+use agile_types::{CodecError, Dec, Enc};
 
 /// Which technique the process currently runs under SHSP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +59,32 @@ impl ShspController {
     #[must_use]
     pub fn switch_count(&self) -> u64 {
         self.switches
+    }
+
+    /// Serializes the controller's runtime state (mode and switch count).
+    /// The thresholds are configuration, not state, and are not written.
+    pub fn save_state(&self, e: &mut Enc) {
+        e.u8(match self.mode {
+            ShspMode::Nested => 0,
+            ShspMode::Shadow => 1,
+        });
+        e.u64(self.switches);
+    }
+
+    /// Restores runtime state saved by [`ShspController::save_state`] into
+    /// this controller, keeping its configured thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed mode tag.
+    pub fn load_state(&mut self, d: &mut Dec) -> Result<(), CodecError> {
+        self.mode = match d.u8()? {
+            0 => ShspMode::Nested,
+            1 => ShspMode::Shadow,
+            b => return d.fail(format!("bad ShspMode tag {b}")),
+        };
+        self.switches = d.u64()?;
+        Ok(())
     }
 
     /// Consumes one interval's monitoring data (TLB misses and observed

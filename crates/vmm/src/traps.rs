@@ -1,5 +1,7 @@
 //! VMexit / VMtrap accounting and the cycle cost model.
 
+use agile_types::{CodecError, Dec, Enc, Persist};
+
 /// Why the VMM was entered. Mirrors the trap classes the paper's Section VI
 /// methodology traces ("context switch, page table update and page fault")
 /// plus the host-side EPT fills common to all virtualized techniques.
@@ -178,6 +180,27 @@ impl VmtrapStats {
             out.cycles[i] -= earlier.cycles[i];
         }
         out
+    }
+}
+
+impl Persist for VmtrapStats {
+    fn save(&self, e: &mut Enc) {
+        for c in self.counts {
+            e.u64(c);
+        }
+        for c in self.cycles {
+            e.u64(c);
+        }
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        let mut out = VmtrapStats::default();
+        for c in &mut out.counts {
+            *c = d.u64()?;
+        }
+        for c in &mut out.cycles {
+            *c = d.u64()?;
+        }
+        Ok(out)
     }
 }
 

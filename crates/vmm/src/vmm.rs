@@ -8,8 +8,8 @@ use crate::traps::{VmtrapKind, VmtrapStats};
 use agile_mem::{GuestMemMap, HostSpace, PhysMem, RadixTable, TableSpace};
 use agile_tlb::SetAssocCache;
 use agile_types::{
-    AccessKind, Asid, Fault, FaultCause, GuestFrame, GuestVirtAddr, HostFrame, Level, PageSize,
-    ProcessId, Pte, PteFlags, VmId,
+    load_map_entries, save_sorted_map, AccessKind, Asid, CodecError, Dec, Enc, Fault, FaultCause,
+    GuestFrame, GuestVirtAddr, HostFrame, Level, PageSize, Persist, ProcessId, Pte, PteFlags, VmId,
 };
 use agile_walk::AgileCr3;
 use std::collections::HashMap;
@@ -35,6 +35,39 @@ pub enum FlushRequest {
     /// Drop the nested-TLB entry for one guest frame (the VMM remapped it
     /// in the host table, e.g. a host-level copy-on-write break).
     NtlbFrame(GuestFrame),
+}
+
+impl Persist for FlushRequest {
+    fn save(&self, e: &mut Enc) {
+        match *self {
+            FlushRequest::Asid(asid) => {
+                e.u8(0);
+                asid.save(e);
+            }
+            FlushRequest::Range { asid, start, len } => {
+                e.u8(1);
+                asid.save(e);
+                e.u64(start);
+                e.u64(len);
+            }
+            FlushRequest::NtlbFrame(gframe) => {
+                e.u8(2);
+                gframe.save(e);
+            }
+        }
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        match d.u8()? {
+            0 => Ok(FlushRequest::Asid(Asid::load(d)?)),
+            1 => Ok(FlushRequest::Range {
+                asid: Asid::load(d)?,
+                start: d.u64()?,
+                len: d.u64()?,
+            }),
+            2 => Ok(FlushRequest::NtlbFrame(GuestFrame::load(d)?)),
+            b => d.fail(format!("bad FlushRequest tag {b}")),
+        }
+    }
 }
 
 /// How the VMM resolved a fault.
@@ -87,6 +120,33 @@ impl VmmCounters {
             gpt_writes_direct: self.gpt_writes_direct - earlier.gpt_writes_direct,
             storm_fallbacks: self.storm_fallbacks - earlier.storm_fallbacks,
         }
+    }
+}
+
+impl Persist for VmmCounters {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.to_nested);
+        e.u64(self.to_shadow);
+        e.u64(self.unsyncs);
+        e.u64(self.resyncs);
+        e.u64(self.shadow_leaves_built);
+        e.u64(self.ctx_cache_hits);
+        e.u64(self.gpt_writes_total);
+        e.u64(self.gpt_writes_direct);
+        e.u64(self.storm_fallbacks);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(VmmCounters {
+            to_nested: d.u64()?,
+            to_shadow: d.u64()?,
+            unsyncs: d.u64()?,
+            resyncs: d.u64()?,
+            shadow_leaves_built: d.u64()?,
+            ctx_cache_hits: d.u64()?,
+            gpt_writes_total: d.u64()?,
+            gpt_writes_direct: d.u64()?,
+            storm_fallbacks: d.u64()?,
+        })
     }
 }
 
@@ -1776,7 +1836,11 @@ impl Vmm {
         pid: ProcessId,
         policy: NestedToShadowPolicy,
     ) {
-        // Candidate pages in parent-first (higher level first) order.
+        // Candidate pages in parent-first (higher level first) order, with
+        // the frame number as a total-order tiebreak: conversions allocate
+        // frames, and same-level pages would otherwise be processed in the
+        // map's per-process iteration order, making the machine's frame
+        // assignment (and thus its snapshot bytes) vary across processes.
         let mut nested: Vec<(GuestFrame, Level)> = self
             .proc(pid)
             .pages
@@ -1784,7 +1848,7 @@ impl Vmm {
             .filter(|(_, i)| i.mode == GptPageMode::Nested)
             .map(|(g, i)| (*g, i.level))
             .collect();
-        nested.sort_by_key(|(_, level)| std::cmp::Reverse(*level));
+        nested.sort_unstable_by_key(|&(g, level)| (std::cmp::Reverse(level), g.raw()));
         for (page, _) in nested {
             let revert = match policy {
                 NestedToShadowPolicy::PeriodicReset => true,
@@ -1930,5 +1994,147 @@ impl Vmm {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot persistence
+    // ------------------------------------------------------------------
+
+    /// Serializes the VMM's run-varying state: the guest memory map, the
+    /// host-table root, per-process paging state, trap and event counters,
+    /// the context-pointer cache, pending shootdowns, and the policy
+    /// clocks. Configuration (VM id, technique, cost model) is not
+    /// written — a restore targets a VMM built from the same system
+    /// configuration, and [`Vmm::load_state`] validates the shape against
+    /// it instead.
+    pub fn save_state(&self, e: &mut Enc) {
+        self.gmap.save_state(e);
+        e.u64(self.hpt.root_raw());
+        let mut pids: Vec<ProcessId> = self.procs.keys().copied().collect();
+        pids.sort_unstable_by_key(|p| p.raw());
+        e.seq(pids.len());
+        for pid in pids {
+            let proc = &self.procs[&pid];
+            pid.save(e);
+            e.u64(proc.gpt.root_raw());
+            proc.spt.map(|t| t.root_raw()).save(e);
+            save_sorted_map(e, proc.pages.iter());
+            e.bool(proc.full_nested);
+            e.bool(proc.root_nested);
+        }
+        self.traps.save(e);
+        self.counters.save(e);
+        match self.ctx_cache.as_ref() {
+            Some(cache) => {
+                e.u8(1);
+                cache.save_state(e);
+            }
+            None => e.u8(0),
+        }
+        self.current.save(e);
+        self.pending_flushes.save(e);
+        match self.shsp.as_ref() {
+            Some(c) => {
+                e.u8(1);
+                c.save_state(e);
+            }
+            None => e.u8(0),
+        }
+        e.u64(self.gpt_writes_this_interval);
+        e.u64(self.ticks);
+        e.u64(self.gpt_write_traps_at_tick);
+        e.u64(self.storm_hold_until);
+        self.write_trace.save(e);
+    }
+
+    /// Restores state saved by [`Vmm::save_state`] into this VMM. `mem`
+    /// must already hold the restored physical-memory image the table
+    /// roots refer to; the VMM must have been built from the same
+    /// configuration that produced the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes, on table roots that are not table pages
+    /// in `mem`, and when the snapshot's shape contradicts the live
+    /// configuration (shadow-root / SHSP / context-cache presence).
+    pub fn load_state(&mut self, mem: &PhysMem, d: &mut Dec) -> Result<(), CodecError> {
+        self.gmap.load_state(d)?;
+        let hpt_root = d.u64()?;
+        if mem.table(HostSpace.resolve(hpt_root)).is_none() {
+            return d.fail(format!("host-table root {hpt_root} is not a table page"));
+        }
+        self.hpt = RadixTable::from_root(hpt_root);
+        let nprocs = d.len_prefix()?;
+        self.procs.clear();
+        for _ in 0..nprocs {
+            let pid = ProcessId::load(d)?;
+            let gpt_root = d.u64()?;
+            let backed = self
+                .gmap
+                .backing(GuestFrame::new(gpt_root))
+                .is_some_and(|h| mem.table(h).is_some());
+            if !backed {
+                return d.fail(format!("guest-table root {gpt_root} is not a table page"));
+            }
+            let spt_root: Option<u64> = Option::load(d)?;
+            if spt_root.is_some() != self.cfg.technique.uses_shadow() {
+                return d.fail(format!(
+                    "shadow-root presence contradicts technique {}",
+                    self.cfg.technique.label()
+                ));
+            }
+            if let Some(root) = spt_root {
+                if mem.table(HostSpace.resolve(root)).is_none() {
+                    return d.fail(format!("shadow-table root {root} is not a table page"));
+                }
+            }
+            let pages: HashMap<GuestFrame, GptPageInfo> =
+                load_map_entries(d)?.into_iter().collect();
+            let full_nested = d.bool()?;
+            let root_nested = d.bool()?;
+            if self.procs.contains_key(&pid) {
+                return d.fail(format!("duplicate process {} in snapshot", pid.raw()));
+            }
+            self.procs.insert(
+                pid,
+                ProcState {
+                    gpt: RadixTable::from_root(gpt_root),
+                    spt: spt_root.map(RadixTable::from_root),
+                    pages,
+                    full_nested,
+                    root_nested,
+                },
+            );
+        }
+        self.traps = VmtrapStats::load(d)?;
+        self.counters = VmmCounters::load(d)?;
+        let has_ctx_cache = d.u8()?;
+        match (has_ctx_cache, self.ctx_cache.as_mut()) {
+            (1, Some(cache)) => cache.load_state(d)?,
+            (0, None) => {}
+            _ => return d.fail("context-cache presence contradicts the configuration".to_string()),
+        }
+        let current: Option<ProcessId> = Option::load(d)?;
+        if let Some(pid) = current {
+            if !self.procs.contains_key(&pid) {
+                return d.fail(format!("current process {} unknown", pid.raw()));
+            }
+        }
+        self.current = current;
+        self.pending_flushes = Vec::load(d)?;
+        let has_shsp = d.u8()?;
+        match (has_shsp, self.shsp.as_mut()) {
+            (1, Some(c)) => c.load_state(d)?,
+            (0, None) => {}
+            _ => {
+                return d.fail("SHSP-controller presence contradicts the configuration".to_string())
+            }
+        }
+        self.gpt_writes_this_interval = d.u64()?;
+        self.ticks = d.u64()?;
+        self.gpt_write_traps_at_tick = d.u64()?;
+        self.storm_hold_until = d.u64()?;
+        self.write_trace = Option::load(d)?;
+        Ok(())
     }
 }

@@ -1,6 +1,6 @@
 //! Walk outcomes, classification, and counters.
 
-use agile_types::{HostFrame, PageSize};
+use agile_types::{CodecError, Dec, Enc, HostFrame, PageSize, Persist};
 
 /// The paging-structure root state the VMM programs for a process under
 /// agile paging (the paper's three architectural page-table pointers,
@@ -158,6 +158,29 @@ impl WalkStats {
         self.refs_shadow += other.refs_shadow;
         self.refs_guest += other.refs_guest;
         self.refs_host += other.refs_host;
+    }
+}
+
+impl Persist for WalkStats {
+    fn save(&self, e: &mut Enc) {
+        e.u64(self.attempts);
+        e.u64(self.walks);
+        e.u64(self.faulted_walks);
+        e.u64(self.memory_refs);
+        e.u64(self.refs_shadow);
+        e.u64(self.refs_guest);
+        e.u64(self.refs_host);
+    }
+    fn load(d: &mut Dec) -> Result<Self, CodecError> {
+        Ok(WalkStats {
+            attempts: d.u64()?,
+            walks: d.u64()?,
+            faulted_walks: d.u64()?,
+            memory_refs: d.u64()?,
+            refs_shadow: d.u64()?,
+            refs_guest: d.u64()?,
+            refs_host: d.u64()?,
+        })
     }
 }
 
