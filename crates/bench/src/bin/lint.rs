@@ -12,12 +12,15 @@
 //!    *expected* when a planted fault is statically visible rather than
 //!    healed; the contract is that the report is a pure function of the
 //!    machine state, so the rendered output must be byte-stable.
+//!
+//! `--json` renders the same reports as one stable sorted-key JSON
+//! object (one [`agile_core::LintReport::to_json`] per phase entry).
 
 use agile_core::host::{Host, HostConfig};
 use agile_core::types::VmId;
 use agile_core::{
-    AgileOptions, ChurnSpec, FaultPlan, Machine, Pattern, ScenarioKind, ShspOptions, SystemConfig,
-    Technique, WorkloadSpec,
+    AgileOptions, ChurnSpec, FaultPlan, Json, LintReport, Machine, Pattern, ScenarioKind,
+    ShspOptions, SystemConfig, Technique, WorkloadSpec,
 };
 use std::process::ExitCode;
 
@@ -92,40 +95,57 @@ fn fault_matrix() -> FaultPlan {
 }
 
 fn main() -> ExitCode {
+    let json = std::env::args().any(|a| a == "--json");
     let mut dirty = false;
+    let mut clean_phase: Vec<(String, LintReport)> = Vec::new();
+    let mut chaos_phase: Vec<(String, LintReport)> = Vec::new();
 
-    println!("# agile-lint clean phase: unfaulted churn, shootdown log armed");
+    if !json {
+        println!("# agile-lint clean phase: unfaulted churn, shootdown log armed");
+    }
     for t in techniques() {
         let mut m = Machine::new(SystemConfig::new(t));
         m.enable_shootdown_log();
         m.run_spec(&spec(t.label(), 7));
         let report = m.lint();
-        println!(
-            "technique={} diagnostics={} clean={}",
-            t.label(),
-            report.diags.len(),
-            report.is_clean(),
-        );
+        if !json {
+            println!(
+                "technique={} diagnostics={} clean={}",
+                t.label(),
+                report.diags.len(),
+                report.is_clean(),
+            );
+            if !report.is_clean() {
+                println!("{}", report.render());
+            }
+        }
         if !report.is_clean() {
-            println!("{}", report.render());
             dirty = true;
         }
+        clean_phase.push((t.label().to_string(), report));
     }
 
-    println!("# agile-lint chaos phase: fault matrix, report must be deterministic");
+    if !json {
+        println!("# agile-lint chaos phase: fault matrix, report must be deterministic");
+    }
     for t in techniques() {
         let mut m = Machine::new(SystemConfig::new(t));
         m.enable_chaos(fault_matrix());
         m.run_spec(&spec(t.label(), 7));
         let report = m.lint();
-        println!("technique={} diagnostics={}", t.label(), report.diags.len());
-        if !report.is_clean() {
-            println!("{}", report.render());
+        if !json {
+            println!("technique={} diagnostics={}", t.label(), report.diags.len());
+            if !report.is_clean() {
+                println!("{}", report.render());
+            }
         }
+        chaos_phase.push((t.label().to_string(), report));
     }
 
-    println!("# agile-lint host phase: unfaulted 3-VM shared pool, deny diagnostics");
-    {
+    if !json {
+        println!("# agile-lint host phase: unfaulted 3-VM shared pool, deny diagnostics");
+    }
+    let host_report = {
         // Fault-free plans (all rates zero): the host arbitration itself —
         // lease grants, balloons, demotions, migration-free teardown — must
         // leave frame accounting that lints clean at host scope.
@@ -146,16 +166,43 @@ fn main() -> ExitCode {
         host.run();
         host.teardown_vm(VmId::new(1));
         let report = host.lint();
-        println!(
-            "host diagnostics={} clean={} pool_conserved={}",
-            report.diags.len(),
-            report.is_clean(),
-            host.pool().is_conserved(),
-        );
+        if !json {
+            println!(
+                "host diagnostics={} clean={} pool_conserved={}",
+                report.diags.len(),
+                report.is_clean(),
+                host.pool().is_conserved(),
+            );
+            if !report.is_clean() {
+                println!("{}", report.render());
+            }
+        }
         if !report.is_clean() {
-            println!("{}", report.render());
             dirty = true;
         }
+        report
+    };
+
+    if json {
+        let phase = |entries: &[(String, LintReport)]| {
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|(label, r)| {
+                        Json::obj(vec![
+                            ("report", r.to_json()),
+                            ("technique", Json::Str(label.clone())),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let out = Json::obj(vec![
+            ("chaos", phase(&chaos_phase)),
+            ("clean", phase(&clean_phase)),
+            ("host", host_report.to_json()),
+        ]);
+        println!("{}", out.render());
     }
 
     if dirty {

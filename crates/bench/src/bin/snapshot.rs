@@ -12,7 +12,7 @@
 //! 3. **Differ fixtures** — the transition differ is quiet on identical
 //!    views and loud on planted frame skews and writability flips.
 
-use agile_core::snapshot::{diff, DiffIntent, TransitionView};
+use agile_core::snapshot::{diff, digest, DiffIntent, TransitionView};
 use agile_core::{
     AgileOptions, ChurnSpec, FaultPlan, Machine, MachineSnapshot, Pattern, PlanOptions, RunRequest,
     Service, ShspOptions, SystemConfig, Technique, WorkloadSpec,
@@ -53,17 +53,6 @@ fn spec(label: &str, seed: u64) -> WorkloadSpec {
         prefault_writes: true,
         seed,
     }
-}
-
-/// FNV-1a over the snapshot bytes: a cheap deterministic digest so the
-/// gate output pins the exact encoding without dumping kilobytes.
-fn digest(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 fn round_trip_phase() {

@@ -274,21 +274,15 @@ impl LintDiag {
         self
     }
 
-    /// Renders the diagnostic as a JSON object.
+    /// Renders the diagnostic as a stable sorted-key JSON object.
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("code", Json::Str(self.code.label().to_string())),
-            ("severity", Json::Str(self.severity.label().to_string())),
+            ("detail", Json::Str(self.detail.clone())),
             (
-                "vm",
-                self.vm
-                    .map_or(Json::Null, |v| Json::UInt(u64::from(v.raw()))),
-            ),
-            (
-                "pid",
-                self.pid
-                    .map_or(Json::Null, |p| Json::UInt(u64::from(p.raw()))),
+                "frame",
+                self.frame.map_or(Json::Null, |f| Json::UInt(f.raw())),
             ),
             (
                 "gva",
@@ -301,10 +295,16 @@ impl LintDiag {
                     .map_or(Json::Null, |l| Json::UInt(u64::from(l.number()))),
             ),
             (
-                "frame",
-                self.frame.map_or(Json::Null, |f| Json::UInt(f.raw())),
+                "pid",
+                self.pid
+                    .map_or(Json::Null, |p| Json::UInt(u64::from(p.raw()))),
             ),
-            ("detail", Json::Str(self.detail.clone())),
+            ("severity", Json::Str(self.severity.label().to_string())),
+            (
+                "vm",
+                self.vm
+                    .map_or(Json::Null, |v| Json::UInt(u64::from(v.raw()))),
+            ),
         ])
     }
 }
@@ -1464,6 +1464,73 @@ pub fn detect_shootdown_races(log: &ShootdownLog) -> Vec<LintDiag> {
     out
 }
 
+/// One VM's recorded shootdown protocol plus the frame span it owns on the
+/// shared pool, the input to [`detect_host_shootdown_races`]. Live VMs are
+/// viewed directly through [`crate::Machine::shootdown_log`]; torn-down
+/// VMs through the log the host harvested at teardown.
+#[derive(Debug, Clone, Copy)]
+pub struct VmShootdownView<'a> {
+    /// Which VM recorded the log.
+    pub vm: VmId,
+    /// First frame number of the VM's span (frames `[frame_base,
+    /// frame_base + frame_span)` belong to this VM).
+    pub frame_base: u64,
+    /// Length of the VM's frame span.
+    pub frame_span: u64,
+    /// The VM's recorded shootdown protocol.
+    pub log: &'a ShootdownLog,
+}
+
+/// Host-scope extension of [`detect_shootdown_races`]: the per-VM
+/// happens-before pass over every log (diagnostics tagged with their VM),
+/// plus a cross-VM ownership check no single machine can make — a
+/// `FrameFreed`/`FrameReused` event naming a frame outside the recording
+/// VM's span means one VM's shootdown protocol operated on table memory
+/// the host leased to another VM ([`LintCode::CrossVmFrameAlias`]).
+///
+/// Pure and deterministic; diagnostics come back unsorted (the caller
+/// merges them into a [`LintReport`]).
+#[must_use]
+pub fn detect_host_shootdown_races(views: &[VmShootdownView<'_>]) -> Vec<LintDiag> {
+    let mut out = Vec::new();
+    for view in views {
+        for d in detect_shootdown_races(view.log) {
+            out.push(d.vm(view.vm));
+        }
+        let end = view.frame_base.saturating_add(view.frame_span);
+        let mut flagged: HashSet<u64> = HashSet::new();
+        for event in &view.log.events {
+            let (frame, what) = match event {
+                ShootdownEvent::FrameFreed { frame, .. } => (*frame, "freed"),
+                ShootdownEvent::FrameReused { frame, .. } => (*frame, "allocated"),
+                _ => continue,
+            };
+            if (view.frame_base..end).contains(&frame.raw()) || !flagged.insert(frame.raw()) {
+                continue;
+            }
+            let owner = views
+                .iter()
+                .find(|v| {
+                    (v.frame_base..v.frame_base.saturating_add(v.frame_span)).contains(&frame.raw())
+                })
+                .map_or("no VM's span".to_string(), |v| format!("vm {}", v.vm.raw()));
+            out.push(
+                LintDiag::new(
+                    LintCode::CrossVmFrameAlias,
+                    format!(
+                        "vm {}'s shootdown protocol {what} table frame {frame}, which lies in \
+                         {owner}",
+                        view.vm.raw()
+                    ),
+                )
+                .vm(view.vm)
+                .frame(frame),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1615,6 +1682,106 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, LintCode::ShootdownNeverApplied);
         assert_eq!(diags[0].severity, LintSeverity::Warning);
+    }
+
+    #[test]
+    fn host_scope_tags_per_vm_races_and_catches_cross_vm_frames() {
+        let span = agile_mem::VM_FRAME_SPAN;
+        // vm 0: an in-span race (dropped flush, free, reuse) — must come
+        // back tagged vm=0. vm 1: protocol clean, but its log frees a
+        // frame inside vm 0's span — the cross-VM check must flag it.
+        let mut log0 = ShootdownLog::new();
+        log0.push(ShootdownEvent::Dropped {
+            access: 10,
+            batch: 0,
+            scope: scope(1, 0x1000, 0x1000),
+        });
+        log0.push(ShootdownEvent::FrameFreed {
+            access: 10,
+            batch: 0,
+            frame: HostFrame::new(7),
+        });
+        log0.push(ShootdownEvent::FrameReused {
+            access: 12,
+            frame: HostFrame::new(9),
+        });
+        let mut log1 = ShootdownLog::new();
+        log1.push(ShootdownEvent::Requested {
+            access: 20,
+            batch: 0,
+            scope: scope(2, 0, 0x1000),
+        });
+        log1.push(ShootdownEvent::Applied {
+            access: 20,
+            scope: scope(2, 0, 0x1000),
+        });
+        log1.push(ShootdownEvent::FrameFreed {
+            access: 21,
+            batch: 1,
+            frame: HostFrame::new(7), // vm 0's span
+        });
+        let views = [
+            VmShootdownView {
+                vm: VmId::new(0),
+                frame_base: 0,
+                frame_span: span,
+                log: &log0,
+            },
+            VmShootdownView {
+                vm: VmId::new(1),
+                frame_base: span,
+                frame_span: span,
+                log: &log1,
+            },
+        ];
+        let report = LintReport::from_diags(detect_host_shootdown_races(&views));
+        assert_eq!(report.count(LintCode::MissedShootdownReuse), 1);
+        assert_eq!(report.count(LintCode::CrossVmFrameAlias), 1);
+        let race = report
+            .diags
+            .iter()
+            .find(|d| d.code == LintCode::MissedShootdownReuse)
+            .expect("per-vm race survives at host scope");
+        assert_eq!(race.vm, Some(VmId::new(0)));
+        let alias = report
+            .diags
+            .iter()
+            .find(|d| d.code == LintCode::CrossVmFrameAlias)
+            .expect("out-of-span frame is a cross-vm alias");
+        assert_eq!(alias.vm, Some(VmId::new(1)));
+        assert_eq!(alias.frame, Some(HostFrame::new(7)));
+        assert!(alias.detail.contains("vm 0"), "names the owner: {alias}");
+    }
+
+    #[test]
+    fn host_scope_is_quiet_on_clean_in_span_logs() {
+        let span = agile_mem::VM_FRAME_SPAN;
+        let mut log = ShootdownLog::new();
+        log.push(ShootdownEvent::Requested {
+            access: 5,
+            batch: 0,
+            scope: scope(1, 0, 0x1000),
+        });
+        log.push(ShootdownEvent::Applied {
+            access: 5,
+            scope: scope(1, 0, 0x1000),
+        });
+        log.push(ShootdownEvent::FrameFreed {
+            access: 5,
+            batch: 0,
+            frame: HostFrame::new(span + 3),
+        });
+        log.push(ShootdownEvent::FrameReused {
+            access: 6,
+            frame: HostFrame::new(span + 4),
+        });
+        let views = [VmShootdownView {
+            vm: VmId::new(1),
+            frame_base: span,
+            frame_span: span,
+            log: &log,
+        }];
+        assert!(detect_host_shootdown_races(&views).is_empty());
     }
 
     #[test]

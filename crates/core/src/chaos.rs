@@ -83,6 +83,20 @@ pub enum ScenarioKind {
         /// Frames left above the current charge level.
         headroom: u64,
     },
+    /// A host same-page-merging pass (KSM-style dedup) over the current
+    /// process's hottest pages — TLB residency is the deterministic
+    /// "hot" proxy. Each merged page's backing is remapped onto a shared
+    /// read-only copy via `Vmm::host_share`, the historically bug-prone
+    /// path whose shadow-leaf shootdown (`drop_shadow_leaf`) once went
+    /// missing; later guest writes break the sharing back with a
+    /// host-level copy-on-write. With the shootdown protocol intact the
+    /// pass is invisible to the guest — the interleaving explorer's
+    /// re-plant fixture suppresses that shootdown and proves the oracle
+    /// (and the explorer) catch the stale translations it leaves behind.
+    HostMerge {
+        /// Maximum number of TLB-resident private 4 KiB pages merged.
+        pages: u64,
+    },
 }
 
 /// A complete, self-describing fault-injection plan: seed, background

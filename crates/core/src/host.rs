@@ -44,7 +44,10 @@
 //! destination machine, where [`Machine::lint`] and the chaos contract
 //! surface it.
 
-use crate::analyze::{check_host_frames, LintReport, VmFrameView};
+use crate::analyze::{
+    check_host_frames, detect_host_shootdown_races, LintReport, ShootdownLog, VmFrameView,
+    VmShootdownView,
+};
 use crate::chaos::{render_log, DegradationEvent, DegradationKind, FaultPlan, MAX_EVENTS};
 use crate::config::SystemConfig;
 use crate::machine::{AccessError, Machine};
@@ -164,6 +167,9 @@ struct VmSlot {
     /// Events and violations harvested when the machine is torn down.
     events: Vec<DegradationEvent>,
     violations: Vec<Violation>,
+    /// Shootdown protocol log harvested at teardown, so the host-scope
+    /// race detector still covers a VM whose machine is gone.
+    shootdown_log: Option<ShootdownLog>,
 }
 
 /// A multi-VM host: machines, the shared frame pool, and the arbiter.
@@ -244,6 +250,7 @@ impl Host {
             final_view: None,
             events: Vec::new(),
             violations: Vec::new(),
+            shootdown_log: None,
         });
         vm
     }
@@ -744,6 +751,7 @@ impl Host {
         }
         slot.events.extend(machine.take_degradation_events());
         slot.violations.extend(machine.take_violations());
+        slot.shootdown_log = machine.shootdown_log().cloned();
         let frame_base = machine.mem().frame_base();
         let frames_allocated = machine.mem().frames_allocated();
         drop(machine);
@@ -794,9 +802,16 @@ impl Host {
     }
 
     /// Whole-host static analysis: every live machine's [`Machine::lint`]
-    /// with its diagnostics tagged by VM, plus the host-scope frame
-    /// accounting checks (cross-VM aliasing, teardown leaks, balloon
-    /// conservation) and the pool's conservation invariant.
+    /// with its diagnostics tagged by VM, the host-scope shootdown race
+    /// pass ([`detect_host_shootdown_races`]) over every VM's protocol log
+    /// — torn-down VMs included, through the log harvested at teardown —
+    /// plus the host-scope frame accounting checks (cross-VM aliasing,
+    /// teardown leaks, balloon conservation) and the pool's conservation
+    /// invariant.
+    ///
+    /// A live machine's own lint already runs the per-VM race pass, so the
+    /// host-scope pass re-derives those diagnostics; exact duplicates are
+    /// collapsed after sorting.
     pub fn lint(&mut self) -> LintReport {
         let mut diags = Vec::new();
         for i in 0..self.vms.len() {
@@ -807,6 +822,28 @@ impl Host {
                 }
             }
         }
+        let views: Vec<VmShootdownView<'_>> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let vm = Self::slot_vm(i);
+                let (log, frame_base) = match &slot.machine {
+                    Some(m) => (m.shootdown_log()?, m.mem().frame_base()),
+                    None => (
+                        slot.shootdown_log.as_ref()?,
+                        slot.final_view.as_ref()?.frame_base,
+                    ),
+                };
+                Some(VmShootdownView {
+                    vm,
+                    frame_base,
+                    frame_span: agile_mem::VM_FRAME_SPAN,
+                    log,
+                })
+            })
+            .collect();
+        diags.extend(detect_host_shootdown_races(&views));
         diags.extend(check_host_frames(&self.frame_views()));
         if !self.pool.is_conserved() {
             // free + Σleases must equal capacity; a violation means some
@@ -827,7 +864,22 @@ impl Host {
                 ),
             });
         }
-        LintReport::from_diags(diags)
+        let mut report = LintReport::from_diags(diags);
+        // A live VM's race diags arrive twice (its own lint and the
+        // host-scope pass); sorted order makes the copies adjacent.
+        report.diags.dedup();
+        report
+    }
+
+    /// The shootdown protocol log of `vm`: the live machine's log, or the
+    /// one harvested at teardown. `None` when the VM never recorded one.
+    #[must_use]
+    pub fn shootdown_log_of(&self, vm: VmId) -> Option<&ShootdownLog> {
+        let slot = self.vms.get(vm.raw() as usize)?;
+        match &slot.machine {
+            Some(m) => m.shootdown_log(),
+            None => slot.shootdown_log.as_ref(),
+        }
     }
 
     /// Host-level degradation events recorded so far.
@@ -1025,6 +1077,57 @@ mod tests {
             "post-teardown lint: {:?}",
             report.diags
         );
+    }
+
+    #[test]
+    fn teardown_harvests_the_shootdown_log_for_host_scope_races() {
+        let mut host = overcommitted_pair(400);
+        host.run_steps(500);
+        host.teardown_vm(VmId::new(0));
+        host.run();
+        // Chaos arming implies shootdown logging, so both VMs recorded the
+        // protocol — the torn-down one through the harvested log.
+        let harvested = host
+            .shootdown_log_of(VmId::new(0))
+            .expect("teardown harvests the log");
+        assert!(!harvested.is_empty(), "vm 0 recorded protocol traffic");
+        assert!(host.shootdown_log_of(VmId::new(1)).is_some());
+        // The cross-VM drop plan's windows all healed (full-ASID flushes
+        // subsume the dropped scopes), every frame stayed in its owner's
+        // span, and the host-scope pass is idempotent over the merge with
+        // the live machine's own lint.
+        let first = host.lint();
+        assert!(first.is_clean(), "host-scope races: {}", first.render());
+        let second = host.lint();
+        assert_eq!(first.render(), second.render(), "lint must be pure");
+    }
+
+    #[test]
+    fn host_lint_flags_a_planted_out_of_span_frame() {
+        let mut host = overcommitted_pair(400);
+        host.run_steps(300);
+        // Plant a protocol event naming a frame in the *other* VM's span:
+        // an in-span free under an applied flush would be clean, so any
+        // diagnostic below is the cross-VM ownership check firing.
+        let foreign = agile_mem::VM_FRAME_SPAN + 9;
+        host.machine_mut(VmId::new(0))
+            .expect("live")
+            .chaos_log_shootdown(crate::analyze::ShootdownEvent::FrameFreed {
+                access: 1,
+                batch: u64::MAX,
+                frame: agile_types::HostFrame::new(foreign),
+            });
+        let report = host.lint();
+        let alias = report
+            .diags
+            .iter()
+            .find(|d| {
+                d.code == crate::analyze::LintCode::CrossVmFrameAlias
+                    && d.frame == Some(agile_types::HostFrame::new(foreign))
+            })
+            .expect("planted out-of-span frame must be flagged");
+        assert_eq!(alias.vm, Some(VmId::new(0)));
+        assert!(alias.detail.contains("vm 1"), "owner named: {alias}");
     }
 
     #[test]

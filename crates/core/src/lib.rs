@@ -40,6 +40,7 @@ pub mod analyze;
 pub mod chaos;
 mod config;
 pub mod experiments;
+pub mod explore;
 pub mod host;
 mod machine;
 pub mod profile;
@@ -51,13 +52,16 @@ mod stats;
 pub mod verify;
 
 pub use analyze::{
-    check_host_frames, detect_shootdown_races, FlushScope, LintCode, LintDiag, LintReport,
-    LintSeverity, ShootdownEvent, ShootdownLog, VmFrameView,
+    check_host_frames, detect_host_shootdown_races, detect_shootdown_races, FlushScope, LintCode,
+    LintDiag, LintReport, LintSeverity, ShootdownEvent, ShootdownLog, VmFrameView, VmShootdownView,
 };
 pub use chaos::{
     render_log, ChaosScenario, DegradationEvent, DegradationKind, FaultPlan, ScenarioKind,
 };
 pub use config::SystemConfig;
+pub use explore::{
+    explore, replay, ChoicePoint, CounterexampleTrace, ExploreConfig, ExploreReport, Scheduler,
+};
 pub use host::{Host, HostConfig, MigrationOutcome};
 pub use machine::{AccessError, Machine};
 pub use profile::{FlushApplyStats, HotPathProfile};
@@ -70,7 +74,8 @@ pub use service::{
     CancelToken, JobId, JobState, JobStatus, PlanOptions, Service, ServiceMetrics, StopCause,
 };
 pub use snapshot::{
-    diff, Checkpoint, CheckpointSlot, DiffIntent, MachineSnapshot, ProcessImage, TransitionView,
+    bisect_violation, bisect_violation_with, diff, digest, BisectReport, Checkpoint,
+    CheckpointRing, CheckpointSlot, DiffIntent, MachineSnapshot, ProcessImage, TransitionView,
     WorkerKill, SNAPSHOT_VERSION,
 };
 pub use stats::{KindCounts, Overheads, RunStats};

@@ -97,6 +97,17 @@ pub struct Machine {
     /// Chaos crash trigger: panic with [`WorkerKill`] at this 1-based
     /// tick of the current run attempt ([`Machine::set_kill_at_tick`]).
     kill_at_tick: Option<u64>,
+    /// Checkpoint ring `(every_ticks, ring)`: like the sink, but keeping
+    /// the last K checkpoints for post-hoc violation bisection
+    /// ([`Machine::run_with_ring`], [`snapshot::bisect_violation`]).
+    checkpoint_ring: Option<(u64, snapshot::CheckpointRing)>,
+    /// Interleaving scheduler ([`crate::explore::Scheduler`]): when
+    /// installed, the machine's concurrency decision points — flush
+    /// delivery order, deferred-shootdown timing, agile switch timing —
+    /// consult it instead of taking the single built-in schedule. `None`
+    /// (production) is byte-identical to a scheduler that always picks
+    /// alternative 0. Control-plane state: excluded from snapshots.
+    scheduler: Option<Box<dyn crate::explore::Scheduler>>,
 }
 
 /// Worst-case number of host frames the infallible deep-map paths can
@@ -169,6 +180,8 @@ impl Machine {
             stopped: None,
             checkpoint_sink: None,
             kill_at_tick: None,
+            checkpoint_ring: None,
+            scheduler: None,
         }
     }
 
@@ -203,6 +216,47 @@ impl Machine {
     /// mid-job with its latest checkpoint already durable.
     pub fn set_kill_at_tick(&mut self, tick: u64) {
         self.kill_at_tick = Some(tick.max(1));
+    }
+
+    /// Installs the checkpoint ring: at every `every_ticks`-th tick
+    /// boundary the machine pushes a full [`Checkpoint`] into `ring`,
+    /// which retains the last K of them. The recorded window is the
+    /// input to [`snapshot::bisect_violation`]. Like the sink,
+    /// ring-keeping reads the machine without mutating it.
+    pub fn set_checkpoint_ring(&mut self, every_ticks: u64, ring: snapshot::CheckpointRing) {
+        self.checkpoint_ring = Some((every_ticks.max(1), ring));
+    }
+
+    /// Runs a workload while recording a checkpoint ring: every
+    /// `every_ticks` ticks a checkpoint is pushed into a fresh
+    /// [`snapshot::CheckpointRing`] of capacity `keep`, which is returned
+    /// alongside the run's statistics for post-hoc bisection.
+    pub fn run_with_ring(
+        &mut self,
+        spec: &WorkloadSpec,
+        every_ticks: u64,
+        keep: usize,
+    ) -> (RunStats, snapshot::CheckpointRing) {
+        let ring = snapshot::CheckpointRing::new(keep);
+        self.set_checkpoint_ring(every_ticks, ring.clone());
+        let stats = self.run_spec(spec);
+        self.checkpoint_ring = None;
+        (stats, ring)
+    }
+
+    /// Installs an interleaving [`crate::explore::Scheduler`]: the
+    /// machine's concurrency decision points (flush delivery order,
+    /// deferred-shootdown timing, technique-switch timing) consult it
+    /// instead of taking the single built-in schedule. The bounded
+    /// explorer ([`crate::explore::explore`]) drives runs through this
+    /// hook; production machines never install one.
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn crate::explore::Scheduler>) {
+        self.scheduler = Some(scheduler);
+    }
+
+    /// Removes and returns the installed scheduler, if any.
+    pub fn take_scheduler(&mut self) -> Option<Box<dyn crate::explore::Scheduler>> {
+        self.scheduler.take()
     }
 
     /// Arms the deterministic fault-injection engine with `plan`.
@@ -445,6 +499,22 @@ impl Machine {
         &self.vmm
     }
 
+    /// Test-only pass-through to [`Vmm::chaos_suppress_leaf_flush`]: re-
+    /// plants the historical `drop_shadow_leaf` missed-flush bug so the
+    /// bounded explorer's teeth can be proven against it.
+    pub fn chaos_suppress_leaf_flush(&mut self, on: bool) {
+        self.vmm.chaos_suppress_leaf_flush(on);
+    }
+
+    /// Test-only: appends a raw event to the shootdown protocol log (no-op
+    /// when logging is disabled). Host-scope lint fixtures use it to plant
+    /// cross-VM frame traffic no honest machine would record.
+    pub fn chaos_log_shootdown(&mut self, event: ShootdownEvent) {
+        if let Some(log) = self.shootdown_log.as_mut() {
+            log.push(event);
+        }
+    }
+
     /// The simulated physical memory (read-only; the static analyzer and
     /// tests enumerate table pages through it).
     #[must_use]
@@ -560,11 +630,13 @@ impl Machine {
     /// dropped or deferred; `NtlbFrame` requests model the hypervisor's
     /// *synchronous* local INVEPT on its own EPT edit and always deliver.
     fn drain_flushes(&mut self) {
+        if self.scheduler.is_some() {
+            return self.drain_flushes_scheduled();
+        }
         let batch = self.next_flush_batch();
         let mut delivered: Vec<FlushRequest> = Vec::new();
         for req in self.vmm.take_pending_flushes() {
-            let scope = FlushScope::of_request(&req);
-            if let Some(scope) = scope {
+            if let Some(scope) = FlushScope::of_request(&req) {
                 let access = self.hot.accesses;
                 self.log_shootdown(ShootdownEvent::Requested {
                     access,
@@ -572,53 +644,141 @@ impl Machine {
                     scope,
                 });
             }
-            let fate = match self.chaos.as_mut() {
-                Some(c) if !matches!(req, FlushRequest::NtlbFrame(_)) => c.roll_shootdown(),
-                _ => ShootdownFate::Deliver,
-            };
-            match fate {
-                ShootdownFate::Deliver => {
-                    self.log_applied(&req);
-                    delivered.push(req);
-                }
-                ShootdownFate::Drop => {
-                    let access = self.hot.accesses;
-                    let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
-                    chaos.record(
+            self.roll_and_deliver(req, batch, &mut delivered);
+        }
+        self.apply_flush_batch(&delivered);
+        self.log_freed_frames(batch);
+    }
+
+    /// Rolls the chaos shootdown dice (when armed) for one drained request
+    /// and either queues it for delivery or records its drop/deferral —
+    /// the shared fate logic of [`Machine::drain_flushes`] and its
+    /// scheduler-ordered variant.
+    fn roll_and_deliver(
+        &mut self,
+        req: FlushRequest,
+        batch: u64,
+        delivered: &mut Vec<FlushRequest>,
+    ) {
+        let scope = FlushScope::of_request(&req);
+        let fate = match self.chaos.as_mut() {
+            Some(c) if !matches!(req, FlushRequest::NtlbFrame(_)) => c.roll_shootdown(),
+            _ => ShootdownFate::Deliver,
+        };
+        match fate {
+            ShootdownFate::Deliver => {
+                self.log_applied(&req);
+                delivered.push(req);
+            }
+            ShootdownFate::Drop => {
+                let access = self.hot.accesses;
+                let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
+                chaos.record(
+                    access,
+                    DegradationKind::DroppedShootdown,
+                    flush_gva(&req),
+                    format!("dropped {req:?}"),
+                );
+                if let Some(scope) = scope {
+                    self.log_shootdown(ShootdownEvent::Dropped {
                         access,
-                        DegradationKind::DroppedShootdown,
-                        flush_gva(&req),
-                        format!("dropped {req:?}"),
-                    );
-                    if let Some(scope) = scope {
-                        self.log_shootdown(ShootdownEvent::Dropped {
-                            access,
-                            batch,
-                            scope,
-                        });
-                    }
-                }
-                ShootdownFate::Defer(delay) => {
-                    let access = self.hot.accesses;
-                    let due = access + delay;
-                    let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
-                    chaos.record(
-                        access,
-                        DegradationKind::DeferredShootdown,
-                        flush_gva(&req),
-                        format!("deferred {req:?} until access {due}"),
-                    );
-                    chaos.deferred.push((due, req));
-                    if let Some(scope) = scope {
-                        self.log_shootdown(ShootdownEvent::Deferred {
-                            access,
-                            batch,
-                            due,
-                            scope,
-                        });
-                    }
+                        batch,
+                        scope,
+                    });
                 }
             }
+            ShootdownFate::Defer(delay) => {
+                let access = self.hot.accesses;
+                let due = access + delay;
+                let chaos = self.chaos.as_mut().expect("chaos rolled the dice");
+                chaos.record(
+                    access,
+                    DegradationKind::DeferredShootdown,
+                    flush_gva(&req),
+                    format!("deferred {req:?} until access {due}"),
+                );
+                chaos.deferred.push((due, req));
+                if let Some(scope) = scope {
+                    self.log_shootdown(ShootdownEvent::Deferred {
+                        access,
+                        batch,
+                        due,
+                        scope,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Consults the installed interleaving scheduler at one choice point.
+    /// Without a scheduler this is the constant 0 — the single built-in
+    /// schedule every production run takes.
+    fn schedule(&mut self, point: crate::explore::ChoicePoint, alternatives: u32) -> u32 {
+        debug_assert!(alternatives >= 1);
+        match self.scheduler.as_mut() {
+            Some(s) => s.choose(point, alternatives).min(alternatives - 1),
+            None => 0,
+        }
+    }
+
+    /// [`Machine::drain_flushes`] with the IPI delivery order chosen by
+    /// the installed scheduler: real shootdown IPIs race each other, so
+    /// the model checker owns their arrival order. `NtlbFrame` requests
+    /// model the hypervisor's *synchronous* local INVEPT — no IPI, no
+    /// reordering freedom — and deliver first, unconditionally. Each pick
+    /// offers only requests with *distinct* flush scopes: delivering
+    /// either of two identical-scope twins first reaches the same
+    /// successor state, so branching on the twin is pruned (the sleep-set
+    /// argument of DESIGN §5j); the suppressed permutations are reported
+    /// through [`crate::explore::ChoicePoint::FlushPick`]'s `remaining`.
+    fn drain_flushes_scheduled(&mut self) {
+        let batch = self.next_flush_batch();
+        let pending = self.vmm.take_pending_flushes();
+        for req in &pending {
+            if let Some(scope) = FlushScope::of_request(req) {
+                let access = self.hot.accesses;
+                self.log_shootdown(ShootdownEvent::Requested {
+                    access,
+                    batch,
+                    scope,
+                });
+            }
+        }
+        let (sync, mut remaining): (Vec<FlushRequest>, Vec<FlushRequest>) = pending
+            .into_iter()
+            .partition(|r| matches!(r, FlushRequest::NtlbFrame(_)));
+        let mut delivered: Vec<FlushRequest> = Vec::new();
+        for req in sync {
+            self.roll_and_deliver(req, batch, &mut delivered);
+        }
+        while !remaining.is_empty() {
+            // Distinct scopes in canonical (sorted-batch) order; the
+            // chosen alternative indexes into this list.
+            let mut distinct: Vec<FlushScope> = Vec::new();
+            for r in &remaining {
+                let s = FlushScope::of_request(r).expect("IPI-carried request has a scope");
+                if !distinct.contains(&s) {
+                    distinct.push(s);
+                }
+            }
+            let choice = if remaining.len() > 1 {
+                self.schedule(
+                    crate::explore::ChoicePoint::FlushPick {
+                        batch,
+                        remaining: remaining.len() as u32,
+                    },
+                    distinct.len() as u32,
+                )
+            } else {
+                0
+            };
+            let scope = distinct[choice as usize];
+            let idx = remaining
+                .iter()
+                .position(|r| FlushScope::of_request(r) == Some(scope))
+                .expect("chosen scope came from the remaining requests");
+            let req = remaining.remove(idx);
+            self.roll_and_deliver(req, batch, &mut delivered);
         }
         self.apply_flush_batch(&delivered);
         self.log_freed_frames(batch);
@@ -692,11 +852,36 @@ impl Machine {
     }
 
     /// Applies deferred shootdowns whose delivery access has been reached.
+    /// Under an interleaving scheduler the due batch may instead slip one
+    /// more access ([`crate::explore::ChoicePoint::DeferredDelivery`]):
+    /// the IPI is in flight and the model checker owns exactly *when* in
+    /// the access stream it lands.
     fn deliver_due_shootdowns(&mut self) {
-        let due = match self.chaos.as_mut() {
-            Some(c) => c.take_due_deferred(self.hot.accesses),
-            None => return,
-        };
+        if self.chaos.is_none() {
+            return;
+        }
+        let access = self.hot.accesses;
+        let has_due = self
+            .chaos
+            .as_ref()
+            .is_some_and(|c| c.deferred.iter().any(|(due, _)| *due <= access));
+        if has_due
+            && self.scheduler.is_some()
+            && self.schedule(crate::explore::ChoicePoint::DeferredDelivery, 2) == 1
+        {
+            let chaos = self.chaos.as_mut().expect("checked above");
+            for slot in &mut chaos.deferred {
+                if slot.0 <= access {
+                    slot.0 = access + 1;
+                }
+            }
+            return;
+        }
+        let due = self
+            .chaos
+            .as_mut()
+            .expect("checked above")
+            .take_due_deferred(access);
         for req in &due {
             self.log_applied(req);
         }
@@ -1172,6 +1357,42 @@ impl Machine {
                     format!("frame budget capped at {budget} ({headroom} frames of headroom)"),
                 );
             }
+            ScenarioKind::HostMerge { pages } => {
+                // Merge candidates: TLB-resident, privately-backed (guest
+                // writable — COW-shared frames are mapped read-only and
+                // may be visible to other processes, whose cached
+                // translations a single-process share pass must not
+                // invalidate) 4 KiB leaves. Sorted for determinism
+                // regardless of cache iteration order.
+                let mut gvas: Vec<u64> = self
+                    .tlb
+                    .entries()
+                    .into_iter()
+                    .filter(|&(a, _, _)| a == asid)
+                    .map(|(_, va, _)| va.raw())
+                    .filter(|&va| {
+                        matches!(
+                            self.vmm.gpt_lookup(&self.mem, pid, va),
+                            Some((pte, Level::L1)) if pte.is_writable()
+                        )
+                    })
+                    .collect();
+                gvas.sort_unstable();
+                gvas.dedup();
+                gvas.truncate(usize::try_from(pages).unwrap_or(usize::MAX));
+                let reclaimed = self.vmm.host_share(&mut self.mem, pid, &gvas);
+                // Host-initiated maintenance: its shootdowns are IPIs the
+                // chaos dice never touch.
+                self.drain_flushes_reliable();
+                self.chaos_record(
+                    DegradationKind::InjectedFault,
+                    None,
+                    format!(
+                        "host same-page merge: {} pages shared, {reclaimed} frames reclaimed",
+                        gvas.len()
+                    ),
+                );
+            }
         }
     }
 
@@ -1468,24 +1689,38 @@ impl Machine {
                 audit = AuditScope::Full;
             }
             Event::Tick => {
-                // Technique switches happen inside interval_tick; bracket
-                // it with the two-state differ under paranoia to prove a
-                // switch moved only page modes, never the translation
-                // function (see [`crate::snapshot::diff`]).
-                let differ = self.cfg.paranoia
-                    && matches!(self.cfg.technique, Technique::Agile(_) | Technique::Shsp(_));
-                let before = differ.then(|| {
-                    snapshot::TransitionView::capture_parts(&self.mem, &self.vmm, &self.os)
-                });
-                let misses = self.tlb.stats().misses - self.hot.misses_at_last_tick;
-                self.hot.misses_at_last_tick = self.tlb.stats().misses;
-                self.vmm.interval_tick(&mut self.mem, misses);
-                self.drain_flushes();
-                if let Some(before) = before {
-                    let after =
-                        snapshot::TransitionView::capture_parts(&self.mem, &self.vmm, &self.os);
-                    let found = snapshot::diff(&before, &after, DiffIntent::TechniqueSwitch);
-                    self.record_violations(found);
+                let switching =
+                    matches!(self.cfg.technique, Technique::Agile(_) | Technique::Shsp(_));
+                // Under an interleaving scheduler the per-page switching
+                // policy may fire *after* the next interval's accesses
+                // instead of at this boundary — modeling the policy work
+                // racing the guest. Postponing leaves the machine fully
+                // coherent (no switch, no flush), and the withheld TLB
+                // misses accumulate into the next interval's count.
+                let postpone = switching
+                    && self.scheduler.is_some()
+                    && self.schedule(crate::explore::ChoicePoint::SwitchTiming, 2) == 1;
+                if postpone {
+                    self.drain_flushes();
+                } else {
+                    // Technique switches happen inside interval_tick;
+                    // bracket it with the two-state differ under paranoia
+                    // to prove a switch moved only page modes, never the
+                    // translation function (see [`crate::snapshot::diff`]).
+                    let differ = self.cfg.paranoia && switching;
+                    let before = differ.then(|| {
+                        snapshot::TransitionView::capture_parts(&self.mem, &self.vmm, &self.os)
+                    });
+                    let misses = self.tlb.stats().misses - self.hot.misses_at_last_tick;
+                    self.hot.misses_at_last_tick = self.tlb.stats().misses;
+                    self.vmm.interval_tick(&mut self.mem, misses);
+                    self.drain_flushes();
+                    if let Some(before) = before {
+                        let after =
+                            snapshot::TransitionView::capture_parts(&self.mem, &self.vmm, &self.os);
+                        let found = snapshot::diff(&before, &after, DiffIntent::TechniqueSwitch);
+                        self.record_violations(found);
+                    }
                 }
                 self.drain_write_trace();
                 if let Some(trace) = self.trace.as_mut() {
@@ -1582,6 +1817,17 @@ impl Machine {
                             snapshot: self.snapshot(),
                             events_consumed: consumed,
                             warmup_armed: armed,
+                            ticks: run_ticks,
+                        });
+                    }
+                }
+                if let Some((every, ring)) = self.checkpoint_ring.clone() {
+                    if run_ticks.is_multiple_of(every) {
+                        ring.push(Checkpoint {
+                            snapshot: self.snapshot(),
+                            events_consumed: consumed,
+                            warmup_armed: armed,
+                            ticks: run_ticks,
                         });
                     }
                 }

@@ -38,6 +38,21 @@ use agile_vmm::{GptPageMode, Vmm};
 /// Leading bytes of every serialized snapshot.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"AGILSNAP";
 
+/// FNV-1a (64-bit) over arbitrary bytes: the workspace's one cheap
+/// deterministic digest. The snapshot CI gate pins encodings with it,
+/// the bounded explorer ([`mod@crate::explore`]) dedups visited states with
+/// it, and the checkpoint ring labels checkpoints with it — one shared
+/// definition so all three agree on what "the same bytes" means.
+#[must_use]
+pub fn digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Current snapshot format version. Bumped on any encoding change; old
 /// versions are rejected (refusing loudly beats deserializing garbage).
 pub const SNAPSHOT_VERSION: u32 = 1;
@@ -88,6 +103,14 @@ impl MachineSnapshot {
     #[must_use]
     pub fn payload_len(&self) -> usize {
         self.payload.len()
+    }
+
+    /// FNV-1a digest of the full serialized form ([`digest`] over
+    /// [`MachineSnapshot::to_bytes`]): equal digests are how the CI gate,
+    /// the explorer, and the bisector decide two machine states match.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        digest(&self.to_bytes())
     }
 
     pub(crate) fn payload(&self) -> &[u8] {
@@ -153,6 +176,10 @@ pub struct Checkpoint {
     pub events_consumed: u64,
     /// Whether the warm-up measurement trigger had not yet fired.
     pub warmup_armed: bool,
+    /// 1-based tick of the run at which the checkpoint was stored, so the
+    /// bisector can report violation positions in ticks, the unit the
+    /// run's own degradation log and cancellation points use.
+    pub ticks: u64,
 }
 
 #[derive(Debug, Default)]
@@ -207,6 +234,79 @@ impl CheckpointSlot {
     #[must_use]
     pub fn stores(&self) -> u64 {
         self.inner.stores.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    last: Mutex<std::collections::VecDeque<Checkpoint>>,
+    stores: AtomicU64,
+}
+
+/// A bounded ring of the last `K` checkpoints of a run, the time-travel
+/// substrate behind [`bisect_violation`]: where [`CheckpointSlot`] keeps
+/// only the newest checkpoint (enough for crash recovery), the ring keeps
+/// a window of history so a violation discovered at pause can be replayed
+/// from progressively older known states and pinned to the first bad
+/// tick. Cloning shares the ring.
+#[derive(Debug, Clone)]
+pub struct CheckpointRing {
+    inner: Arc<RingInner>,
+    capacity: usize,
+}
+
+impl CheckpointRing {
+    /// An empty ring holding at most `capacity` checkpoints (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        CheckpointRing {
+            inner: Arc::new(RingInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a checkpoint, evicting the oldest once over capacity.
+    pub fn push(&self, cp: Checkpoint) {
+        let mut last = self.inner.last.lock().expect("checkpoint ring poisoned");
+        if last.len() == self.capacity {
+            last.pop_front();
+        }
+        last.push_back(cp);
+        self.inner.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The retained checkpoints, oldest first.
+    #[must_use]
+    pub fn checkpoints(&self) -> Vec<Checkpoint> {
+        self.inner
+            .last
+            .lock()
+            .expect("checkpoint ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Checkpoints ever pushed (including evicted ones).
+    #[must_use]
+    pub fn stores(&self) -> u64 {
+        self.inner.stores.load(Ordering::Relaxed)
+    }
+
+    /// Maximum checkpoints retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the ring holds no checkpoints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .last
+            .lock()
+            .expect("checkpoint ring poisoned")
+            .is_empty()
     }
 }
 
@@ -551,6 +651,144 @@ impl ProcessImage {
     }
 }
 
+/// Where [`bisect_violation`] pinned the first violation of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BisectReport {
+    /// Tick of the checkpoint the successful replay started from (the
+    /// newest retained checkpoint that restored clean).
+    pub from_ticks: u64,
+    /// First tick at (or during) which a violation or lint diagnostic
+    /// appears when replaying forward from that checkpoint.
+    pub first_bad_tick: u64,
+    /// Workload events replayed from the checkpoint to the violation.
+    pub events_replayed: u64,
+    /// Violation/diagnostic summaries observed at the first bad tick.
+    pub findings: Vec<String>,
+    /// True when even the oldest retained checkpoint was already dirty:
+    /// the true first bad tick precedes the ring's window, and
+    /// `first_bad_tick` is only an upper bound.
+    pub truncated: bool,
+}
+
+/// Every reason the paused `machine` is not clean, rendered one finding
+/// per line: recorded paranoia/differ violations first, then static-
+/// analyzer diagnostics. Shared by the bisector and the explorer — both
+/// define "violating state" as "this list is non-empty".
+pub(crate) fn machine_findings(machine: &mut Machine) -> Vec<String> {
+    let mut findings: Vec<String> = machine
+        .violations()
+        .iter()
+        .map(|v| format!("violation[{:?}]: {}", v.site, v.detail))
+        .collect();
+    findings.extend(
+        machine
+            .lint()
+            .diags
+            .iter()
+            .map(|d| format!("lint[{}]: {}", d.code.label(), d.detail)),
+    );
+    findings
+}
+
+/// Replays a run from the retained checkpoints of a [`CheckpointRing`]
+/// and pins the first violating tick — the ROADMAP's time-travel rung.
+///
+/// The ring is walked newest-to-oldest for a checkpoint that restores
+/// *clean* (no stored violations, no lint diagnostics); from there the
+/// workload is replayed event by event, checking the paranoia violations
+/// and the static analyzer after each, until the first finding appears.
+/// Chaos plans ride along inside the snapshot (seed, dice state, and the
+/// one-shot scenario cursor), so injected faults re-fire identically on
+/// replay; control-plane test knobs do not — re-arm those through
+/// [`bisect_violation_with`].
+///
+/// Returns `None` when the ring is empty, no checkpoint restores, or the
+/// replay reaches the end of the workload without any finding.
+#[must_use]
+pub fn bisect_violation(
+    cfg: crate::config::SystemConfig,
+    spec: &agile_workloads::WorkloadSpec,
+    ring: &CheckpointRing,
+) -> Option<BisectReport> {
+    bisect_violation_with(cfg, spec, ring, |_| {})
+}
+
+/// [`bisect_violation`] with a `prepare` hook run on every freshly built
+/// machine *before* the checkpoint is restored into it. Restores rebuild
+/// only the serialized state, and a chaos-bearing snapshot only loads
+/// into a machine whose fault plan is already armed — re-arm the plan
+/// and any control-plane test knobs (like
+/// `Machine::chaos_suppress_leaf_flush`) here, or the restore is
+/// rejected / the replay diverges and the bisection comes back empty.
+#[must_use]
+pub fn bisect_violation_with(
+    cfg: crate::config::SystemConfig,
+    spec: &agile_workloads::WorkloadSpec,
+    ring: &CheckpointRing,
+    prepare: impl Fn(&mut Machine),
+) -> Option<BisectReport> {
+    let mut checkpoints = ring.checkpoints();
+    if checkpoints.is_empty() {
+        return None;
+    }
+    // Newest clean checkpoint, else the oldest restorable one (the run
+    // was already bad before the window: report a truncated bound).
+    let mut start: Option<(Checkpoint, Machine, bool)> = None;
+    while let Some(cp) = checkpoints.pop() {
+        let mut machine = Machine::new(cfg);
+        prepare(&mut machine);
+        if machine.restore_from(&cp.snapshot).is_err() {
+            continue;
+        }
+        let dirty = !machine_findings(&mut machine).is_empty();
+        let truncated = dirty && checkpoints.is_empty();
+        if dirty && !truncated {
+            continue;
+        }
+        start = Some((cp, machine, truncated));
+        break;
+    }
+    let (cp, mut machine, truncated) = start?;
+    if truncated {
+        let findings = machine_findings(&mut machine);
+        return Some(BisectReport {
+            from_ticks: cp.ticks,
+            first_bad_tick: cp.ticks,
+            events_replayed: 0,
+            findings,
+            truncated: true,
+        });
+    }
+    let mut consumed: u64 = 0;
+    let mut replayed: u64 = 0;
+    let mut ticks = cp.ticks;
+    for event in agile_workloads::Workload::new(spec.clone()) {
+        consumed += 1;
+        if consumed <= cp.events_consumed {
+            continue;
+        }
+        let is_tick = matches!(&event, agile_workloads::Event::Tick);
+        if is_tick {
+            ticks += 1;
+        }
+        machine.run_event(event);
+        replayed += 1;
+        let findings = machine_findings(&mut machine);
+        if !findings.is_empty() {
+            return Some(BisectReport {
+                from_ticks: cp.ticks,
+                // A violation between tick boundaries belongs to the
+                // in-progress tick.
+                first_bad_tick: if is_tick { ticks } else { ticks + 1 },
+                events_replayed: replayed,
+                findings,
+                truncated: false,
+            });
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +824,7 @@ mod tests {
             snapshot: MachineSnapshot::from_parts("x".into(), VmId::new(0), vec![]),
             events_consumed: n,
             warmup_armed: false,
+            ticks: n,
         };
         slot.store(cp(5));
         slot.store(cp(9));
@@ -593,6 +832,33 @@ mod tests {
         assert_eq!(slot.latest().expect("stored").events_consumed, 9);
         assert_eq!(slot.take().expect("stored").events_consumed, 9);
         assert!(slot.take().is_none());
+    }
+
+    #[test]
+    fn checkpoint_ring_keeps_the_last_k() {
+        let ring = CheckpointRing::new(3);
+        assert!(ring.is_empty());
+        let cp = |n| Checkpoint {
+            snapshot: MachineSnapshot::from_parts("x".into(), VmId::new(0), vec![]),
+            events_consumed: n,
+            warmup_armed: false,
+            ticks: n,
+        };
+        for n in 1..=5 {
+            ring.push(cp(n));
+        }
+        assert_eq!(ring.stores(), 5);
+        assert_eq!(ring.capacity(), 3);
+        let kept: Vec<u64> = ring.checkpoints().iter().map(|c| c.ticks).collect();
+        assert_eq!(kept, vec![3, 4, 5], "oldest two evicted");
+    }
+
+    #[test]
+    fn fnv_digest_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

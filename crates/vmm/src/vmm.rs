@@ -173,6 +173,12 @@ pub struct Vmm {
     gpt_write_traps_at_tick: u64,
     storm_hold_until: u64,
     write_trace: Option<Vec<(ProcessId, u64, Level)>>,
+    /// Test-only bug re-plant ([`Vmm::chaos_suppress_leaf_flush`]): when
+    /// set, [`Vmm::drop_shadow_leaf`] omits its range flush — recreating
+    /// the historical missed-shootdown bug the paranoia oracle caught so
+    /// the bounded explorer can prove it still finds it. Control-plane
+    /// state: excluded from snapshots, never set in production.
+    suppress_leaf_flush: bool,
 }
 
 impl Vmm {
@@ -213,6 +219,7 @@ impl Vmm {
             gpt_write_traps_at_tick: 0,
             storm_hold_until: 0,
             write_trace: None,
+            suppress_leaf_flush: false,
         }
     }
 
@@ -876,7 +883,25 @@ impl Vmm {
                 spt.unmap(mem, &HostSpace, gva, size);
             }
         }
+        if self.suppress_leaf_flush {
+            // Re-planted historical bug (test-only, armed through
+            // [`Vmm::chaos_suppress_leaf_flush`]): returning here without
+            // the range flush leaves every cached translation of `gva`
+            // stale — the exact missed-shootdown window this method's
+            // doc comment explains the flush exists to close.
+            return;
+        }
         self.flush_range(pid, gva, Level::L2);
+    }
+
+    /// Test-only knob re-planting the historical `drop_shadow_leaf`
+    /// missed-flush bug: with `on`, shadow-leaf invalidation stops
+    /// requesting its range shootdown, leaving stale TLB/PWC entries
+    /// behind host remaps. Exists so the bounded interleaving explorer
+    /// (`agile_core::explore`) can prove it rediscovers the bug within a
+    /// pinned state budget. Never enabled outside tests and gates.
+    pub fn chaos_suppress_leaf_flush(&mut self, on: bool) {
+        self.suppress_leaf_flush = on;
     }
 
     // ------------------------------------------------------------------
